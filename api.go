@@ -1,0 +1,371 @@
+package cadcam
+
+import (
+	"cadcam/internal/domain"
+	"cadcam/internal/expr"
+	"cadcam/internal/inherit"
+	"cadcam/internal/object"
+	"cadcam/internal/oplog"
+	"cadcam/internal/schema"
+	"cadcam/internal/txn"
+	"cadcam/internal/version"
+)
+
+// Re-exported core types, so applications program against package cadcam
+// alone.
+type (
+	// Surrogate is the system-wide object identifier.
+	Surrogate = domain.Surrogate
+	// Value is an attribute value.
+	Value = domain.Value
+	// Ref references an object by surrogate.
+	Ref = domain.Ref
+	// Participants assigns relationship roles.
+	Participants = object.Participants
+	// Binding is an inheritance relationship instance.
+	Binding = object.Binding
+	// UpdateEvent reports a permeable transmitter change.
+	UpdateEvent = object.UpdateEvent
+	// ConstraintViolation reports a failed integrity constraint.
+	ConstraintViolation = object.ConstraintViolation
+	// Txn is a strict two-phase transaction.
+	Txn = txn.Txn
+	// Workspace is a long-transaction private workspace.
+	Workspace = txn.Workspace
+	// GenericRef is a version-unresolved component reference.
+	GenericRef = version.GenericRef
+	// Environment guides environment-based version selection.
+	Environment = version.Environment
+	// VersionInfo describes a registered version.
+	VersionInfo = version.Info
+	// Expansion is a materialized component tree.
+	Expansion = inherit.Expansion
+	// Portion is the visible part of a component.
+	Portion = inherit.Portion
+	// Adaptation is a pending inheritor adaptation.
+	Adaptation = inherit.Adaptation
+)
+
+// Value constructors, re-exported from the domain layer.
+var (
+	// NullValue is the distinguished absent value.
+	NullValue = domain.NullValue
+)
+
+// Int builds an integer value.
+func Int(v int64) Value { return domain.Int(v) }
+
+// Real builds a real value.
+func Real(v float64) Value { return domain.Rl(v) }
+
+// Str builds a string value.
+func Str(v string) Value { return domain.Str(v) }
+
+// Bool builds a boolean value.
+func Bool(v bool) Value { return domain.Bool(v) }
+
+// Sym builds an enumeration symbol.
+func Sym(v string) Value { return domain.Sym(v) }
+
+// NewRec builds a record value from name/value pairs.
+func NewRec(pairs ...any) Value { return domain.NewRec(pairs...) }
+
+// NewList builds a list value.
+func NewList(elems ...Value) Value { return domain.NewList(elems...) }
+
+// NewSet builds a set value.
+func NewSet(elems ...Value) Value { return domain.NewSet(elems...) }
+
+// NewMatrix builds a rows×cols matrix value from row-major cells.
+func NewMatrix(rows, cols int, cells ...Value) Value {
+	return domain.NewMatrix(rows, cols, cells...)
+}
+
+// RefOf builds an object reference value.
+func RefOf(sur Surrogate) Value { return domain.Ref(sur) }
+
+// Version statuses and selection policies, re-exported.
+const (
+	StatusInWork   = version.StatusInWork
+	StatusStable   = version.StatusStable
+	StatusReleased = version.StatusReleased
+	StatusFrozen   = version.StatusFrozen
+
+	SelectDefault     = version.SelectDefault
+	SelectQuery       = version.SelectQuery
+	SelectEnvironment = version.SelectEnvironment
+)
+
+// Delete policies, re-exported.
+const (
+	DeleteRestrict = object.DeleteRestrict
+	DeleteUnbind   = object.DeleteUnbind
+)
+
+// ---- component accessors ----
+
+// Catalog returns the schema catalog.
+func (db *Database) Catalog() *schema.Catalog { return db.cat }
+
+// Store returns the object store. Mutations through it are journaled like
+// facade mutations.
+func (db *Database) Store() *object.Store { return db.store }
+
+// Versions returns the version manager for read access; use the Database
+// methods for durable version mutations.
+func (db *Database) Versions() *version.Manager { return db.versions }
+
+// Txns returns the transaction manager.
+func (db *Database) Txns() *txn.Manager { return db.txns }
+
+// Access returns the access-control manager.
+func (db *Database) Access() *txn.AccessControl { return db.txns.Access() }
+
+// Begin starts a strict two-phase transaction for a user ("" = anonymous
+// full-rights user).
+func (db *Database) Begin(user string) *Txn { return db.txns.Begin(user) }
+
+// NewWorkspace opens a private design workspace (long transaction).
+func (db *Database) NewWorkspace(user string) *Workspace { return db.txns.NewWorkspace(user) }
+
+// ---- object operations (journaled via the store) ----
+
+// DefineClass creates a database-level class.
+func (db *Database) DefineClass(name, elemType string) error {
+	err := db.store.DefineClass(name, elemType)
+	db.maybeCheckpoint()
+	return err
+}
+
+// NewObject creates a top-level object, optionally in a class.
+func (db *Database) NewObject(typeName, className string) (Surrogate, error) {
+	sur, err := db.store.NewObject(typeName, className)
+	db.maybeCheckpoint()
+	return sur, err
+}
+
+// NewSubobject creates a subobject in a local subclass.
+func (db *Database) NewSubobject(parent Surrogate, subclass string) (Surrogate, error) {
+	sur, err := db.store.NewSubobject(parent, subclass)
+	db.maybeCheckpoint()
+	return sur, err
+}
+
+// NewRelSubobject creates a subobject of a relationship object.
+func (db *Database) NewRelSubobject(rel Surrogate, subclass string) (Surrogate, error) {
+	sur, err := db.store.NewRelSubobject(rel, subclass)
+	db.maybeCheckpoint()
+	return sur, err
+}
+
+// SetAttr writes an attribute (write-protected if inherited or frozen).
+func (db *Database) SetAttr(sur Surrogate, name string, v Value) error {
+	err := db.store.SetAttr(sur, name, v)
+	db.maybeCheckpoint()
+	return err
+}
+
+// GetAttr reads an attribute with view-semantics inheritance resolution.
+func (db *Database) GetAttr(sur Surrogate, name string) (Value, error) {
+	return db.store.GetAttr(sur, name)
+}
+
+// Members lists a local subclass (following inheritance).
+func (db *Database) Members(sur Surrogate, name string) ([]Surrogate, error) {
+	return db.store.Members(sur, name)
+}
+
+// Relate creates a top-level relationship object.
+func (db *Database) Relate(relType string, parts Participants) (Surrogate, error) {
+	sur, err := db.store.Relate(relType, parts)
+	db.maybeCheckpoint()
+	return sur, err
+}
+
+// RelateIn creates a relationship in a local relationship subclass,
+// checking its where restriction.
+func (db *Database) RelateIn(owner Surrogate, subrel string, parts Participants) (Surrogate, error) {
+	sur, err := db.store.RelateIn(owner, subrel, parts)
+	db.maybeCheckpoint()
+	return sur, err
+}
+
+// Participant reads a relationship role.
+func (db *Database) Participant(rel Surrogate, role string) (Value, error) {
+	return db.store.Participant(rel, role)
+}
+
+// Bind makes inheritor inherit (values of) the transmitter's permeable
+// members under the named inheritance relationship type.
+func (db *Database) Bind(relType string, inheritor, transmitter Surrogate) (Surrogate, error) {
+	sur, err := db.store.Bind(relType, inheritor, transmitter)
+	db.maybeCheckpoint()
+	return sur, err
+}
+
+// Unbind removes the inheritor's binding (type-level inheritance stays).
+func (db *Database) Unbind(relType string, inheritor Surrogate) error {
+	err := db.store.Unbind(relType, inheritor)
+	db.maybeCheckpoint()
+	return err
+}
+
+// Acknowledge marks the inheritor as adapted to the latest transmitter
+// change.
+func (db *Database) Acknowledge(relType string, inheritor Surrogate) error {
+	err := db.store.Acknowledge(relType, inheritor)
+	db.maybeCheckpoint()
+	return err
+}
+
+// Delete removes an object with full cascade semantics.
+func (db *Database) Delete(sur Surrogate) error {
+	err := db.store.Delete(sur)
+	db.maybeCheckpoint()
+	return err
+}
+
+// Exists reports whether a surrogate is live.
+func (db *Database) Exists(sur Surrogate) bool { return db.store.Exists(sur) }
+
+// TypeOf returns an object's type name.
+func (db *Database) TypeOf(sur Surrogate) (string, error) { return db.store.TypeOf(sur) }
+
+// Class lists a database-level class extent.
+func (db *Database) Class(name string) ([]Surrogate, error) { return db.store.Class(name) }
+
+// CheckConstraints evaluates one object's local integrity constraints.
+func (db *Database) CheckConstraints(sur Surrogate) ([]ConstraintViolation, error) {
+	return db.store.CheckConstraints(sur)
+}
+
+// CheckAll evaluates every object's constraints.
+func (db *Database) CheckAll() []ConstraintViolation { return db.store.CheckAll() }
+
+// OnTransmitterUpdate registers an update hook (the paper's trigger
+// mechanism hook).
+func (db *Database) OnTransmitterUpdate(h object.UpdateHook) {
+	db.store.OnTransmitterUpdate(h)
+}
+
+// BindingOf returns the inheritor's binding under a relationship type.
+func (db *Database) BindingOf(inheritor Surrogate, relType string) (*Binding, bool) {
+	return db.store.BindingOf(inheritor, relType)
+}
+
+// TransmitterOf resolves an inheritor's transmitter, or 0.
+func (db *Database) TransmitterOf(inheritor Surrogate, relType string) Surrogate {
+	return db.store.TransmitterOf(inheritor, relType)
+}
+
+// ---- inheritance utilities ----
+
+// Ancestors lists the abstraction hierarchy above an object.
+func (db *Database) Ancestors(sur Surrogate) []Surrogate {
+	return inherit.Ancestors(db.store, sur)
+}
+
+// Descendants lists every object inheriting (transitively) from sur.
+func (db *Database) Descendants(sur Surrogate) []Surrogate {
+	return inherit.Descendants(db.store, sur)
+}
+
+// PendingAdaptations reports bindings whose inheritors have not adapted
+// to transmitter changes.
+func (db *Database) PendingAdaptations() []Adaptation {
+	return inherit.PendingAdaptations(db.store)
+}
+
+// Expand materializes the component tree of a composite object.
+func (db *Database) Expand(root Surrogate) (*Expansion, error) {
+	return inherit.Expand(db.store, root)
+}
+
+// VisibleComponents computes the component closure (the portions lock
+// inheritance protects).
+func (db *Database) VisibleComponents(root Surrogate) ([]Portion, error) {
+	return inherit.VisibleComponents(db.store, root)
+}
+
+// ---- queries ----
+
+// Eval evaluates a constraint-language expression against one object,
+// e.g. db.Eval(gate, "count(Pins) = 3").
+func (db *Database) Eval(sur Surrogate, src string) (Value, error) {
+	e, err := expr.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return expr.EvalValue(e, db.store.Env(sur))
+}
+
+// EvalClass evaluates an expression over the database-level classes,
+// e.g. db.EvalClass("count(Gates) where Gates.Length > 4").
+func (db *Database) EvalClass(src string) (Value, error) {
+	e, err := expr.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return expr.EvalValue(e, db.store.ClassEnv())
+}
+
+// ---- version operations (journaled under db.mu) ----
+
+// DefineDesign registers a design object, optionally anchored to an
+// interface object.
+func (db *Database) DefineDesign(name string, iface Surrogate) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, err := db.versions.DefineDesign(name, iface); err != nil {
+		return err
+	}
+	db.appendOp(&oplog.Op{Kind: oplog.KindDefineDesign, Name: name, Sur: iface})
+	return nil
+}
+
+// AddVersion registers obj as a version of a design.
+func (db *Database) AddVersion(design string, obj Surrogate, derivedFrom []Surrogate, alternative string) (*VersionInfo, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	info, err := db.versions.AddVersion(design, obj, derivedFrom, alternative)
+	if err != nil {
+		return nil, err
+	}
+	db.appendOp(&oplog.Op{Kind: oplog.KindAddVersion, Name: design, Sur: obj, Surs: derivedFrom, Name2: alternative})
+	return info, nil
+}
+
+// SetStatus reclassifies a version; freezing makes the object read-only.
+func (db *Database) SetStatus(obj Surrogate, st version.Status) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.versions.SetStatus(obj, st); err != nil {
+		return err
+	}
+	db.appendOp(&oplog.Op{Kind: oplog.KindSetStatus, Sur: obj, Name: string(st)})
+	return nil
+}
+
+// SetDefault selects a design's default version (bottom-up selection).
+func (db *Database) SetDefault(design string, obj Surrogate) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.versions.SetDefault(design, obj); err != nil {
+		return err
+	}
+	db.appendOp(&oplog.Op{Kind: oplog.KindSetDefault, Name: design, Sur: obj})
+	return nil
+}
+
+// Resolve selects a concrete version for a generic reference.
+func (db *Database) Resolve(ref GenericRef, env *Environment) (Surrogate, error) {
+	return db.versions.Resolve(ref, env)
+}
+
+// BindResolved resolves a generic component reference and binds the
+// inheritor to the chosen version.
+func (db *Database) BindResolved(relType string, inheritor Surrogate, ref GenericRef, env *Environment) (Surrogate, Surrogate, error) {
+	chosen, bsur, err := db.versions.BindResolved(relType, inheritor, ref, env)
+	db.maybeCheckpoint()
+	return chosen, bsur, err
+}

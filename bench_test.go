@@ -1,0 +1,523 @@
+package cadcam_test
+
+// One benchmark per EXPERIMENTS.md experiment, mirroring cmd/cadbench:
+//
+//	go test -bench=. -benchmem
+//
+// The BenchmarkEn names match the experiment ids in DESIGN.md §4.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"cadcam"
+
+	"cadcam/internal/bench"
+	"cadcam/internal/ddl"
+	"cadcam/internal/expr"
+	"cadcam/internal/inherit"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/sim"
+	"cadcam/internal/txn"
+	"cadcam/internal/version"
+)
+
+func benchDB(b *testing.B) *cadcam.Database {
+	b.Helper()
+	db, err := bench.Gates()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+// BenchmarkE1_FlipFlopConstruction builds the Figure-1 composite.
+func BenchmarkE1_FlipFlopConstruction(b *testing.B) {
+	for _, nSub := range []int{2, 16} {
+		b.Run(fmt.Sprintf("subgates=%d", nSub), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db, err := bench.Gates()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := bench.BuildFlipFlop(db, nSub); err != nil {
+					b.Fatal(err)
+				}
+				db.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkE1_ConstraintCheck checks all constraints of a built scene.
+func BenchmarkE1_ConstraintCheck(b *testing.B) {
+	db := benchDB(b)
+	if _, err := bench.BuildFlipFlop(db, 16); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := db.CheckAll(); len(v) != 0 {
+			b.Fatal("violations")
+		}
+	}
+}
+
+// BenchmarkE2_InheritedRead compares a direct attribute read with a
+// one-hop inherited read (the price of view semantics).
+func BenchmarkE2_InheritedRead(b *testing.B) {
+	db := benchDB(b)
+	iface, err := bench.Interface(db, 2, 1, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.GetAttr(iface, "Length"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inherited-1hop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.GetAttr(impl, "Length"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE2_TransmitterUpdate measures an interface update fanning out
+// to n bound implementations (binding bookkeeping + hooks).
+func BenchmarkE2_TransmitterUpdate(b *testing.B) {
+	for _, n := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("inheritors=%d", n), func(b *testing.B) {
+			db := benchDB(b)
+			iface, err := bench.Interface(db, 2, 1, 4, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.SetAttr(iface, "Length", cadcam.Int(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3_HierarchyDepth reads through value-inheritance chains of
+// growing depth.
+func BenchmarkE3_HierarchyDepth(b *testing.B) {
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			cat, err := bench.ChainCatalog(depth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := cadcam.OpenMemory(cat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			chain, err := bench.BuildChain(db, depth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			leaf := chain[len(chain)-1]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.GetAttr(leaf, "X"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4_ComponentClosure computes the visible-component closure of
+// a composite.
+func BenchmarkE4_ComponentClosure(b *testing.B) {
+	for _, nSub := range []int{2, 32} {
+		b.Run(fmt.Sprintf("subgates=%d", nSub), func(b *testing.B) {
+			db := benchDB(b)
+			ff, err := bench.BuildFlipFlop(db, nSub)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.VisibleComponents(ff.Impl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5_Permeability reads through the tailored SomeOf_Gate view.
+func BenchmarkE5_Permeability(b *testing.B) {
+	db := benchDB(b)
+	ff, err := bench.BuildFlipFlop(db, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, err := db.NewObject(paperschema.TypeTimedComposite, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Bind(paperschema.RelSomeOfGate, user, ff.Impl); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.GetAttr(user, "TimeBehavior"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_SteelConstraints checks the ScrewingType constraint family
+// over a structure with 100 screwings.
+func BenchmarkE6_SteelConstraints(b *testing.B) {
+	db, err := bench.Steel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := bench.BuildStructure(db, 100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := db.CheckAll(); len(v) != 0 {
+			b.Fatal("violations")
+		}
+	}
+}
+
+// BenchmarkE7_CopyVsView compares refreshing a materialized copy with an
+// always-current view read.
+func BenchmarkE7_CopyVsView(b *testing.B) {
+	db := benchDB(b)
+	iface, err := bench.Interface(db, 2, 1, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("copy-import", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := inherit.ImportCopy(db.Store(), paperschema.RelAllOfGateInterface, iface); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("copy-staleness-check", func(b *testing.B) {
+		ci, err := inherit.ImportCopy(db.Store(), paperschema.RelAllOfGateInterface, iface)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ci.Stale(db.Store()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("view-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.GetAttr(impl, "Length"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8_Selection resolves generic references under the three §6
+// policies over 100 versions.
+func BenchmarkE8_Selection(b *testing.B) {
+	db := benchDB(b)
+	impls, err := bench.VersionSet(db, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bottom-up", func(b *testing.B) {
+		ref := cadcam.GenericRef{Design: "D", Policy: cadcam.SelectDefault}
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Resolve(ref, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("top-down", func(b *testing.B) {
+		ref := cadcam.GenericRef{Design: "D", Policy: cadcam.SelectQuery,
+			Query: expr.MustParse("Status = released and TimeBehavior <= 12")}
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Resolve(ref, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("environment", func(b *testing.B) {
+		env := version.NewEnvironment("bench")
+		env.Choose("D", impls[0])
+		ref := cadcam.GenericRef{Design: "D", Policy: cadcam.SelectEnvironment}
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Resolve(ref, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9_LockInheritance measures a transactional read of inherited
+// data (locks the whole resolution chain) against a plain read.
+func BenchmarkE9_LockInheritance(b *testing.B) {
+	db := benchDB(b)
+	ff, err := bench.BuildFlipFlop(db, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plain-read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.GetAttr(ff.Impl, "Length"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("txn-read-chain-locked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tx := db.Begin("")
+			if _, err := tx.GetAttr(ff.Impl, "Length"); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10_Expansion locks a whole component hierarchy per iteration.
+func BenchmarkE10_Expansion(b *testing.B) {
+	for _, nSub := range []int{2, 32} {
+		b.Run(fmt.Sprintf("subgates=%d", nSub), func(b *testing.B) {
+			db := benchDB(b)
+			ff, err := bench.BuildFlipFlop(db, nSub)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := db.Begin("")
+				if _, err := tx.LockExpansion(ff.Impl, txn.S); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11_DDLParse parses the paper's full schema corpus.
+func BenchmarkE11_DDLParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ddl.ParsePaperCorpus(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12_Recovery journals 1000 ops, then measures reopen time
+// (journal replay) and checkpointed reopen (snapshot load).
+func BenchmarkE12_Recovery(b *testing.B) {
+	setup := func(b *testing.B, checkpoint bool) string {
+		b.Helper()
+		dir, err := os.MkdirTemp("", "cadcam-bench-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { os.RemoveAll(dir) })
+		db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iface, err := bench.Interface(db, 2, 1, 4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if err := db.SetAttr(iface, "Length", cadcam.Int(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if checkpoint {
+			if err := db.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	b.Run("journal-replay", func(b *testing.B) {
+		dir := setup(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			db.Close()
+		}
+	})
+	b.Run("snapshot-load", func(b *testing.B) {
+		dir := setup(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			db.Close()
+		}
+	})
+}
+
+// BenchmarkJournalAppend measures the journaling overhead per mutation
+// (fsync disabled, isolating the encoding + append path).
+func BenchmarkJournalAppend(b *testing.B) {
+	dir, err := os.MkdirTemp("", "cadcam-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	iface, err := bench.Interface(db, 2, 1, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.SetAttr(iface, "Width", cadcam.Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13_Simulate compiles and fully evaluates a half-adder circuit
+// per iteration (the E13 extension workload).
+func BenchmarkE13_Simulate(b *testing.B) {
+	db := benchDB(b)
+	// One behavior implementation per component, each on its own usage
+	// interface so pins stay distinct.
+	mk := func(fn string, delay int64) (usage cadcam.Surrogate) {
+		var err error
+		usage, err = bench.Interface(db, 2, 1, 4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, usage); err != nil {
+			b.Fatal(err)
+		}
+		table, err := sim.Table(fn, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.SetAttr(impl, "Function", table); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.SetAttr(impl, "TimeBehavior", cadcam.Int(delay)); err != nil {
+			b.Fatal(err)
+		}
+		return usage
+	}
+	xorU, andU := mk("XOR", 4), mk("AND", 2)
+	haIface, err := bench.Interface(db, 2, 2, 10, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ha, err := db.NewObject(paperschema.TypeGateImplementation, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Bind(paperschema.RelAllOfGateInterface, ha, haIface); err != nil {
+		b.Fatal(err)
+	}
+	var gatePins [][]cadcam.Surrogate
+	for _, u := range []cadcam.Surrogate{xorU, andU} {
+		sg, err := db.NewSubobject(ha, "SubGates")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Bind(paperschema.RelAllOfGateInterface, sg, u); err != nil {
+			b.Fatal(err)
+		}
+		pins, err := db.Members(sg, "Pins")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gatePins = append(gatePins, pins)
+	}
+	ext, err := db.Members(ha, "Pins")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pair := range [][2]cadcam.Surrogate{
+		{ext[0], gatePins[0][0]}, {ext[0], gatePins[1][0]},
+		{ext[1], gatePins[0][1]}, {ext[1], gatePins[1][1]},
+		{gatePins[0][2], ext[2]}, {gatePins[1][2], ext[3]},
+	} {
+		if _, err := db.RelateIn(ha, "Wires", cadcam.Participants{
+			"Pin1": cadcam.RefOf(pair[0]), "Pin2": cadcam.RefOf(pair[1]),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		circuit, err := sim.Compile(db.Store(), ha, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := circuit.TruthTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

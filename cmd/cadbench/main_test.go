@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+// The experiment harness is what regenerates EXPERIMENTS.md; run the fast
+// experiments as tests so regressions in any claim fail CI, not just the
+// manual harness. (E1/E6/E12 run larger sweeps and are covered by the
+// equivalent Benchmarks and integration tests.)
+func TestFastExperiments(t *testing.T) {
+	for _, e := range experiments {
+		switch e.id {
+		case "E2", "E4", "E5", "E9", "E11", "E13":
+			t.Run(e.id, func(t *testing.T) {
+				if err := e.run(); err != nil {
+					t.Fatalf("%s (%s): %v", e.id, e.title, err)
+				}
+			})
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if e.id == "" || e.title == "" || e.run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+	}
+	for _, want := range []string{"E1", "E7", "E12", "E13"} {
+		if !seen[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/sim"
+	"cadcam/internal/version"
+)
+
+func init() {
+	experiments = append(experiments, experiment{
+		"E13", "extension: time simulation over version-selected components", runE13,
+	})
+}
+
+// runE13 exercises the application §4 motivates for tailored permeability:
+// a half-adder composite simulated with component behaviours chosen by
+// the version manager — released gates vs. an experimental fast
+// alternative — demonstrating that version selection changes the timing
+// the simulator reports.
+func runE13() error {
+	fmt.Println("claim: TimeBehavior exists for time simulation (§4); selection policies change the timing")
+	db, err := cadcam.OpenMemory(paperschema.MustGates())
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	mkIface := func(nIn, nOut int) (cadcam.Surrogate, error) {
+		root, err := db.NewObject(paperschema.TypeGateInterfaceI, "")
+		if err != nil {
+			return 0, err
+		}
+		id := int64(1)
+		add := func(dir string) error {
+			pin, err := db.NewSubobject(root, "Pins")
+			if err != nil {
+				return err
+			}
+			if err := db.SetAttr(pin, "InOut", cadcam.Sym(dir)); err != nil {
+				return err
+			}
+			if err := db.SetAttr(pin, "PinId", cadcam.Int(id)); err != nil {
+				return err
+			}
+			id++
+			return nil
+		}
+		for i := 0; i < nIn; i++ {
+			if err := add("IN"); err != nil {
+				return 0, err
+			}
+		}
+		for i := 0; i < nOut; i++ {
+			if err := add("OUT"); err != nil {
+				return 0, err
+			}
+		}
+		iface, err := db.NewObject(paperschema.TypeGateInterface, "")
+		if err != nil {
+			return 0, err
+		}
+		if _, err := db.Bind(paperschema.RelAllOfGateInterfaceI, iface, root); err != nil {
+			return 0, err
+		}
+		return iface, nil
+	}
+
+	// Component designs: XOR and AND, two versions each.
+	usage := map[cadcam.Surrogate]string{}
+	for _, fn := range []string{"XOR", "AND"} {
+		iface, err := mkIface(2, 1)
+		if err != nil {
+			return err
+		}
+		if err := db.DefineDesign(fn, iface); err != nil {
+			return err
+		}
+		for alt, delay := range map[string]int64{"released": 6, "fast": 2} {
+			impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+			if err != nil {
+				return err
+			}
+			if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+				return err
+			}
+			table, err := sim.Table(fn, 2)
+			if err != nil {
+				return err
+			}
+			if err := db.SetAttr(impl, "Function", table); err != nil {
+				return err
+			}
+			if err := db.SetAttr(impl, "TimeBehavior", cadcam.Int(delay)); err != nil {
+				return err
+			}
+			if _, err := db.AddVersion(fn, impl, nil, alt); err != nil {
+				return err
+			}
+			if alt == "released" {
+				if err := db.SetStatus(impl, cadcam.StatusReleased); err != nil {
+					return err
+				}
+				if err := db.SetDefault(fn, impl); err != nil {
+					return err
+				}
+			}
+		}
+		_ = usage
+	}
+
+	// The half-adder composite.
+	haIface, err := mkIface(2, 2)
+	if err != nil {
+		return err
+	}
+	ha, err := db.NewObject(paperschema.TypeGateImplementation, "")
+	if err != nil {
+		return err
+	}
+	if _, err := db.Bind(paperschema.RelAllOfGateInterface, ha, haIface); err != nil {
+		return err
+	}
+	var gatePins [][]cadcam.Surrogate
+	for _, fn := range []string{"XOR", "AND"} {
+		u, err := mkIface(2, 1)
+		if err != nil {
+			return err
+		}
+		sg, err := db.NewSubobject(ha, "SubGates")
+		if err != nil {
+			return err
+		}
+		if _, err := db.Bind(paperschema.RelAllOfGateInterface, sg, u); err != nil {
+			return err
+		}
+		usage[u] = fn
+		pins, err := db.Members(sg, "Pins")
+		if err != nil {
+			return err
+		}
+		gatePins = append(gatePins, pins)
+	}
+	ext, err := db.Members(ha, "Pins")
+	if err != nil {
+		return err
+	}
+	for _, pair := range [][2]cadcam.Surrogate{
+		{ext[0], gatePins[0][0]}, {ext[0], gatePins[1][0]},
+		{ext[1], gatePins[0][1]}, {ext[1], gatePins[1][1]},
+		{gatePins[0][2], ext[2]}, {gatePins[1][2], ext[3]},
+	} {
+		if _, err := db.RelateIn(ha, "Wires", cadcam.Participants{
+			"Pin1": cadcam.RefOf(pair[0]), "Pin2": cadcam.RefOf(pair[1]),
+		}); err != nil {
+			return err
+		}
+	}
+
+	env := version.NewEnvironment("fast-build")
+	for _, fn := range []string{"XOR", "AND"} {
+		vs, _ := db.Versions().Versions(fn)
+		for _, v := range vs {
+			if v.Alternative == "fast" {
+				env.Choose(fn, v.Object)
+			}
+		}
+	}
+
+	row("selection", "correct-table", "critical-path", "compile+run")
+	for _, mode := range []struct {
+		label string
+		ref   func(design string) cadcam.GenericRef
+		env   *cadcam.Environment
+	}{
+		{"bottom-up (released)", func(d string) cadcam.GenericRef {
+			return cadcam.GenericRef{Design: d, Policy: cadcam.SelectDefault}
+		}, nil},
+		{"environment (fast)", func(d string) cadcam.GenericRef {
+			return cadcam.GenericRef{Design: d, Policy: cadcam.SelectEnvironment}
+		}, env},
+	} {
+		resolver := func(iface cadcam.Surrogate) (cadcam.Surrogate, error) {
+			return db.Resolve(mode.ref(usage[iface]), mode.env)
+		}
+		start := time.Now()
+		circuit, err := sim.Compile(db.Store(), ha, resolver)
+		if err != nil {
+			return err
+		}
+		tt, err := circuit.TruthTable()
+		if err != nil {
+			return err
+		}
+		dur := time.Since(start)
+		correct := tt[0][0] == false && tt[1][0] == true && tt[2][0] == true && tt[3][0] == false &&
+			tt[3][1] == true && tt[0][1] == false
+		res, err := circuit.Eval([]bool{true, true})
+		if err != nil {
+			return err
+		}
+		row(mode.label, correct, res.Delay, dur.Round(time.Microsecond))
+		if !correct {
+			return fmt.Errorf("half-adder truth table wrong under %s", mode.label)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/bench"
+	"cadcam/internal/ddl"
+	"cadcam/internal/expr"
+	"cadcam/internal/inherit"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/txn"
+	"cadcam/internal/version"
+)
+
+// runE7 executes the §2 comparison the inheritance relationship exists to
+// win: copying a component into the composite goes stale silently, while
+// the view (binding) stays current and notifies.
+func runE7() error {
+	fmt.Println("claim: copies go stale unnoticed; views are always current and notify (§2)")
+	row("inheritors", "updates", "stale-copies", "stale-views", "copy-bytes", "notified")
+	for _, n := range []int{10, 100} {
+		const updates = 10
+		db, err := bench.Gates()
+		if err != nil {
+			return err
+		}
+		iface, err := bench.Interface(db, 2, 1, 4, 2)
+		if err != nil {
+			return err
+		}
+		// Copy-import design: each "composite" takes a private copy.
+		copies := make([]*inherit.CopyImport, n)
+		copyBytes := 0
+		for i := range copies {
+			ci, err := inherit.ImportCopy(db.Store(), paperschema.RelAllOfGateInterface, iface)
+			if err != nil {
+				return err
+			}
+			copies[i] = ci
+			copyBytes += ci.Bytes
+		}
+		// View design: each composite binds.
+		views := make([]cadcam.Surrogate, n)
+		for i := range views {
+			impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+			if err != nil {
+				return err
+			}
+			if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+				return err
+			}
+			views[i] = impl
+		}
+		for u := 0; u < updates; u++ {
+			if err := db.SetAttr(iface, "Length", cadcam.Int(int64(10+u))); err != nil {
+				return err
+			}
+		}
+		staleCopies, staleViews := 0, 0
+		for _, ci := range copies {
+			stale, err := ci.Stale(db.Store())
+			if err != nil {
+				return err
+			}
+			if stale {
+				staleCopies++
+			}
+		}
+		for _, impl := range views {
+			v, err := db.GetAttr(impl, "Length")
+			if err != nil {
+				return err
+			}
+			if !v.Equal(cadcam.Int(19)) {
+				staleViews++
+			}
+		}
+		notified := len(db.PendingAdaptations())
+		row(n, updates, staleCopies, staleViews, copyBytes, notified)
+		if staleCopies != n || staleViews != 0 || notified != n {
+			return fmt.Errorf("copy-vs-view shape violated: copies=%d views=%d notified=%d",
+				staleCopies, staleViews, notified)
+		}
+		db.Close()
+	}
+	return nil
+}
+
+// runE8 exercises the three §6 selection policies over growing version
+// sets.
+func runE8() error {
+	fmt.Println("claim: generic relationships defer version choice to assembly time (3 policies)")
+	row("versions", "bottom-up", "top-down", "environment", "picked(q)")
+	for _, n := range []int{10, 100, 1000} {
+		db, err := bench.Gates()
+		if err != nil {
+			return err
+		}
+		impls, err := bench.VersionSet(db, n)
+		if err != nil {
+			return err
+		}
+		timeIt := func(f func() (cadcam.Surrogate, error)) (time.Duration, cadcam.Surrogate, error) {
+			const iters = 200
+			var got cadcam.Surrogate
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				var err error
+				got, err = f()
+				if err != nil {
+					return 0, 0, err
+				}
+			}
+			return time.Since(start) / iters, got, nil
+		}
+		bu, pickedBU, err := timeIt(func() (cadcam.Surrogate, error) {
+			return db.Resolve(cadcam.GenericRef{Design: "D", Policy: cadcam.SelectDefault}, nil)
+		})
+		if err != nil {
+			return err
+		}
+		q := expr.MustParse("Status = released and TimeBehavior <= 12")
+		td, pickedTD, err := timeIt(func() (cadcam.Surrogate, error) {
+			return db.Resolve(cadcam.GenericRef{Design: "D", Policy: cadcam.SelectQuery, Query: q}, nil)
+		})
+		if err != nil {
+			return err
+		}
+		env := version.NewEnvironment("bench")
+		env.Choose("D", impls[0])
+		ev, pickedEnv, err := timeIt(func() (cadcam.Surrogate, error) {
+			return db.Resolve(cadcam.GenericRef{Design: "D", Policy: cadcam.SelectEnvironment}, env)
+		})
+		if err != nil {
+			return err
+		}
+		row(n, bu, td, ev, pickedTD)
+		if pickedBU == 0 || pickedEnv != impls[0] {
+			return fmt.Errorf("selection picked wrong versions")
+		}
+		db.Close()
+	}
+	return nil
+}
+
+// runE9 verifies §6's lock inheritance: the reader of inherited data
+// blocks a writer of the *visible* transmitter portion but not a writer
+// of an invisible portion.
+func runE9() error {
+	fmt.Println("claim: reading inherited data locks the visible portion of the transmitter (§6)")
+	db, err := bench.Gates()
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	ff, err := bench.BuildFlipFlop(db, 2)
+	if err != nil {
+		return err
+	}
+	reader := db.Begin("")
+	if _, err := reader.GetAttr(ff.Impl, "Length"); err != nil {
+		return err
+	}
+	held := reader.HeldLocks()
+
+	visible := db.Begin("")
+	visibleBlocked := make(chan error, 1)
+	go func() { visibleBlocked <- visible.SetAttr(ff.Iface, "Length", cadcam.Int(9)) }()
+	var visibleWasBlocked bool
+	select {
+	case <-visibleBlocked:
+	case <-time.After(100 * time.Millisecond):
+		visibleWasBlocked = true
+	}
+
+	invisible := db.Begin("")
+	start := time.Now()
+	errInvisible := invisible.SetAttr(ff.Impl, "Function", cadcam.NewMatrix(1, 1, cadcam.Bool(true)))
+	invisibleDur := time.Since(start)
+	if err := invisible.Commit(); err != nil {
+		return err
+	}
+
+	if err := reader.Commit(); err != nil {
+		return err
+	}
+	if err := <-visibleBlocked; err != nil {
+		return err
+	}
+	if err := visible.Commit(); err != nil {
+		return err
+	}
+
+	row("chain-locks", "visible-writer-blocked", "invisible-writer-ok", "invisible-latency")
+	row(len(held), visibleWasBlocked, errInvisible == nil, invisibleDur.Round(time.Microsecond))
+	if !visibleWasBlocked || errInvisible != nil || len(held) < 2 {
+		return fmt.Errorf("lock inheritance shape violated")
+	}
+	return nil
+}
+
+// runE10 locks whole expansions, with the access-control manager capping
+// the mode on shared standard cells.
+func runE10() error {
+	fmt.Println("claim: complex operations lock component hierarchies; standard cells stay read-locked (§6)")
+	row("subgates", "own-X", "portions", "capped-to-S", "lock-time")
+	for _, nSub := range []int{2, 8, 32} {
+		db, err := bench.Gates()
+		if err != nil {
+			return err
+		}
+		ff, err := bench.BuildFlipFlop(db, nSub)
+		if err != nil {
+			return err
+		}
+		// The component interface hierarchy is a standard cell.
+		db.Access().Grant("designer", ff.CompIface, txn.RightRead)
+		root := db.TransmitterOf(ff.CompIface, paperschema.RelAllOfGateInterfaceI)
+		db.Access().Grant("designer", root, txn.RightRead)
+
+		tx := db.Begin("designer")
+		start := time.Now()
+		el, err := tx.LockExpansion(ff.Impl, txn.X)
+		if err != nil {
+			return err
+		}
+		dur := time.Since(start)
+		capped := 0
+		for _, p := range el.Portions {
+			if p.Mode == txn.S {
+				capped++
+			}
+		}
+		row(nSub, len(el.Own), len(el.Portions), capped, dur.Round(time.Microsecond))
+		if capped == 0 {
+			return fmt.Errorf("access control failed to cap any portion")
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		db.Close()
+	}
+	return nil
+}
+
+// runE11 parses the paper's complete DDL corpus.
+func runE11() error {
+	fmt.Println("claim: every type definition printed in the paper is expressible and validates")
+	start := time.Now()
+	cat, err := ddl.ParsePaperCorpus()
+	if err != nil {
+		return err
+	}
+	dur := time.Since(start)
+	row("obj-types", "rel-types", "inher-rels", "parse+validate")
+	row(len(cat.ObjectTypeNames()), len(cat.RelTypeNames()), len(cat.InherRelTypeNames()),
+		dur.Round(time.Microsecond))
+	return nil
+}
+
+// runE12 measures durability: journal replay after a plain reopen and
+// after a checkpoint, plus survival of a torn journal tail.
+func runE12() error {
+	fmt.Println("claim: the journal + snapshot layer recovers the exact pre-crash state")
+	row("ops", "journal-replay", "post-checkpoint", "state-ok")
+	for _, n := range []int{1000, 10000} {
+		dir, err := os.MkdirTemp("", "cadbench-e12-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+		if err != nil {
+			return err
+		}
+		iface, err := bench.Interface(db, 2, 1, 4, 2)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := db.SetAttr(iface, "Length", cadcam.Int(int64(i))); err != nil {
+				return err
+			}
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		start := time.Now()
+		db2, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+		if err != nil {
+			return err
+		}
+		replay := time.Since(start)
+		v, err := db2.GetAttr(iface, "Length")
+		if err != nil {
+			return err
+		}
+		stateOK := v.Equal(cadcam.Int(int64(n - 1)))
+		if err := db2.Checkpoint(); err != nil {
+			return err
+		}
+		if err := db2.Close(); err != nil {
+			return err
+		}
+		start = time.Now()
+		db3, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+		if err != nil {
+			return err
+		}
+		snap := time.Since(start)
+		v, _ = db3.GetAttr(iface, "Length")
+		stateOK = stateOK && v.Equal(cadcam.Int(int64(n-1)))
+		if err := db3.Close(); err != nil {
+			return err
+		}
+		row(n, replay.Round(time.Microsecond), snap.Round(time.Microsecond), stateOK)
+		if !stateOK {
+			return errors.New("recovered state diverged")
+		}
+	}
+	// Torn-tail survival: chop bytes off the journal.
+	dir, err := os.MkdirTemp("", "cadbench-e12t-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir})
+	if err != nil {
+		return err
+	}
+	iface, err := bench.Interface(db, 2, 1, 4, 2)
+	if err != nil {
+		return err
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+	walPath := filepath.Join(dir, "wal-00000000.log")
+	info, err := os.Stat(walPath)
+	if err != nil {
+		return err
+	}
+	if err := os.Truncate(walPath, info.Size()-4); err != nil {
+		return err
+	}
+	db2, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer db2.Close()
+	fmt.Printf("torn-tail recovery: opened with %d objects (last op dropped: %v)\n",
+		db2.Store().Len(), !db2.Exists(iface) || func() bool {
+			v, _ := db2.GetAttr(iface, "Width")
+			return !v.Equal(cadcam.Int(2))
+		}())
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "schema.ddl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidSchema(t *testing.T) {
+	path := writeTemp(t, `
+		domain IO = (IN, OUT);
+		obj-type P = attributes: D: IO; end P;
+	`)
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "1 object types") {
+		t.Errorf("summary: %q", out.String())
+	}
+}
+
+func TestRunDescribe(t *testing.T) {
+	path := writeTemp(t, `
+		obj-type A = attributes: X: integer; end A;
+		inher-rel-type R = transmitter: object-of-type A; inheritor: object; inheriting: X; end R;
+		obj-type B = inheritor-in: R; end B;
+	`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-describe", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"obj-type B", "inherited from A via R", "inher-rel-type R: A -> object"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("describe output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMultipleFiles(t *testing.T) {
+	p1 := writeTemp(t, "domain IO = (IN, OUT);")
+	p2 := writeTemp(t, "obj-type P = attributes: D: IO; end P;")
+	var out, errOut strings.Builder
+	if code := run([]string{"-q", p1, p2}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("-q should suppress output, got %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	// No arguments.
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d", code)
+	}
+	// Missing file.
+	if code := run([]string{"/does/not/exist.ddl"}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	// Syntax error.
+	bad := writeTemp(t, "obj-type = ;")
+	if code := run([]string{bad}, &out, &errOut); code != 1 {
+		t.Errorf("syntax error: exit %d", code)
+	}
+	// Semantic error across files: duplicate type.
+	p1 := writeTemp(t, "obj-type A = end A;")
+	p2 := writeTemp(t, "obj-type A = end A;")
+	if code := run([]string{p1, p2}, &out, &errOut); code != 1 {
+		t.Errorf("duplicate type: exit %d", code)
+	}
+	// Validation error (unknown transmitter).
+	p3 := writeTemp(t, "inher-rel-type R = transmitter: object-of-type Ghost; inheritor: object; inheriting: X; end R;")
+	if code := run([]string{p3}, &out, &errOut); code != 1 {
+		t.Errorf("validation error: exit %d", code)
+	}
+	// Bad flag.
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}
+
+func TestRunPaperCorpus(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"../../internal/ddl/testdata/paper.ddl"}, &out, &errOut); code != 0 {
+		t.Fatalf("paper corpus: exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "20 object types") {
+		t.Errorf("summary: %q", out.String())
+	}
+}

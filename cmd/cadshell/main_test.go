@@ -1,0 +1,156 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"cadcam"
+	"cadcam/internal/paperschema"
+)
+
+func testShell(t *testing.T) *shell {
+	t.Helper()
+	db, err := cadcam.OpenMemory(paperschema.MustGates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return &shell{db: db, out: io.Discard}
+}
+
+func run(t *testing.T, sh *shell, lines ...string) {
+	t.Helper()
+	for _, line := range lines {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("exec %q: %v", line, err)
+		}
+	}
+}
+
+func TestShellWorkflow(t *testing.T) {
+	sh := testShell(t)
+	run(t, sh,
+		"help",
+		"types",
+		"class Roots GateInterface_I",
+		"classes",
+		"new GateInterface_I Roots", // @1
+		"sub 1 Pins",                // @2
+		"set 2 InOut IN",
+		"set 2 PinId 1",
+		"get 2 InOut",
+		"new GateInterface", // @3
+		"bind AllOf_GateInterface_I 3 1",
+		"set 3 Length 2+2",
+		"members 3 Pins",
+		"new GateImplementation", // @5
+		"bind AllOf_GateInterface 5 3",
+		"get 5 Length",
+		"eval 5 Length = 4",
+		"evalc count(Roots) = 1",
+		"expand 5",
+		"pending",
+		"ack AllOf_GateInterface 5",
+		"check 5",
+		"check",
+		"unbind AllOf_GateInterface 5",
+		"del 5",
+	)
+}
+
+func TestShellRelate(t *testing.T) {
+	sh := testShell(t)
+	run(t, sh,
+		"new GateInterface_I", // @1
+		"sub 1 Pins",          // @2
+		"sub 1 Pins",          // @3
+		"set 2 InOut IN",
+		"set 3 InOut OUT",
+		"relate WireType Pin1=2 Pin2=3",
+	)
+}
+
+func TestShellErrors(t *testing.T) {
+	sh := testShell(t)
+	bad := []string{
+		"bogus",
+		"new",
+		"new Ghost",
+		"sub x Pins",
+		"sub 999 Pins",
+		"set 1",
+		"get 1",
+		"get 999 X",
+		"members 1",
+		"bind R 1",
+		"bind R x 1",
+		"del nope",
+		"del 0",
+		"relate WireType Pin1",
+		"relate WireType Pin1=abc",
+		"eval 1",
+		"eval x count(P)",
+		"evalc",
+		"expand 999",
+		"class",
+		"relsub 1",
+		"unbind R one",
+		"set 1 X count(",
+	}
+	for _, line := range bad {
+		if err := sh.exec(line); err == nil {
+			t.Errorf("exec %q: expected error", line)
+		}
+	}
+}
+
+func TestParseSur(t *testing.T) {
+	if got, err := parseSur("@7"); err != nil || got != 7 {
+		t.Errorf("parseSur(@7) = %v, %v", got, err)
+	}
+	if got, err := parseSur("12"); err != nil || got != 12 {
+		t.Errorf("parseSur(12) = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "x", "@"} {
+		if _, err := parseSur(bad); err == nil {
+			t.Errorf("parseSur(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := map[string]string{
+		"4":       "4",
+		"2+3":     "5",
+		`"hagen"`: `"hagen"`,
+		"true":    "true",
+		"IN":      "IN",
+		"1.5":     "1.5",
+	}
+	for src, want := range cases {
+		v, err := parseValue(src)
+		if err != nil {
+			t.Errorf("parseValue(%q): %v", src, err)
+			continue
+		}
+		if v.String() != want {
+			t.Errorf("parseValue(%q) = %s, want %s", src, v, want)
+		}
+	}
+	if _, err := parseValue("count("); err == nil {
+		t.Error("bad value expression accepted")
+	}
+}
+
+func TestHelpMentionsEveryCommand(t *testing.T) {
+	for _, cmd := range []string{
+		"types", "classes", "class", "new", "sub", "relsub", "set", "get",
+		"members", "bind", "unbind", "ack", "relate", "relatein", "del",
+		"check", "expand", "pending", "eval", "evalc", "quit",
+	} {
+		if !strings.Contains(helpText, cmd) {
+			t.Errorf("help does not mention %q", cmd)
+		}
+	}
+}

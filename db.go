@@ -1,0 +1,311 @@
+// Package cadcam is an object-oriented engineering database implementing
+// the model of "Complex and Composite Objects in CAD/CAM Databases"
+// (Wilkes, Klahold, Schlageter, 1988/89): complex objects with local
+// subobjects and relationships, first-class relationship objects, and —
+// the paper's central contribution — inheritance relationships between
+// objects that carry attribute *values* from a transmitter to its
+// inheritors with selective permeability, modelling both the
+// interface/implementation relationship and composite objects with one
+// mechanism.
+//
+// A Database bundles the schema catalog, the object store, the version
+// manager, the transaction manager and the persistence layer:
+//
+//	cat, _ := ddl.Parse(schemaText)            // or a schema.Catalog built in Go
+//	db, _ := cadcam.Open(cat, cadcam.Options{Dir: "data"})
+//	defer db.Close()
+//	iface, _ := db.NewObject("GateInterface", "")
+//	impl, _ := db.NewObject("GateImplementation", "")
+//	db.Bind("AllOf_GateInterface", impl, iface)
+//
+// Durability model: every mutation performed through the Database (or
+// directly on its Store) is journaled in execution order to a
+// CRC-framed, fsynced log and replayed deterministically on Open;
+// Checkpoint compacts the journal into an atomic snapshot. Transactions
+// (Begin) provide strict two-phase locking with portion locks, lock
+// inheritance and expansion locking over the in-memory image; their
+// journal records include compensating operations on abort, so the
+// journal always reproduces the exact store state. Statement-level
+// durability is the recovery unit — a transaction open at crash time is
+// replayed up to its last statement; use Workspaces (checkout/checkin)
+// for all-or-nothing publication of long design sessions.
+package cadcam
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/object"
+	"cadcam/internal/oplog"
+	"cadcam/internal/schema"
+	"cadcam/internal/storage"
+	"cadcam/internal/txn"
+	"cadcam/internal/version"
+	"cadcam/internal/wal"
+)
+
+// ErrFrozenVersion reports a write to an object frozen by the version
+// manager.
+var ErrFrozenVersion = errors.New("cadcam: version is frozen")
+
+// Options configures Open.
+type Options struct {
+	// Dir is the persistence directory; "" opens an in-memory database.
+	Dir string
+	// SyncEvery controls journal fsync frequency: 1 (default) syncs every
+	// operation; larger values batch; <0 disables (Close/Checkpoint still
+	// sync).
+	SyncEvery int
+	// CheckpointEvery, when > 0, triggers an automatic checkpoint after
+	// that many journaled operations.
+	CheckpointEvery int
+	// DeletePolicy is the transmitter delete policy (default
+	// DeleteRestrict).
+	DeletePolicy object.DeletePolicy
+}
+
+// Database is one open CAD/CAM database.
+type Database struct {
+	cat      *schema.Catalog
+	store    *object.Store
+	versions *version.Manager
+	txns     *txn.Manager
+
+	// mu serializes version-manager mutations, checkpoints and Close
+	// against each other. Store mutations do not take it (the store
+	// serializes itself and journals under its own lock).
+	mu sync.Mutex
+
+	dir   string
+	epoch uint64
+	logMu sync.Mutex // guards log swaps and appends
+	log   *storage.Log
+	opts  Options
+
+	opsSinceCheckpoint atomic.Int64
+	journalErr         atomic.Value // error
+	closed             bool
+}
+
+// Open creates or recovers a database over a validated catalog.
+func Open(cat *schema.Catalog, opts Options) (*Database, error) {
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	store, err := object.NewStore(cat)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		cat:      cat,
+		store:    store,
+		versions: version.NewManager(store),
+		dir:      opts.Dir,
+		opts:     opts,
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cadcam: %w", err)
+		}
+		if err := db.recover(); err != nil {
+			return nil, err
+		}
+	}
+	// A non-default option overrides whatever recovery replayed; applied
+	// before the journal attaches so the override itself (an Open-time
+	// option, re-supplied on every Open) is not journaled.
+	if opts.DeletePolicy != object.DeleteRestrict {
+		db.store.SetDeletePolicy(opts.DeletePolicy)
+	}
+	if opts.Dir != "" {
+		db.store.SetJournal(db.appendOp)
+	}
+	db.store.SetWriteGuard(func(sur domain.Surrogate) error {
+		if db.versions.Frozen(sur) {
+			return fmt.Errorf("%w: %s", ErrFrozenVersion, sur)
+		}
+		return nil
+	})
+	db.txns = txn.NewManager(store)
+	return db, nil
+}
+
+// OpenMemory opens an in-memory database (no persistence).
+func OpenMemory(cat *schema.Catalog) (*Database, error) {
+	return Open(cat, Options{})
+}
+
+func (db *Database) snapPath(epoch uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf("snap-%08d.snap", epoch))
+}
+
+func (db *Database) walPath(epoch uint64) string {
+	return filepath.Join(db.dir, fmt.Sprintf("wal-%08d.log", epoch))
+}
+
+// recover finds the newest valid snapshot epoch, loads it, replays its
+// journal, and removes stale files from older epochs.
+func (db *Database) recover() error {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return fmt.Errorf("cadcam: %w", err)
+	}
+	var epochs []uint64
+	for _, e := range entries {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%d.snap", &n); err == nil {
+			epochs = append(epochs, n)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
+	db.epoch = 0
+	for _, e := range epochs {
+		blob, err := storage.ReadSnapshot(db.snapPath(e))
+		if err != nil || blob == nil {
+			continue // corrupt or vanished snapshot: fall back
+		}
+		if err := wal.DecodeSnapshot(blob, db.store, db.versions); err != nil {
+			return fmt.Errorf("cadcam: snapshot epoch %d: %w", e, err)
+		}
+		db.epoch = e
+		break
+	}
+	log, records, err := storage.OpenLog(db.walPath(db.epoch))
+	if err != nil {
+		return err
+	}
+	if db.opts.SyncEvery != 0 {
+		log.SetSync(db.opts.SyncEvery)
+	}
+	db.log = log
+	for i, rec := range records {
+		op, err := oplog.Decode(rec)
+		if err != nil {
+			log.Close()
+			return fmt.Errorf("cadcam: journal record %d: %w", i, err)
+		}
+		if err := wal.Apply(op, db.store, db.versions, true); err != nil {
+			log.Close()
+			return fmt.Errorf("cadcam: replaying record %d: %w", i, err)
+		}
+	}
+	// Remove files from other epochs (old, or half-written newer ones).
+	for _, e := range entries {
+		name := e.Name()
+		keepSnap := name == filepath.Base(db.snapPath(db.epoch))
+		keepWal := name == filepath.Base(db.walPath(db.epoch))
+		isOurs := len(name) > 4 && (name[:5] == "snap-" || name[:4] == "wal-")
+		if isOurs && !keepSnap && !keepWal {
+			_ = os.Remove(filepath.Join(db.dir, name))
+		}
+	}
+	return nil
+}
+
+// appendOp is the store's journal hook; it runs under the store mutex.
+func (db *Database) appendOp(op *oplog.Op) {
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
+	if db.log == nil {
+		return
+	}
+	if err := db.log.Append(op.Encode()); err != nil {
+		db.journalErr.CompareAndSwap(nil, err)
+		return
+	}
+	db.opsSinceCheckpoint.Add(1)
+}
+
+// Err reports the first journaling error, if any. A non-nil result means
+// durability is compromised and the database should be closed.
+func (db *Database) Err() error {
+	if v := db.journalErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Checkpoint atomically writes a snapshot of the full state and starts a
+// fresh journal epoch. Concurrent mutations block for the duration.
+func (db *Database) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *Database) checkpointLocked() error {
+	if db.dir == "" {
+		return nil // in-memory: nothing to do
+	}
+	if db.closed {
+		return fmt.Errorf("cadcam: database closed")
+	}
+	return db.store.WithExclusive(func(st *object.StoreState) error {
+		// Version mutations go through db.mu (held) and store mutations
+		// are excluded, so both exports are mutually consistent.
+		blob := wal.EncodeSnapshot(st, db.versions.Export())
+		next := db.epoch + 1
+		if err := storage.WriteSnapshot(db.snapPath(next), blob); err != nil {
+			return err
+		}
+		newLog, records, err := storage.OpenLog(db.walPath(next))
+		if err != nil {
+			return err
+		}
+		if len(records) != 0 {
+			// A stale log from a crashed previous checkpoint: discard it.
+			if err := newLog.Reset(); err != nil {
+				newLog.Close()
+				return err
+			}
+		}
+		if db.opts.SyncEvery != 0 {
+			newLog.SetSync(db.opts.SyncEvery)
+		}
+		db.logMu.Lock()
+		old := db.log
+		db.log = newLog
+		db.logMu.Unlock()
+		if old != nil {
+			_ = old.Close()
+			_ = os.Remove(db.walPath(db.epoch))
+		}
+		_ = os.Remove(db.snapPath(db.epoch))
+		db.epoch = next
+		db.opsSinceCheckpoint.Store(0)
+		return nil
+	})
+}
+
+// maybeCheckpoint runs an automatic checkpoint when configured.
+func (db *Database) maybeCheckpoint() {
+	if db.opts.CheckpointEvery > 0 && int(db.opsSinceCheckpoint.Load()) >= db.opts.CheckpointEvery {
+		_ = db.Checkpoint()
+	}
+}
+
+// Close syncs and closes the journal. The database must not be used
+// afterwards.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	db.store.SetJournal(nil)
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
+	if db.log != nil {
+		err := db.log.Close()
+		db.log = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Quickstart: define a schema in the paper's DDL, store a gate interface
+// and an implementation, and watch value inheritance at work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cadcam"
+	"cadcam/internal/ddl"
+)
+
+const schemaText = `
+domain IO = (IN, OUT);
+
+obj-type PinType =
+   attributes:
+      InOut: IO;
+      PinId: integer;
+end PinType;
+
+obj-type GateInterface =
+   attributes:
+      Length, Width: integer;
+   types-of-subclasses:
+      Pins: PinType;
+   constraints:
+      count (Pins) = 2 where Pins.InOut = IN;
+      count (Pins) = 1 where Pins.InOut = OUT;
+end GateInterface;
+
+inher-rel-type AllOf_GateInterface =
+   transmitter: object-of-type GateInterface;
+   inheritor:   object;
+   inheriting:  Length, Width, Pins;
+end AllOf_GateInterface;
+
+obj-type GateImplementation =
+   inheritor-in: AllOf_GateInterface;
+   attributes:
+      Function: matrix-of boolean;
+end GateImplementation;
+`
+
+func main() {
+	cat, err := ddl.Parse(schemaText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := cadcam.OpenMemory(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The interface: the external image of a NAND gate.
+	iface, err := db.NewObject("GateInterface", "")
+	check(err)
+	check(db.SetAttr(iface, "Length", cadcam.Int(4)))
+	check(db.SetAttr(iface, "Width", cadcam.Int(2)))
+	for i, dir := range []string{"IN", "IN", "OUT"} {
+		pin, err := db.NewSubobject(iface, "Pins")
+		check(err)
+		check(db.SetAttr(pin, "InOut", cadcam.Sym(dir)))
+		check(db.SetAttr(pin, "PinId", cadcam.Int(int64(i+1))))
+	}
+	if v := db.CheckAll(); len(v) != 0 {
+		log.Fatalf("constraint violations: %v", v)
+	}
+	fmt.Println("interface:", iface, "pins pass the paper's pin-count constraints")
+
+	// The implementation inherits the interface's data — by view, not by
+	// copy.
+	impl, err := db.NewObject("GateImplementation", "")
+	check(err)
+	_, err = db.Bind("AllOf_GateInterface", impl, iface)
+	check(err)
+
+	length, err := db.GetAttr(impl, "Length")
+	check(err)
+	pins, err := db.Members(impl, "Pins")
+	check(err)
+	fmt.Printf("implementation %v inherits Length=%s and %d pins\n", impl, length, len(pins))
+
+	// Inherited data is write-protected in the inheritor...
+	if err := db.SetAttr(impl, "Length", cadcam.Int(99)); err != nil {
+		fmt.Println("write protection:", err)
+	}
+	// ...and transmitter updates are instantly visible.
+	check(db.SetAttr(iface, "Length", cadcam.Int(8)))
+	length, err = db.GetAttr(impl, "Length")
+	check(err)
+	fmt.Println("after interface update, implementation sees Length =", length)
+
+	// The binding's bookkeeping tells the designer an adaptation may be
+	// needed.
+	for _, a := range db.PendingAdaptations() {
+		fmt.Printf("pending adaptation: inheritor %v must adapt to %v (%d updates)\n",
+			a.Inheritor, a.Transmitter, a.Updates)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Simulate ties the model together the way §4 motivates: a half-adder
+// composite is compiled to a logic circuit whose component behaviours
+// (truth table + TimeBehavior) come from the *version manager's*
+// selection policies — the same design simulated once with released
+// standard gates and once with an experimental low-latency alternative,
+// chosen by environment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cadcam"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/sim"
+	"cadcam/internal/version"
+)
+
+func main() {
+	db, err := cadcam.OpenMemory(paperschema.MustGates())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// ---- component designs with two implementation versions each ------
+	// Each logic function is a design object: v1 released (slow), v2 an
+	// experimental low-latency alternative.
+	behaviors := map[string]cadcam.Surrogate{} // design name -> usage iface
+	for _, fn := range []string{"XOR", "AND"} {
+		iface := makeInterface(db, 2, 1)
+		check(db.DefineDesign(fn, iface))
+		behaviors[fn] = iface
+		for v, delay := range map[string]int64{"released": 6, "fast": 2} {
+			impl := must(db.NewObject(paperschema.TypeGateImplementation, ""))
+			mustSur(db.Bind(paperschema.RelAllOfGateInterface, impl, iface))
+			table, err := sim.Table(fn, 2)
+			check(err)
+			check(db.SetAttr(impl, "Function", table))
+			check(db.SetAttr(impl, "TimeBehavior", cadcam.Int(delay)))
+			info, err := db.AddVersion(fn, impl, nil, v)
+			check(err)
+			if v == "released" {
+				check(db.SetStatus(impl, cadcam.StatusReleased))
+				check(db.SetDefault(fn, impl))
+			}
+			_ = info
+		}
+	}
+
+	// ---- the half-adder composite --------------------------------------
+	ha := must(db.NewObject(paperschema.TypeGateImplementation, ""))
+	haIface := makeInterface(db, 2, 2)
+	mustSur(db.Bind(paperschema.RelAllOfGateInterface, ha, haIface))
+
+	// Two components with their own usage interfaces (distinct pins).
+	usage := map[cadcam.Surrogate]string{} // usage iface -> design name
+	var gatePins [][]cadcam.Surrogate
+	for _, fn := range []string{"XOR", "AND"} {
+		u := makeInterface(db, 2, 1)
+		sg := must(db.NewSubobject(ha, "SubGates"))
+		mustSur(db.Bind(paperschema.RelAllOfGateInterface, sg, u))
+		usage[u] = fn
+		pins, err := db.Members(sg, "Pins")
+		check(err)
+		gatePins = append(gatePins, pins)
+	}
+	ext, err := db.Members(ha, "Pins")
+	check(err)
+	wire := func(a, b cadcam.Surrogate) {
+		_, err := db.RelateIn(ha, "Wires", cadcam.Participants{
+			"Pin1": cadcam.RefOf(a), "Pin2": cadcam.RefOf(b),
+		})
+		check(err)
+	}
+	wire(ext[0], gatePins[0][0]) // a -> XOR
+	wire(ext[0], gatePins[1][0]) // a -> AND
+	wire(ext[1], gatePins[0][1]) // b -> XOR
+	wire(ext[1], gatePins[1][1]) // b -> AND
+	wire(gatePins[0][2], ext[2]) // sum
+	wire(gatePins[1][2], ext[3]) // carry
+
+	// ---- resolver = version selection -----------------------------------
+	simulate := func(label string, ref func(design string) cadcam.GenericRef, env *cadcam.Environment) {
+		resolver := func(iface cadcam.Surrogate) (cadcam.Surrogate, error) {
+			design, ok := usage[iface]
+			if !ok {
+				return 0, fmt.Errorf("unknown usage interface %v", iface)
+			}
+			return db.Resolve(ref(design), env)
+		}
+		circuit, err := sim.Compile(db.Store(), ha, resolver)
+		check(err)
+		fmt.Printf("%s:\n  a b | sum carry (delay)\n", label)
+		for _, in := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+			res, err := circuit.Eval([]bool{in[0], in[1]})
+			check(err)
+			fmt.Printf("  %d %d |  %d    %d    (%d)\n",
+				b2i(in[0]), b2i(in[1]), b2i(res.Outputs[0]), b2i(res.Outputs[1]), res.Delay)
+		}
+	}
+
+	// Bottom-up: the released defaults.
+	simulate("with released gates (bottom-up selection)", func(d string) cadcam.GenericRef {
+		return cadcam.GenericRef{Design: d, Policy: cadcam.SelectDefault}
+	}, nil)
+
+	// Environment: the experimental low-latency build.
+	env := version.NewEnvironment("fast-build")
+	for u, d := range usage {
+		_ = u
+		vs, _ := db.Versions().Versions(d)
+		for _, v := range vs {
+			if v.Alternative == "fast" {
+				env.Choose(d, v.Object)
+			}
+		}
+	}
+	simulate("with experimental fast gates (environment selection)", func(d string) cadcam.GenericRef {
+		return cadcam.GenericRef{Design: d, Policy: cadcam.SelectEnvironment}
+	}, env)
+}
+
+func makeInterface(db *cadcam.Database, nIn, nOut int) cadcam.Surrogate {
+	root := must(db.NewObject(paperschema.TypeGateInterfaceI, ""))
+	id := int64(1)
+	for i := 0; i < nIn; i++ {
+		pin := must(db.NewSubobject(root, "Pins"))
+		check(db.SetAttr(pin, "InOut", cadcam.Sym("IN")))
+		check(db.SetAttr(pin, "PinId", cadcam.Int(id)))
+		id++
+	}
+	for i := 0; i < nOut; i++ {
+		pin := must(db.NewSubobject(root, "Pins"))
+		check(db.SetAttr(pin, "InOut", cadcam.Sym("OUT")))
+		check(db.SetAttr(pin, "PinId", cadcam.Int(id)))
+		id++
+	}
+	iface := must(db.NewObject(paperschema.TypeGateInterface, ""))
+	mustSur(db.Bind(paperschema.RelAllOfGateInterfaceI, iface, root))
+	return iface
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(sur cadcam.Surrogate, err error) cadcam.Surrogate {
+	check(err)
+	return sur
+}
+
+func mustSur(sur cadcam.Surrogate, err error) cadcam.Surrogate {
+	check(err)
+	return sur
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

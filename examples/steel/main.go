@@ -1,0 +1,140 @@
+// Steel reproduces §5/Figure 5: weight-carrying structures assembled from
+// plates and girders by screwings whose bolt and nut live inside the
+// relationship and inherit from a shared part catalog.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cadcam"
+	"cadcam/internal/paperschema"
+)
+
+func main() {
+	db, err := cadcam.OpenMemory(paperschema.MustSteel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// ---- the part catalog: shared standard parts ----------------------
+	bolt := must(db.NewObject(paperschema.TypeBolt, ""))
+	check(db.SetAttr(bolt, "Length", cadcam.Int(40)))
+	check(db.SetAttr(bolt, "Diameter", cadcam.Int(8)))
+	nut := must(db.NewObject(paperschema.TypeNut, ""))
+	check(db.SetAttr(nut, "Length", cadcam.Int(10)))
+	check(db.SetAttr(nut, "Diameter", cadcam.Int(8)))
+
+	// ---- interfaces of the girder and plate designs -------------------
+	girderIf := must(db.NewObject(paperschema.TypeGirderInterface, ""))
+	check(db.SetAttr(girderIf, "Length", cadcam.Int(500)))
+	check(db.SetAttr(girderIf, "Height", cadcam.Int(20)))
+	check(db.SetAttr(girderIf, "Width", cadcam.Int(10)))
+	gBore := must(db.NewSubobject(girderIf, "Bores"))
+	check(db.SetAttr(gBore, "Diameter", cadcam.Int(10)))
+	check(db.SetAttr(gBore, "Length", cadcam.Int(20)))
+
+	plateIf := must(db.NewObject(paperschema.TypePlateInterface, ""))
+	check(db.SetAttr(plateIf, "Thickness", cadcam.Int(10)))
+	check(db.SetAttr(plateIf, "Area",
+		cadcam.NewRec("Length", cadcam.Int(200), "Width", cadcam.Int(100))))
+	pBore := must(db.NewSubobject(plateIf, "Bores"))
+	check(db.SetAttr(pBore, "Diameter", cadcam.Int(10)))
+	check(db.SetAttr(pBore, "Length", cadcam.Int(10)))
+
+	// ---- the structure with girder/plate components -------------------
+	structure := must(db.NewObject(paperschema.TypeStructure, ""))
+	check(db.SetAttr(structure, "Designer", cadcam.Str("Pegels")))
+	check(db.SetAttr(structure, "Description", cadcam.Str("weight carrying structure")))
+
+	girder := must(db.NewSubobject(structure, "Girders"))
+	mustSur(db.Bind(paperschema.RelAllOfGirderIf, girder, girderIf))
+	plate := must(db.NewSubobject(structure, "Plates"))
+	mustSur(db.Bind(paperschema.RelAllOfPlateIf, plate, plateIf))
+	fmt.Printf("structure %v: girder sees Length=%s (inherited), plate Thickness=%s\n",
+		structure, attr(db, girder, "Length"), attr(db, plate, "Thickness"))
+
+	// ---- the screwing: a relationship with internal components --------
+	gBores := members(db, girder, "Bores")
+	pBores := members(db, plate, "Bores")
+	screw, err := db.RelateIn(structure, "Screwings", cadcam.Participants{
+		"Bores": cadcam.NewSet(cadcam.RefOf(gBores[0]), cadcam.RefOf(pBores[0])),
+	})
+	check(err)
+	check(db.SetAttr(screw, "Strength", cadcam.Int(7)))
+
+	sb := must(db.NewRelSubobject(screw, "Bolt"))
+	mustSur(db.Bind(paperschema.RelAllOfBoltType, sb, bolt))
+	sn := must(db.NewRelSubobject(screw, "Nut"))
+	mustSur(db.Bind(paperschema.RelAllOfNutType, sn, nut))
+	fmt.Printf("screwing %v assembled: bolt %s long, nut %s, through bores %s+%s\n",
+		screw, attr(db, sb, "Length"), attr(db, sn, "Length"),
+		attr(db, gBores[0], "Length"), attr(db, pBores[0], "Length"))
+
+	// The ScrewingType constraints hold: one bolt, one nut, diameters
+	// agree, bolt fits the bores, lengths add up (40 = 10 + 20 + 10).
+	if v, err := db.CheckConstraints(screw); err != nil || len(v) != 0 {
+		log.Fatalf("screwing constraints: %v %v", v, err)
+	}
+	fmt.Println("the paper's screwing constraints hold")
+
+	// ---- updating a shared part ----------------------------------------
+	// Making the bolt thinner than its nut breaks every screwing using it.
+	check(db.SetAttr(bolt, "Diameter", cadcam.Int(6)))
+	if v, _ := db.CheckConstraints(screw); len(v) == 1 {
+		fmt.Println("after thinning the shared bolt, the screwing violates:", v[0].Src)
+	}
+	check(db.SetAttr(bolt, "Diameter", cadcam.Int(8)))
+
+	// The part is protected against deletion while in use.
+	if err := db.Delete(bolt); err != nil {
+		fmt.Println("deleting a part in use is restricted:", err)
+	}
+
+	// ---- the structure's own where restriction -------------------------
+	foreignIf := must(db.NewObject(paperschema.TypeGirderInterface, ""))
+	check(db.SetAttr(foreignIf, "Length", cadcam.Int(100)))
+	check(db.SetAttr(foreignIf, "Height", cadcam.Int(10)))
+	check(db.SetAttr(foreignIf, "Width", cadcam.Int(10)))
+	fBore := must(db.NewSubobject(foreignIf, "Bores"))
+	check(db.SetAttr(fBore, "Diameter", cadcam.Int(12)))
+	if _, err := db.RelateIn(structure, "Screwings", cadcam.Participants{
+		"Bores": cadcam.NewSet(cadcam.RefOf(fBore)),
+	}); err != nil {
+		fmt.Println("screwing a foreign bore rejected:", err)
+	}
+
+	if v := db.CheckAll(); len(v) != 0 {
+		log.Fatalf("violations: %v", v)
+	}
+	fmt.Println("all constraints hold across the model")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(sur cadcam.Surrogate, err error) cadcam.Surrogate {
+	check(err)
+	return sur
+}
+
+func mustSur(sur cadcam.Surrogate, err error) cadcam.Surrogate {
+	check(err)
+	return sur
+}
+
+func members(db *cadcam.Database, sur cadcam.Surrogate, name string) []cadcam.Surrogate {
+	m, err := db.Members(sur, name)
+	check(err)
+	return m
+}
+
+func attr(db *cadcam.Database, sur cadcam.Surrogate, name string) cadcam.Value {
+	v, err := db.GetAttr(sur, name)
+	check(err)
+	return v
+}

@@ -1,0 +1,147 @@
+// Transactions demonstrates §6: lock inheritance in the reverse direction
+// of data inheritance, expansion locking with access-control capping on
+// shared standard cells, deadlock detection, and long design transactions
+// via checkout/checkin workspaces.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/txn"
+)
+
+func main() {
+	db, err := cadcam.OpenMemory(paperschema.MustGates())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A composite: standard-cell interface -> implementation -> user.
+	root := must(db.NewObject(paperschema.TypeGateInterfaceI, ""))
+	pin := must(db.NewSubobject(root, "Pins"))
+	check(db.SetAttr(pin, "InOut", cadcam.Sym("IN")))
+	iface := must(db.NewObject(paperschema.TypeGateInterface, ""))
+	mustSur(db.Bind(paperschema.RelAllOfGateInterfaceI, iface, root))
+	check(db.SetAttr(iface, "Length", cadcam.Int(4)))
+	impl := must(db.NewObject(paperschema.TypeGateImplementation, ""))
+	mustSur(db.Bind(paperschema.RelAllOfGateInterface, impl, iface))
+	user := must(db.NewObject(paperschema.TypeTimedComposite, ""))
+	mustSur(db.Bind(paperschema.RelSomeOfGate, user, impl))
+
+	// ---- lock inheritance ------------------------------------------------
+	// Reading the composite's inherited Length read-locks the whole
+	// resolution chain: user, impl, iface.
+	reader := db.Begin("alice")
+	if _, err := reader.GetAttr(user, "Length"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice read user.Length; locks held:", fmtLocks(reader.HeldLocks()))
+
+	// bob's write to the *visible* portion of the interface blocks...
+	blocked := make(chan error, 1)
+	bob := db.Begin("bob")
+	go func() { blocked <- bob.SetAttr(iface, "Length", cadcam.Int(9)) }()
+	select {
+	case <-blocked:
+		log.Fatal("bob should have blocked")
+	case <-time.After(100 * time.Millisecond):
+		fmt.Println("bob's write to the visible interface portion blocks (lock inheritance)")
+	}
+	// ...while a write to an invisible portion sails through.
+	carol := db.Begin("carol")
+	if err := carol.SetAttr(impl, "Function", cadcam.NewMatrix(1, 1, cadcam.Bool(true))); err != nil {
+		log.Fatal(err)
+	}
+	check(carol.Commit())
+	fmt.Println("carol's write to the invisible Function portion proceeds")
+
+	check(reader.Commit())
+	if err := <-blocked; err != nil {
+		log.Fatal(err)
+	}
+	check(bob.Commit())
+	fmt.Println("after alice commits, bob's write completes")
+
+	// ---- expansion locking with access control ---------------------------
+	// The interface hierarchy is a standard cell: designers may read it
+	// but not update it.
+	db.Access().Grant("designer", iface, txn.RightRead)
+	db.Access().Grant("designer", root, txn.RightRead)
+	tx := db.Begin("designer")
+	el, err := tx.LockExpansion(user, txn.X)
+	check(err)
+	fmt.Println("expansion locked for update; portion modes after access capping:")
+	for _, p := range el.Portions {
+		fmt.Printf("  %v via %s -> %s\n", p.Object, p.Rel, p.Mode)
+	}
+	check(tx.Commit())
+
+	// ---- deadlock detection ----------------------------------------------
+	a := must(db.NewObject(paperschema.TypePin, ""))
+	b := must(db.NewObject(paperschema.TypePin, ""))
+	t1, t2 := db.Begin(""), db.Begin("")
+	check(t1.SetAttr(a, "PinId", cadcam.Int(1)))
+	check(t2.SetAttr(b, "PinId", cadcam.Int(2)))
+	t1done := make(chan error, 1)
+	go func() { t1done <- t1.SetAttr(b, "PinId", cadcam.Int(3)) }()
+	time.Sleep(50 * time.Millisecond)
+	if err := t2.SetAttr(a, "PinId", cadcam.Int(4)); errors.Is(err, txn.ErrDeadlock) {
+		fmt.Println("deadlock detected, victim chosen:", err)
+	}
+	check(t2.Abort())
+	check(<-t1done)
+	check(t1.Commit())
+
+	// ---- long design transaction: checkout/checkin ------------------------
+	// (alice has full rights on the interface; designer was capped above.)
+	ws := db.NewWorkspace("alice")
+	check(ws.Checkout(iface))
+	check(ws.Set(iface, "Width", cadcam.Int(3)))
+	v, _ := ws.Get(iface, "Width")
+	live, _ := db.GetAttr(iface, "Width")
+	fmt.Printf("workspace sees Width=%s while the database still has %s\n", v, live)
+	check(ws.Checkin())
+	live, _ = db.GetAttr(iface, "Width")
+	fmt.Println("after checkin, the database has Width =", live)
+
+	// A conflicting concurrent change is detected at checkin.
+	ws2 := db.NewWorkspace("alice")
+	check(ws2.Checkout(iface))
+	check(ws2.Set(iface, "Width", cadcam.Int(7)))
+	check(db.SetAttr(iface, "Width", cadcam.Int(5))) // someone else
+	if err := ws2.Checkin(); errors.Is(err, txn.ErrCheckinConflict) {
+		fmt.Println("conflicting checkin rejected:", err)
+	}
+	ws2.Revert()
+
+	// ---- conflict identification via relationships -------------------------
+	pcs := txn.PotentialConflicts(db.Store(),
+		[]cadcam.Surrogate{impl}, []cadcam.Surrogate{iface})
+	fmt.Printf("potential conflicts between write sets {impl} and {iface}: %d\n", len(pcs))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(sur cadcam.Surrogate, err error) cadcam.Surrogate {
+	check(err)
+	return sur
+}
+
+func mustSur(sur cadcam.Surrogate, err error) cadcam.Surrogate {
+	check(err)
+	return sur
+}
+
+func fmtLocks(m map[cadcam.Surrogate]txn.Mode) string {
+	return fmt.Sprintf("%d objects", len(m))
+}

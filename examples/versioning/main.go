@@ -1,0 +1,116 @@
+// Versioning demonstrates §6: a design object with a derivation graph and
+// an alternative branch, status classification, and the three selection
+// policies for generic component relationships — top-down (query),
+// bottom-up (default version) and environment-based.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cadcam"
+	"cadcam/internal/expr"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/version"
+)
+
+func main() {
+	db, err := cadcam.OpenMemory(paperschema.MustGates())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// One interface, three implementations (= versions of the design).
+	root := must(db.NewObject(paperschema.TypeGateInterfaceI, ""))
+	iface := must(db.NewObject(paperschema.TypeGateInterface, ""))
+	mustSur(db.Bind(paperschema.RelAllOfGateInterfaceI, iface, root))
+	check(db.SetAttr(iface, "Length", cadcam.Int(4)))
+
+	newImpl := func(timing int64) cadcam.Surrogate {
+		impl := must(db.NewObject(paperschema.TypeGateImplementation, ""))
+		mustSur(db.Bind(paperschema.RelAllOfGateInterface, impl, iface))
+		check(db.SetAttr(impl, "TimeBehavior", cadcam.Int(timing)))
+		return impl
+	}
+	check(db.DefineDesign("NAND", iface))
+	v1, v2, v3 := newImpl(12), newImpl(9), newImpl(15)
+	mustInfo(db.AddVersion("NAND", v1, nil, ""))
+	mustInfo(db.AddVersion("NAND", v2, []cadcam.Surrogate{v1}, ""))
+	mustInfo(db.AddVersion("NAND", v3, []cadcam.Surrogate{v1}, "lowpower"))
+	check(db.SetStatus(v1, cadcam.StatusReleased))
+	check(db.SetStatus(v2, cadcam.StatusStable))
+	check(db.SetDefault("NAND", v2))
+
+	fmt.Println("design NAND:")
+	infos, _ := db.Versions().Versions("NAND")
+	for _, info := range infos {
+		branch := info.Alternative
+		if branch == "" {
+			branch = "main"
+		}
+		fmt.Printf("  v%d %v on %s, status %s, derived from %v\n",
+			info.No, info.Object, branch, info.Status, info.DerivedFrom)
+	}
+	alts, _ := db.Versions().Alternatives("NAND")
+	fmt.Printf("alternatives: main=%d lowpower=%d\n", len(alts[""]), len(alts["lowpower"]))
+
+	// ---- bottom-up: the design supplies its default --------------------
+	got, err := db.Resolve(cadcam.GenericRef{Design: "NAND", Policy: cadcam.SelectDefault}, nil)
+	check(err)
+	fmt.Printf("bottom-up selection -> v2 (%v)\n", got)
+
+	// ---- top-down: the composite states what it needs -------------------
+	q := expr.MustParse("Status = released and TimeBehavior <= 12")
+	got, err = db.Resolve(cadcam.GenericRef{Design: "NAND", Policy: cadcam.SelectQuery, Query: q}, nil)
+	check(err)
+	fmt.Printf("top-down selection (released, fast) -> v1 (%v)\n", got)
+
+	// ---- environment: the project decides -------------------------------
+	env := version.NewEnvironment("lowpower-build")
+	env.Choose("NAND", v3)
+	got, err = db.Resolve(cadcam.GenericRef{Design: "NAND", Policy: cadcam.SelectEnvironment}, env)
+	check(err)
+	fmt.Printf("environment selection -> v3 (%v)\n", got)
+
+	// A generic component reference materializes at assembly time.
+	user := must(db.NewObject(paperschema.TypeTimedComposite, ""))
+	chosen, _, err := db.BindResolved(paperschema.RelSomeOfGate, user,
+		cadcam.GenericRef{Design: "NAND", Policy: cadcam.SelectDefault}, nil)
+	check(err)
+	tb, _ := db.GetAttr(user, "TimeBehavior")
+	fmt.Printf("composite %v bound to %v at assembly time; reads TimeBehavior=%s\n",
+		user, chosen, tb)
+
+	// Freezing a released version makes it immutable.
+	check(db.SetStatus(v1, cadcam.StatusFrozen))
+	if err := db.SetAttr(v1, "TimeBehavior", cadcam.Int(1)); err != nil {
+		fmt.Println("frozen version is write-protected:", err)
+	}
+
+	// Derivation history.
+	anc, _ := db.Versions().DerivationAncestors(v2)
+	succ, _ := db.Versions().Successors(v1)
+	fmt.Printf("v2 derives from %v; v1's successors: %v\n", anc, succ)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(sur cadcam.Surrogate, err error) cadcam.Surrogate {
+	check(err)
+	return sur
+}
+
+func mustSur(sur cadcam.Surrogate, err error) cadcam.Surrogate {
+	check(err)
+	return sur
+}
+
+func mustInfo(info *cadcam.VersionInfo, err error) *cadcam.VersionInfo {
+	check(err)
+	return info
+}

@@ -1,0 +1,3 @@
+module cadcam
+
+go 1.22

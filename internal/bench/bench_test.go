@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"cadcam"
+)
+
+func TestBuildFlipFlopShape(t *testing.T) {
+	db, err := Gates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, nSub := range []int{1, 2, 5} {
+		ff, err := BuildFlipFlop(db, nSub)
+		if err != nil {
+			t.Fatalf("nSub=%d: %v", nSub, err)
+		}
+		if len(ff.SubGates) != nSub || len(ff.Wires) != 2*nSub {
+			t.Errorf("nSub=%d: %d subgates, %d wires", nSub, len(ff.SubGates), len(ff.Wires))
+		}
+		pins, err := db.Members(ff.Impl, "Pins")
+		if err != nil || len(pins) != 2*nSub {
+			t.Errorf("nSub=%d: %d external pins", nSub, len(pins))
+		}
+		if v := db.CheckAll(); len(v) != 0 {
+			t.Errorf("nSub=%d: violations %v", nSub, v)
+		}
+	}
+}
+
+func TestChainCatalogAndBuild(t *testing.T) {
+	for _, depth := range []int{1, 3, 10} {
+		cat, err := ChainCatalog(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := cadcam.OpenMemory(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := BuildChain(db, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chain) != depth+1 {
+			t.Fatalf("chain length %d, want %d", len(chain), depth+1)
+		}
+		v, err := db.GetAttr(chain[depth], "X")
+		if err != nil || !v.Equal(cadcam.Int(42)) {
+			t.Errorf("depth %d: leaf X = %v, %v", depth, v, err)
+		}
+		db.Close()
+	}
+}
+
+func TestBuildStructureShape(t *testing.T) {
+	db, err := Steel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	st, err := BuildStructure(db, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Screwings) != 7 {
+		t.Errorf("screwings = %d", len(st.Screwings))
+	}
+	if v := db.CheckAll(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestVersionSetShape(t *testing.T) {
+	db, err := Gates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	impls, err := VersionSet(db, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(impls) != 9 {
+		t.Fatalf("impls = %d", len(impls))
+	}
+	vs, err := db.Versions().Versions("D")
+	if err != nil || len(vs) != 9 {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+	// Default resolves to the last released main-line version.
+	got, err := db.Resolve(cadcam.GenericRef{Design: "D", Policy: cadcam.SelectDefault}, nil)
+	if err != nil || got != impls[8] {
+		t.Errorf("default = %v (want %v), %v", got, impls[8], err)
+	}
+	alts, _ := db.Versions().Alternatives("D")
+	if len(alts[""]) != 5 || len(alts["alt"]) != 4 {
+		t.Errorf("alternatives: main=%d alt=%d", len(alts[""]), len(alts["alt"]))
+	}
+}

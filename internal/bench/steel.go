@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"cadcam"
+	"cadcam/internal/paperschema"
+)
+
+// Structure describes a generated weight-carrying structure.
+type Structure struct {
+	Root      cadcam.Surrogate
+	Girder    cadcam.Surrogate // the girder component subobject
+	Screwings []cadcam.Surrogate
+	Bolt      cadcam.Surrogate // the shared catalog bolt
+}
+
+// BuildStructure generates a weight-carrying structure with one girder
+// interface carrying nScrewings bores, each screwed with a bolt/nut pair
+// from a shared part catalog (one bolt part, one nut part). Bore and part
+// dimensions satisfy every ScrewingType constraint.
+func BuildStructure(db *cadcam.Database, nScrewings int) (*Structure, error) {
+	bolt, err := db.NewObject(paperschema.TypeBolt, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(bolt, "Length", cadcam.Int(30)); err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(bolt, "Diameter", cadcam.Int(8)); err != nil {
+		return nil, err
+	}
+	nut, err := db.NewObject(paperschema.TypeNut, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(nut, "Length", cadcam.Int(10)); err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(nut, "Diameter", cadcam.Int(8)); err != nil {
+		return nil, err
+	}
+
+	gi, err := db.NewObject(paperschema.TypeGirderInterface, "")
+	if err != nil {
+		return nil, err
+	}
+	for _, kv := range [][2]any{{"Length", int64(500)}, {"Height", int64(20)}, {"Width", int64(10)}} {
+		if err := db.SetAttr(gi, kv[0].(string), cadcam.Int(kv[1].(int64))); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nScrewings; i++ {
+		bore, err := db.NewSubobject(gi, "Bores")
+		if err != nil {
+			return nil, err
+		}
+		if err := db.SetAttr(bore, "Diameter", cadcam.Int(10)); err != nil {
+			return nil, err
+		}
+		if err := db.SetAttr(bore, "Length", cadcam.Int(20)); err != nil {
+			return nil, err
+		}
+	}
+
+	st := &Structure{Bolt: bolt}
+	st.Root, err = db.NewObject(paperschema.TypeStructure, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := db.SetAttr(st.Root, "Designer", cadcam.Str("generator")); err != nil {
+		return nil, err
+	}
+	st.Girder, err = db.NewSubobject(st.Root, "Girders")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.Bind(paperschema.RelAllOfGirderIf, st.Girder, gi); err != nil {
+		return nil, err
+	}
+	bores, err := db.Members(st.Girder, "Bores")
+	if err != nil {
+		return nil, err
+	}
+	for _, bore := range bores {
+		screw, err := db.RelateIn(st.Root, "Screwings", cadcam.Participants{
+			"Bores": cadcam.NewSet(cadcam.RefOf(bore)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := db.SetAttr(screw, "Strength", cadcam.Int(5)); err != nil {
+			return nil, err
+		}
+		sb, err := db.NewRelSubobject(screw, "Bolt")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.Bind(paperschema.RelAllOfBoltType, sb, bolt); err != nil {
+			return nil, err
+		}
+		sn, err := db.NewRelSubobject(screw, "Nut")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.Bind(paperschema.RelAllOfNutType, sn, nut); err != nil {
+			return nil, err
+		}
+		st.Screwings = append(st.Screwings, screw)
+	}
+	return st, nil
+}
+
+// VersionSet registers n implementations of one interface as versions of
+// a design named "D", alternating between the main line and a "alt"
+// branch, releasing every other version, and setting the last main
+// version as default. Returns the implementation surrogates.
+func VersionSet(db *cadcam.Database, n int) ([]cadcam.Surrogate, error) {
+	iface, err := Interface(db, 2, 1, 4, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.DefineDesign("D", iface); err != nil {
+		return nil, err
+	}
+	var out []cadcam.Surrogate
+	var lastMain cadcam.Surrogate
+	for i := 0; i < n; i++ {
+		impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+			return nil, err
+		}
+		if err := db.SetAttr(impl, "TimeBehavior", cadcam.Int(int64(10+i))); err != nil {
+			return nil, err
+		}
+		alt := ""
+		var derived []cadcam.Surrogate
+		if i%2 == 1 {
+			alt = "alt"
+		}
+		if lastMain != 0 {
+			derived = []cadcam.Surrogate{lastMain}
+		}
+		if _, err := db.AddVersion("D", impl, derived, alt); err != nil {
+			return nil, err
+		}
+		if i%2 == 0 {
+			if err := db.SetStatus(impl, cadcam.StatusReleased); err != nil {
+				return nil, err
+			}
+			lastMain = impl
+		}
+		out = append(out, impl)
+	}
+	if lastMain != 0 {
+		if err := db.SetDefault("D", lastMain); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

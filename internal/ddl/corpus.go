@@ -1,0 +1,17 @@
+package ddl
+
+import (
+	_ "embed"
+
+	"cadcam/internal/schema"
+)
+
+// PaperDDL is the complete schema corpus of the paper in DDL form,
+// embedded for tools and benchmarks (cmd/caddl demonstrates parsing it
+// from a file; cmd/cadbench and the benchmark suite parse this copy).
+//
+//go:embed testdata/paper.ddl
+var PaperDDL string
+
+// ParsePaperCorpus parses the embedded corpus into a fresh catalog.
+func ParsePaperCorpus() (*schema.Catalog, error) { return Parse(PaperDDL) }

@@ -1,0 +1,256 @@
+package ddl
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/schema"
+)
+
+func parsePaper(t *testing.T) *schema.Catalog {
+	t.Helper()
+	src, err := os.ReadFile("testdata/paper.ddl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Parse(string(src))
+	if err != nil {
+		t.Fatalf("Parse(paper.ddl): %v", err)
+	}
+	return cat
+}
+
+func TestParsePaperCorpus(t *testing.T) {
+	// Experiment E11: every type definition printed in the paper parses
+	// into a validated catalog.
+	cat := parsePaper(t)
+	wantObj := []string{
+		"SimpleGate", "PinType", "ElementaryGate", "GateInterface_I",
+		"GateInterface", "GateImplementation", "GateImplementation.SubGates",
+		"TimedComposite", "BoltType", "NutType", "BoreType",
+		"GirderInterface", "PlateInterface", "Plate", "Girder",
+		"WeightCarrying_Structure", "WeightCarrying_Structure.Girders",
+		"WeightCarrying_Structure.Plates", "ScrewingType.Bolt", "ScrewingType.Nut",
+	}
+	for _, n := range wantObj {
+		if _, ok := cat.ObjectType(n); !ok {
+			t.Errorf("object type %q missing", n)
+		}
+	}
+	for _, n := range []string{"WireType", "ScrewingType"} {
+		if _, ok := cat.RelType(n); !ok {
+			t.Errorf("rel type %q missing", n)
+		}
+	}
+	for _, n := range []string{
+		"AllOf_GateInterface_I", "AllOf_GateInterface", "SomeOf_Gate",
+		"AllOf_GirderIf", "AllOf_PlateIf", "AllOf_BoltType", "AllOf_NutType",
+	} {
+		if _, ok := cat.InherRelType(n); !ok {
+			t.Errorf("inher rel type %q missing", n)
+		}
+	}
+	for _, n := range []string{"IO", "Point", "GateFn", "AreaDom", "Material"} {
+		if _, ok := cat.Domain(n); !ok {
+			t.Errorf("domain %q missing", n)
+		}
+	}
+}
+
+// TestParsedMatchesHandBuilt verifies the DDL corpus and the Go-built
+// paperschema catalogs agree on the effective structure of every shared
+// type.
+func TestParsedMatchesHandBuilt(t *testing.T) {
+	parsed := parsePaper(t)
+	for _, ref := range []*schema.Catalog{paperschema.MustGates(), paperschema.MustSteel()} {
+		for _, name := range ref.ObjectTypeNames() {
+			re, _ := ref.Effective(name)
+			pe, ok := parsed.Effective(name)
+			if !ok {
+				t.Errorf("type %q missing from parsed catalog", name)
+				continue
+			}
+			if got, want := pe.Describe(), re.Describe(); got != want {
+				t.Errorf("effective type %q differs:\nparsed:\n%s\nhand-built:\n%s", name, got, want)
+			}
+		}
+		for _, name := range ref.InherRelTypeNames() {
+			rr, _ := ref.InherRelType(name)
+			pr, ok := parsed.InherRelType(name)
+			if !ok {
+				t.Errorf("inher rel %q missing", name)
+				continue
+			}
+			if pr.Transmitter != rr.Transmitter || pr.Inheritor != rr.Inheritor {
+				t.Errorf("inher rel %q: transmitter/inheritor mismatch", name)
+			}
+			if strings.Join(pr.Inheriting, ",") != strings.Join(rr.Inheriting, ",") {
+				t.Errorf("inher rel %q: inheriting %v vs %v", name, pr.Inheriting, rr.Inheriting)
+			}
+		}
+	}
+}
+
+func TestParseDomains(t *testing.T) {
+	cat, err := Parse(`
+		domain IO = (IN, OUT);
+		domain Point = (X, Y: integer);
+		domain Sizes = list-of integer;
+		domain Grid = matrix-of boolean;
+		domain Tags = set-of string;
+		domain Name = char;
+		domain Rate = real;
+		domain Area = record:
+			Length, Width: integer;
+		end-domain Area;
+		domain Nested = record:
+			P: Point;
+			Vals: list-of real;
+		end-domain;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io, _ := cat.Domain("IO")
+	if io.Kind() != domain.KindEnum || io.SymbolIndex("OUT") != 1 {
+		t.Errorf("IO = %s", io)
+	}
+	pt, _ := cat.Domain("Point")
+	if pt.Kind() != domain.KindRecord || pt.FieldDomain("Y") != domain.Integer() {
+		t.Errorf("Point = %s", pt)
+	}
+	sizes, _ := cat.Domain("Sizes")
+	if sizes.Kind() != domain.KindList || sizes.Elem().Kind() != domain.KindInteger {
+		t.Errorf("Sizes = %s", sizes)
+	}
+	area, _ := cat.Domain("Area")
+	if area.Kind() != domain.KindRecord || len(area.Fields()) != 2 {
+		t.Errorf("Area = %s", area)
+	}
+	nested, _ := cat.Domain("Nested")
+	if nested.FieldDomain("P") == nil || !domain.Same(nested.FieldDomain("P"), pt) {
+		t.Errorf("Nested = %s", nested)
+	}
+}
+
+func TestParseObjTypeDetails(t *testing.T) {
+	cat := parsePaper(t)
+	sg, _ := cat.ObjectType("SimpleGate")
+	if len(sg.Attributes) != 4 || len(sg.Constraints) != 2 {
+		t.Errorf("SimpleGate attrs=%d constraints=%d", len(sg.Attributes), len(sg.Constraints))
+	}
+	// Multi-name attribute groups expand.
+	if sg.Attributes[0].Name != "Length" || sg.Attributes[1].Name != "Width" {
+		t.Errorf("attr order: %+v", sg.Attributes[:2])
+	}
+	// set-of anonymous record attribute.
+	pins := sg.Attributes[3]
+	if pins.Name != "Pins" || pins.Domain.Kind() != domain.KindSet || pins.Domain.Elem().Kind() != domain.KindRecord {
+		t.Errorf("Pins = %s", pins.Domain)
+	}
+	// Subrel where clause parsed.
+	gi, _ := cat.ObjectType("GateImplementation")
+	if len(gi.SubRels) != 1 || gi.SubRels[0].Where == nil {
+		t.Fatalf("Wires subrel: %+v", gi.SubRels)
+	}
+	if !strings.Contains(gi.SubRels[0].Where.Src, "SubGates.Pins") {
+		t.Errorf("where src = %q", gi.SubRels[0].Where.Src)
+	}
+	// Rel type participants.
+	st, _ := cat.RelType("ScrewingType")
+	if len(st.Participants) != 1 || !st.Participants[0].SetOf || st.Participants[0].Type != "BoreType" {
+		t.Errorf("ScrewingType participants: %+v", st.Participants)
+	}
+	if len(st.Subclasses) != 2 || len(st.Constraints) != 3 {
+		t.Errorf("ScrewingType subclasses=%d constraints=%d", len(st.Subclasses), len(st.Constraints))
+	}
+	wt, _ := cat.RelType("WireType")
+	if len(wt.Participants) != 2 || wt.Participants[0].Name != "Pin1" {
+		t.Errorf("WireType participants: %+v", wt.Participants)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"garbage", "frobnicate", "expected declaration"},
+		{"missing equals", "obj-type X attributes: end;", `expected "="`},
+		{"mismatched end", "obj-type X = end Y;", "does not match"},
+		{"unknown domain", "obj-type X = attributes: A: Nope; end X;", "unknown domain"},
+		{"unterminated comment", "/* oops", "unterminated comment"},
+		{"unterminated string", `obj-type X = attributes: A: "oops`, "unterminated"},
+		{"bad constraint", "obj-type X = constraints: count(; end X;", "missing ';'"},
+		{"missing semicolon", "domain A = (X, Y)", `expected ";"`},
+		{"rel without relates", "rel-type R = attributes: A: integer; end R;", `expected "relates"`},
+		{"inher missing transmitter", "inher-rel-type R = inheritor: object; end;", `expected "transmitter"`},
+		{"inher with subclasses", `
+			obj-type T = attributes: A: integer; end T;
+			inher-rel-type R =
+			   transmitter: object-of-type T;
+			   inheritor: object;
+			   inheriting: A;
+			   types-of-subclasses: S: T;
+			end R;`, "attributes and constraints only"},
+		{"bad where", "obj-type X = types-of-subrels: W: R where count(; end X;", "missing ';'"},
+		{"rel as inheritor", `
+			obj-type T = attributes: A: integer; end T;
+			inher-rel-type R = transmitter: object-of-type T; inheritor: object; inheriting: A; end R;
+			rel-type W = relates: P: object; inheritor-in: R; end W;`, "cannot be an inheritor"},
+		{"duplicate type", "obj-type X = end X; obj-type X = end X;", "duplicate"},
+		{"bad char", "obj-type X = attributes: A: integer; ? end;", "unexpected character"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Parse("domain A = (X, Y);\nobj-type = end;")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should locate line 2: %v", err)
+	}
+}
+
+func TestParseIntoAccumulates(t *testing.T) {
+	cat := schema.NewCatalog()
+	if err := ParseInto("domain IO = (IN, OUT);", cat); err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseInto("obj-type P = attributes: D: IO; end P;", cat); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cat.ObjectType("P"); !ok {
+		t.Error("accumulated type missing")
+	}
+}
+
+func TestLineCommentsAndWhitespace(t *testing.T) {
+	_, err := Parse(`
+		-- a line comment
+		domain IO = (IN, OUT); -- trailing
+		/* block */ obj-type X =
+		   attributes: D: IO;
+		end X;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

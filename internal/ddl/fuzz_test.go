@@ -1,0 +1,53 @@
+package ddl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the DDL parser with mutated schema text: it must never
+// panic, and whatever it accepts must validate into a well-formed catalog.
+// (The full PaperDDL corpus is deliberately not a seed: the fuzz engine
+// mutates large seeds very slowly; the corpus is exercised by the regular
+// tests instead.)
+func FuzzParse(f *testing.F) {
+	f.Add("domain IO = (IN, OUT);")
+	f.Add("obj-type X = attributes: A: integer; end X;")
+	f.Add("rel-type R = relates: P: object; end R;")
+	f.Add(`inher-rel-type R =
+	   transmitter: object-of-type T;
+	   inheritor: object;
+	   inheriting: A;
+	end R;`)
+	f.Add("obj-type X = constraints: count (P) = 2 where P.D = IN; end X;")
+	f.Add("domain A = record: F: integer; end-domain A;")
+	f.Add("/* comment */ -- line")
+	f.Add("obj-type X = types-of-subclasses: S: inheritor-in: R; end X;")
+	f.Fuzz(func(t *testing.T, src string) {
+		cat, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must produce a validated catalog whose types all
+		// have effective forms.
+		for _, name := range cat.ObjectTypeNames() {
+			if _, ok := cat.Effective(name); !ok {
+				t.Fatalf("accepted %q but no effective type for %q", src, name)
+			}
+		}
+	})
+}
+
+// FuzzLexerCapture targets the raw-capture path (constraints and where
+// clauses) with tricky nesting.
+func FuzzLexerCapture(f *testing.F) {
+	f.Add("obj-type X = constraints: (a; b) = 1; end X;")
+	f.Add("obj-type X = constraints: count((x)); end X;")
+	f.Add("obj-type X = constraints: a /* ; */ = 1; end X;")
+	f.Fuzz(func(t *testing.T, src string) {
+		if !strings.Contains(src, "constraints") {
+			return
+		}
+		_, _ = Parse(src)
+	})
+}

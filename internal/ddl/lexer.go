@@ -1,0 +1,216 @@
+// Package ddl parses the paper's schema definition syntax — domain,
+// obj-type, rel-type and inher-rel-type declarations — into a validated
+// schema catalog:
+//
+//	obj-type GateInterface =
+//	   inheritor-in: AllOf_GateInterface_I;
+//	   attributes:
+//	      Length, Width: integer;
+//	end GateInterface;
+//
+// Two documented normalizations against the paper's loose pseudocode:
+// identifiers use [A-Za-z_][A-Za-z0-9_]* (so the paper's "I/O" becomes
+// "IO"), and an inline subclass body consists of `inheritor-in:` and/or
+// `attributes:` sections (ended by the next subclass, the next outer
+// section, or `end`). Constraint and where-clause bodies are captured
+// verbatim and handed to the expression parser.
+package ddl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF   tokKind = iota
+	tIdent         // identifier or hyphenated keyword (obj-type, set-of, ...)
+	tInt
+	tString
+	tPunct // = : ; , ( ) < *
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// Error is a DDL syntax or semantic error with position info.
+type Error struct {
+	Src string
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	line, col := 1, 1
+	for i := 0; i < e.Pos && i < len(e.Src); i++ {
+		if e.Src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("ddl: %s at %d:%d", e.Msg, line, col)
+}
+
+// hyphenated keywords of the DDL; a '-' continues an identifier only when
+// it produces one of these (longest match), so constraint bodies with
+// subtraction still capture correctly.
+var hyphenKeywords = map[string]bool{
+	"obj-type":            true,
+	"rel-type":            true,
+	"inher-rel-type":      true,
+	"end-domain":          true,
+	"set-of":              true,
+	"list-of":             true,
+	"matrix-of":           true,
+	"object-of-type":      true,
+	"inheritor-in":        true,
+	"types-of-subclasses": true,
+	"types-of-subrels":    true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) error(pos int, format string, args ...any) error {
+	return &Error{Src: l.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return l.error(l.pos, "unterminated comment")
+			}
+			l.pos += end + 4
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := rune(l.src[l.pos])
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(), nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tInt, text: l.src[start:l.pos], pos: start}, nil
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.error(start, "unterminated string")
+		}
+		l.pos++
+		return token{kind: tString, text: l.src[start+1 : l.pos-1], pos: start}, nil
+	case strings.ContainsRune("=:;,()<>*+-/#.", c):
+		l.pos++
+		return token{kind: tPunct, text: string(c), pos: start}, nil
+	default:
+		return token{}, l.error(l.pos, "unexpected character %q", c)
+	}
+}
+
+// lexIdent scans an identifier, greedily extending across '-' only when
+// the extension forms a known hyphenated keyword.
+func (l *lexer) lexIdent() token {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	// Try to extend over hyphens into a keyword.
+	for l.pos < len(l.src) && l.src[l.pos] == '-' {
+		probe := l.pos + 1
+		for probe < len(l.src) && isIdentPart(rune(l.src[probe])) {
+			probe++
+		}
+		if candidate := l.src[start:probe]; prefixOfHyphenKeyword(candidate) {
+			l.pos = probe
+		} else {
+			break
+		}
+	}
+	return token{kind: tIdent, text: l.src[start:l.pos], pos: start}
+}
+
+func prefixOfHyphenKeyword(s string) bool {
+	if hyphenKeywords[s] {
+		return true
+	}
+	for k := range hyphenKeywords {
+		if strings.HasPrefix(k, s+"-") {
+			return true
+		}
+	}
+	return false
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// captureUntilSemicolon returns the raw source from the current position
+// up to (not including) the next ';' at parenthesis depth 0, advancing
+// past it. Used for constraint and where-clause bodies.
+func (l *lexer) captureUntilSemicolon() (string, error) {
+	if err := l.skipSpace(); err != nil {
+		return "", err
+	}
+	start := l.pos
+	depth := 0
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ';':
+			if depth == 0 {
+				body := strings.TrimSpace(l.src[start:l.pos])
+				l.pos++
+				return body, nil
+			}
+		case '/':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+				end := strings.Index(l.src[l.pos+2:], "*/")
+				if end < 0 {
+					return "", l.error(l.pos, "unterminated comment")
+				}
+				l.pos += end + 3
+			}
+		}
+		l.pos++
+	}
+	return "", l.error(start, "missing ';' after expression")
+}

@@ -1,0 +1,349 @@
+package ddl
+
+import (
+	"fmt"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/schema"
+)
+
+// Parse parses a DDL source text into a fresh, validated catalog.
+func Parse(src string) (*schema.Catalog, error) {
+	cat := schema.NewCatalog()
+	if err := ParseInto(src, cat); err != nil {
+		return nil, err
+	}
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// ParseInto parses declarations into an existing (unvalidated) catalog,
+// allowing schemas to be assembled from several sources before one final
+// Validate.
+func ParseInto(src string, cat *schema.Catalog) error {
+	p := &parser{lex: &lexer{src: src}, cat: cat}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for p.tok.kind != tEOF {
+		if err := p.parseDecl(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type parser struct {
+	lex *lexer
+	cat *schema.Catalog
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Src: p.lex.src, Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) is(text string) bool {
+	return (p.tok.kind == tIdent || p.tok.kind == tPunct) && p.tok.text == text
+}
+
+func (p *parser) accept(text string) (bool, error) {
+	if p.is(text) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) expect(text string) error {
+	ok, err := p.accept(text)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return p.errf("expected %q, found %q", text, p.tok.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected identifier, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// identList parses "A, B, C".
+func (p *parser) identList() ([]string, error) {
+	var names []string
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		ok, err := p.accept(",")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return names, nil
+		}
+	}
+}
+
+func (p *parser) parseDecl() error {
+	switch {
+	case p.is("domain"):
+		return p.parseDomain()
+	case p.is("obj-type"):
+		return p.parseObjType()
+	case p.is("rel-type"):
+		return p.parseRelType()
+	case p.is("inher-rel-type"):
+		return p.parseInherRelType()
+	default:
+		return p.errf("expected declaration, found %q", p.tok.text)
+	}
+}
+
+// parseDomain handles: domain Name = <domainExpr> ; and the paper's
+// "domain AreaDom = record: ... end-domain AreaDom;" form.
+func (p *parser) parseDomain() error {
+	if err := p.advance(); err != nil { // domain
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	var d *domain.Domain
+	if p.is("record") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if _, err := p.accept(":"); err != nil {
+			return err
+		}
+		fields, err := p.parseFieldList(func() bool { return p.is("end-domain") })
+		if err != nil {
+			return err
+		}
+		d = domain.Record(name, fields...)
+		if err := p.expect("end-domain"); err != nil {
+			return err
+		}
+		// Optional trailing name.
+		if p.tok.kind == tIdent {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	} else {
+		d, err = p.parseDomainExpr()
+		if err != nil {
+			return err
+		}
+		d = d.Named(name)
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	return p.cat.AddDomain(d.Named(name))
+}
+
+// parseDomainExpr parses a domain reference or constructor.
+func (p *parser) parseDomainExpr() (*domain.Domain, error) {
+	switch {
+	case p.is("integer"):
+		return domain.Integer(), p.advance()
+	case p.is("real"):
+		return domain.Real(), p.advance()
+	case p.is("string"), p.is("char"): // the paper uses char for strings
+		return domain.String_(), p.advance()
+	case p.is("boolean"):
+		return domain.Boolean(), p.advance()
+	case p.is("list-of"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseDomainExpr()
+		if err != nil {
+			return nil, err
+		}
+		return domain.ListOf(elem), nil
+	case p.is("set-of"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseDomainExpr()
+		if err != nil {
+			return nil, err
+		}
+		return domain.SetOf(elem), nil
+	case p.is("matrix-of"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseDomainExpr()
+		if err != nil {
+			return nil, err
+		}
+		return domain.MatrixOf(elem), nil
+	case p.is("object-of-type"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return domain.ObjectRef(name), nil
+	case p.is("object"):
+		return domain.ObjectRef(""), p.advance()
+	case p.is("("):
+		return p.parseParenDomain()
+	case p.tok.kind == tIdent:
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d, ok := p.cat.Domain(name)
+		if !ok {
+			return nil, p.errf("unknown domain %q", name)
+		}
+		return d, nil
+	default:
+		return nil, p.errf("expected domain, found %q", p.tok.text)
+	}
+}
+
+// parseParenDomain disambiguates "(IN, OUT)" (enum) from
+// "(X, Y: integer)" / "( PinId: integer; InOut: IO; )" (record).
+func (p *parser) parseParenDomain() (*domain.Domain, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	// Collect the first identifier group to see whether a ':' follows.
+	names, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	if p.is(")") {
+		// Pure enum: (IN, OUT).
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if dup := firstDuplicate(names); dup != "" {
+			return nil, p.errf("duplicate enum symbol %q", dup)
+		}
+		return domain.Enum("", names...), nil
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	dom, err := p.parseDomainExpr()
+	if err != nil {
+		return nil, err
+	}
+	var fields []domain.Field
+	for _, n := range names {
+		fields = append(fields, domain.Field{Name: n, Dom: dom})
+	}
+	// Further groups, separated by ';' (a trailing ';' before ')' is ok).
+	for {
+		if ok, err := p.accept(";"); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+		if p.is(")") {
+			break
+		}
+		names, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		dom, err := p.parseDomainExpr()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			fields = append(fields, domain.Field{Name: n, Dom: dom})
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if dup := firstDuplicateField(fields); dup != "" {
+		return nil, p.errf("duplicate record field %q", dup)
+	}
+	return domain.Record("", fields...), nil
+}
+
+func firstDuplicate(names []string) string {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return n
+		}
+		seen[n] = true
+	}
+	return ""
+}
+
+func firstDuplicateField(fields []domain.Field) string {
+	seen := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		if seen[f.Name] {
+			return f.Name
+		}
+		seen[f.Name] = true
+	}
+	return ""
+}
+
+// parseFieldList parses "Name, Name: domain;"* until stop() holds.
+func (p *parser) parseFieldList(stop func() bool) ([]domain.Field, error) {
+	var fields []domain.Field
+	for !stop() {
+		names, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		dom, err := p.parseDomainExpr()
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			fields = append(fields, domain.Field{Name: n, Dom: dom})
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if dup := firstDuplicateField(fields); dup != "" {
+		return nil, p.errf("duplicate record field %q", dup)
+	}
+	return fields, nil
+}

@@ -1,0 +1,459 @@
+package ddl
+
+import (
+	"cadcam/internal/schema"
+)
+
+// section keywords that structure type bodies.
+func isSectionKeyword(s string) bool {
+	switch s {
+	case "attributes", "types-of-subclasses", "types-of-subrels",
+		"connections", "constraints", "inheritor-in", "relates",
+		"transmitter", "inheritor", "inheriting", "end":
+		return true
+	}
+	return false
+}
+
+// parseObjType handles obj-type declarations.
+func (p *parser) parseObjType() error {
+	if err := p.advance(); err != nil { // obj-type
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	t := &schema.ObjectType{Name: name}
+	if err := p.parseTypeBody(t); err != nil {
+		return err
+	}
+	if err := p.parseEnd(name); err != nil {
+		return err
+	}
+	return p.cat.AddObjectType(t)
+}
+
+// parseTypeBody parses the shared section structure of obj-types and the
+// inline member types of subclasses.
+func (p *parser) parseTypeBody(t *schema.ObjectType) error {
+	for {
+		switch {
+		case p.is("inheritor-in"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expect(":"); err != nil {
+				return err
+			}
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			t.InheritorIn = append(t.InheritorIn, names...)
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case p.is("attributes"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expect(":"); err != nil {
+				return err
+			}
+			attrs, err := p.parseAttrSection()
+			if err != nil {
+				return err
+			}
+			t.Attributes = append(t.Attributes, attrs...)
+		case p.is("types-of-subclasses"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expect(":"); err != nil {
+				return err
+			}
+			subs, err := p.parseSubclassSection()
+			if err != nil {
+				return err
+			}
+			t.Subclasses = append(t.Subclasses, subs...)
+		case p.is("types-of-subrels"), p.is("connections"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expect(":"); err != nil {
+				return err
+			}
+			srs, err := p.parseSubRelSection()
+			if err != nil {
+				return err
+			}
+			t.SubRels = append(t.SubRels, srs...)
+		case p.is("constraints"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expect(":"); err != nil {
+				return err
+			}
+			cs, err := p.parseConstraintSection()
+			if err != nil {
+				return err
+			}
+			t.Constraints = append(t.Constraints, cs...)
+		default:
+			return nil
+		}
+	}
+}
+
+// parseAttrSection parses "Name, Name: domain;"* until the next section
+// keyword or end.
+func (p *parser) parseAttrSection() ([]schema.Attribute, error) {
+	var out []schema.Attribute
+	for p.tok.kind == tIdent && !isSectionKeyword(p.tok.text) {
+		names, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		dom, err := p.parseDomainExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			out = append(out, schema.Attribute{Name: n, Domain: dom})
+		}
+	}
+	return out, nil
+}
+
+// parseSubclassSection parses subclass declarations: either
+// "Name: MemberType;" or an inline member type
+// "Name: inheritor-in: R; attributes: ...".
+func (p *parser) parseSubclassSection() ([]schema.Subclass, error) {
+	var out []schema.Subclass
+	for p.tok.kind == tIdent && !isSectionKeyword(p.tok.text) {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		if p.is("inheritor-in") || p.is("attributes") {
+			inline := &schema.ObjectType{}
+			if err := p.parseInlineBody(inline); err != nil {
+				return nil, err
+			}
+			out = append(out, schema.Subclass{Name: name, Inline: inline})
+			continue
+		}
+		elem, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		out = append(out, schema.Subclass{Name: name, ElemType: elem})
+	}
+	return out, nil
+}
+
+// parseInlineBody parses the inline member-type sections of a subclass:
+// only inheritor-in and attributes are allowed (the documented
+// normalization).
+func (p *parser) parseInlineBody(t *schema.ObjectType) error {
+	for {
+		switch {
+		case p.is("inheritor-in"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expect(":"); err != nil {
+				return err
+			}
+			names, err := p.identList()
+			if err != nil {
+				return err
+			}
+			t.InheritorIn = append(t.InheritorIn, names...)
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+		case p.is("attributes"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expect(":"); err != nil {
+				return err
+			}
+			attrs, err := p.parseAttrSection()
+			if err != nil {
+				return err
+			}
+			t.Attributes = append(t.Attributes, attrs...)
+		default:
+			return nil
+		}
+	}
+}
+
+// parseSubRelSection parses "Name: RelType [where <expr>];"*.
+func (p *parser) parseSubRelSection() ([]schema.SubRel, error) {
+	var out []schema.SubRel
+	for p.tok.kind == tIdent && !isSectionKeyword(p.tok.text) {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		relType, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		sr := schema.SubRel{Name: name, RelType: relType}
+		if p.is("where") {
+			// Capture the raw body up to ';' and parse it as an
+			// expression. The lexer position sits just past "where"'s
+			// token start, so capture from the current scanner state.
+			if err := p.captureWhere(&sr); err != nil {
+				return nil, err
+			}
+		} else if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// captureWhere grabs the where-expression body verbatim. The current
+// token is "where"; the raw capture starts at the scanner position (just
+// after "where") and the next token is read after the ';'.
+func (p *parser) captureWhere(sr *schema.SubRel) error {
+	wherePos := p.tok.pos
+	body, err := p.lex.captureUntilSemicolon()
+	if err != nil {
+		return err
+	}
+	c, err := schema.NewConstraint(body)
+	if err != nil {
+		return &Error{Src: p.lex.src, Pos: wherePos, Msg: err.Error()}
+	}
+	sr.Where = &c
+	return p.advance()
+}
+
+// parseConstraintSection captures ";"-terminated expressions until a
+// section keyword or "end". The current token starts the first
+// constraint, so its text is prepended to the raw capture.
+func (p *parser) parseConstraintSection() ([]schema.Constraint, error) {
+	var out []schema.Constraint
+	for !p.is("end") && p.tok.kind != tEOF && !isSectionKeyword(p.tok.text) {
+		startPos := p.tok.pos
+		// Re-scan from the token start: move the lexer back.
+		p.lex.pos = startPos
+		body, err := p.lex.captureUntilSemicolon()
+		if err != nil {
+			return nil, err
+		}
+		c, err := schema.NewConstraint(body)
+		if err != nil {
+			return nil, &Error{Src: p.lex.src, Pos: startPos, Msg: err.Error()}
+		}
+		out = append(out, c)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parseEnd consumes "end [Name] ;".
+func (p *parser) parseEnd(name string) error {
+	if err := p.expect("end"); err != nil {
+		return err
+	}
+	if p.tok.kind == tIdent && !isSectionKeyword(p.tok.text) {
+		if p.tok.text != name {
+			return p.errf("end %q does not match declaration %q", p.tok.text, name)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return p.expect(";")
+}
+
+// parseRelType handles rel-type declarations.
+func (p *parser) parseRelType() error {
+	if err := p.advance(); err != nil { // rel-type
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	t := &schema.RelType{Name: name}
+	if err := p.expect("relates"); err != nil {
+		return err
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	// Participants: "Name, Name: [set-of] object-of-type T;" until a
+	// section keyword.
+	for p.tok.kind == tIdent && !isSectionKeyword(p.tok.text) {
+		names, err := p.identList()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(":"); err != nil {
+			return err
+		}
+		setOf := false
+		if ok, err := p.accept("set-of"); err != nil {
+			return err
+		} else if ok {
+			setOf = true
+		}
+		var typeName string
+		switch {
+		case p.is("object-of-type"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			typeName, err = p.ident()
+			if err != nil {
+				return err
+			}
+		case p.is("object"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected object or object-of-type, found %q", p.tok.text)
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			t.Participants = append(t.Participants, schema.Participant{Name: n, Type: typeName, SetOf: setOf})
+		}
+	}
+	// Remaining sections share the obj-type body structure.
+	body := &schema.ObjectType{}
+	if err := p.parseTypeBody(body); err != nil {
+		return err
+	}
+	t.Attributes = body.Attributes
+	t.Subclasses = body.Subclasses
+	t.SubRels = body.SubRels
+	t.Constraints = body.Constraints
+	if len(body.InheritorIn) > 0 {
+		return p.errf("rel-type %s cannot be an inheritor", name)
+	}
+	if err := p.parseEnd(name); err != nil {
+		return err
+	}
+	return p.cat.AddRelType(t)
+}
+
+// parseInherRelType handles inher-rel-type declarations.
+func (p *parser) parseInherRelType() error {
+	if err := p.advance(); err != nil { // inher-rel-type
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	t := &schema.InherRelType{Name: name}
+	if err := p.expect("transmitter"); err != nil {
+		return err
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	if err := p.expect("object-of-type"); err != nil {
+		return err
+	}
+	t.Transmitter, err = p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	if err := p.expect("inheritor"); err != nil {
+		return err
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	switch {
+	case p.is("object-of-type"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		t.Inheritor, err = p.ident()
+		if err != nil {
+			return err
+		}
+	case p.is("object"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected object or object-of-type, found %q", p.tok.text)
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	if err := p.expect("inheriting"); err != nil {
+		return err
+	}
+	if err := p.expect(":"); err != nil {
+		return err
+	}
+	t.Inheriting, err = p.identList()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	// Optional attribute and constraint sections for the relationship.
+	body := &schema.ObjectType{}
+	if err := p.parseTypeBody(body); err != nil {
+		return err
+	}
+	t.Attributes = body.Attributes
+	t.Constraints = body.Constraints
+	if len(body.Subclasses) > 0 || len(body.SubRels) > 0 {
+		return p.errf("inher-rel-type %s supports attributes and constraints only", name)
+	}
+	if err := p.parseEnd(name); err != nil {
+		return err
+	}
+	return p.cat.AddInherRelType(t)
+}

@@ -1,0 +1,162 @@
+package domain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIncomparable is returned by Compare for values with no defined order.
+var ErrIncomparable = errors.New("domain: values are not comparable")
+
+// Compare orders two values: -1, 0 or +1. Integers and reals compare
+// numerically with each other; strings lexically; booleans false < true;
+// enum symbols lexically (the constraint language never relies on
+// declaration order). Structured values and references only support
+// equality, so Compare fails for them unless they are equal.
+func Compare(a, b Value) (int, error) {
+	if IsNull(a) || IsNull(b) {
+		return 0, fmt.Errorf("%w: null operand", ErrIncomparable)
+	}
+	switch x := a.(type) {
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return cmpInt(int64(x), int64(y)), nil
+		case Rl:
+			return cmpFloat(float64(x), float64(y)), nil
+		}
+	case Rl:
+		switch y := b.(type) {
+		case Int:
+			return cmpFloat(float64(x), float64(y)), nil
+		case Rl:
+			return cmpFloat(float64(x), float64(y)), nil
+		}
+	case Str:
+		if y, ok := b.(Str); ok {
+			return cmpStr(string(x), string(y)), nil
+		}
+	case Sym:
+		if y, ok := b.(Sym); ok {
+			return cmpStr(string(x), string(y)), nil
+		}
+	case Bool:
+		if y, ok := b.(Bool); ok {
+			xb, yb := 0, 0
+			if x {
+				xb = 1
+			}
+			if y {
+				yb = 1
+			}
+			return cmpInt(int64(xb), int64(yb)), nil
+		}
+	}
+	if a.Equal(b) {
+		return 0, nil
+	}
+	return 0, fmt.Errorf("%w: %s (%s) vs %s (%s)", ErrIncomparable, a, a.Kind(), b, b.Kind())
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// AsFloat converts a numeric value to float64.
+func AsFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case Int:
+		return float64(x), true
+	case Rl:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// AsInt converts an integer value to int64.
+func AsInt(v Value) (int64, bool) {
+	x, ok := v.(Int)
+	return int64(x), ok
+}
+
+// Truth interprets a value as a condition: booleans are themselves, null
+// is false; everything else is an error in the constraint language, which
+// the caller reports.
+func Truth(v Value) (bool, bool) {
+	if IsNull(v) {
+		return false, true
+	}
+	b, ok := v.(Bool)
+	return bool(b), ok
+}
+
+// Arith applies an arithmetic operator (+, -, *, /) to two numeric values,
+// producing Int when both operands are Int (with / truncating), else Rl.
+func Arith(op byte, a, b Value) (Value, error) {
+	ai, aok := a.(Int)
+	bi, bok := b.(Int)
+	if aok && bok {
+		switch op {
+		case '+':
+			return ai + bi, nil
+		case '-':
+			return ai - bi, nil
+		case '*':
+			return ai * bi, nil
+		case '/':
+			if bi == 0 {
+				return nil, errors.New("domain: integer division by zero")
+			}
+			return ai / bi, nil
+		}
+		return nil, fmt.Errorf("domain: unknown operator %q", op)
+	}
+	af, aok := AsFloat(a)
+	bf, bok := AsFloat(b)
+	if !aok || !bok {
+		return nil, fmt.Errorf("domain: arithmetic on non-numeric operands %s, %s", a, b)
+	}
+	switch op {
+	case '+':
+		return Rl(af + bf), nil
+	case '-':
+		return Rl(af - bf), nil
+	case '*':
+		return Rl(af * bf), nil
+	case '/':
+		if bf == 0 {
+			return nil, errors.New("domain: division by zero")
+		}
+		return Rl(af / bf), nil
+	}
+	return nil, fmt.Errorf("domain: unknown operator %q", op)
+}

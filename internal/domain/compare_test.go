@@ -1,0 +1,177 @@
+package domain
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Rl(1.5), -1},
+		{Rl(2.5), Int(2), 1},
+		{Rl(2), Rl(2), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Sym("AND"), Sym("OR"), -1},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Errorf("Compare(%s, %s): %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	bad := [][2]Value{
+		{Int(1), Str("1")},
+		{Bool(true), Int(1)},
+		{NullValue, Int(1)},
+		{Int(1), NullValue},
+		{NewList(Int(1)), NewList(Int(2))},
+	}
+	for _, c := range bad {
+		if _, err := Compare(c[0], c[1]); !errors.Is(err, ErrIncomparable) {
+			t.Errorf("Compare(%s, %s): want ErrIncomparable, got %v", c[0], c[1], err)
+		}
+	}
+	// Equal structured values compare as 0 even without an order.
+	if got, err := Compare(NewList(Int(1)), NewList(Int(1))); err != nil || got != 0 {
+		t.Errorf("equal lists: got %d, %v", got, err)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if f, ok := AsFloat(Int(3)); !ok || f != 3 {
+		t.Error("AsFloat(Int) wrong")
+	}
+	if f, ok := AsFloat(Rl(2.5)); !ok || f != 2.5 {
+		t.Error("AsFloat(Rl) wrong")
+	}
+	if _, ok := AsFloat(Str("x")); ok {
+		t.Error("AsFloat(Str) should fail")
+	}
+	if n, ok := AsInt(Int(-4)); !ok || n != -4 {
+		t.Error("AsInt wrong")
+	}
+	if _, ok := AsInt(Rl(4)); ok {
+		t.Error("AsInt(Rl) should fail")
+	}
+}
+
+func TestTruth(t *testing.T) {
+	if b, ok := Truth(Bool(true)); !ok || !b {
+		t.Error("Truth(true)")
+	}
+	if b, ok := Truth(NullValue); !ok || b {
+		t.Error("Truth(null) should be valid false")
+	}
+	if _, ok := Truth(Int(1)); ok {
+		t.Error("Truth(Int) should be invalid")
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   byte
+		a, b Value
+		want Value
+	}{
+		{'+', Int(2), Int(3), Int(5)},
+		{'-', Int(2), Int(3), Int(-1)},
+		{'*', Int(4), Int(3), Int(12)},
+		{'/', Int(7), Int(2), Int(3)}, // integer division truncates
+		{'+', Int(1), Rl(0.5), Rl(1.5)},
+		{'*', Rl(2.5), Int(2), Rl(5)},
+		{'/', Rl(5), Rl(2), Rl(2.5)},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("Arith(%c, %s, %s): %v", c.op, c.a, c.b, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Arith(%c, %s, %s) = %s, want %s", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Arith('/', Int(1), Int(0)); err == nil {
+		t.Error("integer division by zero should fail")
+	}
+	if _, err := Arith('/', Rl(1), Rl(0)); err == nil {
+		t.Error("real division by zero should fail")
+	}
+	if _, err := Arith('+', Str("a"), Int(1)); err == nil {
+		t.Error("arith on string should fail")
+	}
+	if _, err := Arith('%', Int(1), Int(1)); err == nil {
+		t.Error("unknown operator should fail")
+	}
+}
+
+type numValue struct{ V Value }
+
+func (numValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	var v Value
+	if r.Intn(2) == 0 {
+		v = Int(r.Int63n(2000) - 1000)
+	} else {
+		v = Rl((r.Float64() - 0.5) * 2000)
+	}
+	return reflect.ValueOf(numValue{V: v})
+}
+
+// Property: Compare is antisymmetric on numbers.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b numValue) bool {
+		x, err1 := Compare(a.V, b.V)
+		y, err2 := Compare(b.V, a.V)
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is transitive on numbers.
+func TestQuickCompareTransitive(t *testing.T) {
+	f := func(a, b, c numValue) bool {
+		ab, _ := Compare(a.V, b.V)
+		bc, _ := Compare(b.V, c.V)
+		ac, _ := Compare(a.V, c.V)
+		if ab <= 0 && bc <= 0 {
+			return ac <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: addition commutes (within float tolerance, exact for ints).
+func TestQuickArithCommutative(t *testing.T) {
+	f := func(a, b numValue) bool {
+		x, err1 := Arith('+', a.V, b.V)
+		y, err2 := Arith('+', b.V, a.V)
+		return err1 == nil && err2 == nil && x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package domain
+
+import "fmt"
+
+// ValidationError describes a value that does not conform to a domain.
+type ValidationError struct {
+	Dom  *Domain
+	Val  Value
+	Path string // location within a structured value, "" at the root
+	Msg  string
+}
+
+func (e *ValidationError) Error() string {
+	loc := ""
+	if e.Path != "" {
+		loc = " at " + e.Path
+	}
+	return fmt.Sprintf("domain: value %s does not conform to %s%s: %s", e.Val, e.Dom, loc, e.Msg)
+}
+
+// Validate checks that v conforms to d. Null conforms to every domain
+// (attributes are nullable; local constraints restrict further).
+func (d *Domain) Validate(v Value) error {
+	return d.validate(v, "")
+}
+
+func (d *Domain) validate(v Value, path string) error {
+	if IsNull(v) {
+		return nil
+	}
+	fail := func(msg string) error {
+		return &ValidationError{Dom: d, Val: v, Path: path, Msg: msg}
+	}
+	switch d.kind {
+	case KindInteger:
+		if _, ok := v.(Int); !ok {
+			return fail("want integer")
+		}
+	case KindReal:
+		switch v.(type) {
+		case Rl, Int: // integers are admissible real values
+		default:
+			return fail("want real")
+		}
+	case KindString:
+		if _, ok := v.(Str); !ok {
+			return fail("want string")
+		}
+	case KindBoolean:
+		if _, ok := v.(Bool); !ok {
+			return fail("want boolean")
+		}
+	case KindEnum:
+		s, ok := v.(Sym)
+		if !ok {
+			return fail("want enum symbol")
+		}
+		if d.SymbolIndex(string(s)) < 0 {
+			return fail(fmt.Sprintf("symbol %s not declared in %s", s, d))
+		}
+	case KindRecord:
+		r, ok := v.(*Rec)
+		if !ok {
+			return fail("want record")
+		}
+		for i := 0; i < r.Len(); i++ {
+			fd := d.FieldDomain(r.FieldName(i))
+			if fd == nil {
+				return fail(fmt.Sprintf("field %q not declared", r.FieldName(i)))
+			}
+			if err := fd.validate(r.FieldValue(i), join(path, r.FieldName(i))); err != nil {
+				return err
+			}
+		}
+	case KindList:
+		l, ok := v.(*List)
+		if !ok {
+			return fail("want list")
+		}
+		for i, e := range l.Elems() {
+			if err := d.elem.validate(e, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	case KindSet:
+		s, ok := v.(*Set)
+		if !ok {
+			return fail("want set")
+		}
+		for i, e := range s.Elems() {
+			if err := d.elem.validate(e, fmt.Sprintf("%s{%d}", path, i)); err != nil {
+				return err
+			}
+		}
+	case KindMatrix:
+		m, ok := v.(*Matrix)
+		if !ok {
+			return fail("want matrix")
+		}
+		for r := 0; r < m.Rows(); r++ {
+			for c := 0; c < m.Cols(); c++ {
+				if err := d.elem.validate(m.At(r, c), fmt.Sprintf("%s[%d,%d]", path, r, c)); err != nil {
+					return err
+				}
+			}
+		}
+	case KindSurrogate:
+		if _, ok := v.(Ref); !ok {
+			return fail("want object reference")
+		}
+		// Type conformance of the referenced object is checked by the
+		// object store, which knows the referent's type.
+	default:
+		return fail("invalid domain")
+	}
+	return nil
+}
+
+func join(path, field string) string {
+	if path == "" {
+		return field
+	}
+	return path + "." + field
+}

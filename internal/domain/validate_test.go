@@ -1,0 +1,113 @@
+package domain
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateScalars(t *testing.T) {
+	ok := []struct {
+		d *Domain
+		v Value
+	}{
+		{Integer(), Int(5)},
+		{Real(), Rl(1.5)},
+		{Real(), Int(3)}, // integers are admissible reals
+		{String_(), Str("x")},
+		{Boolean(), Bool(false)},
+		{Enum("IO", "IN", "OUT"), Sym("IN")},
+		{Integer(), NullValue}, // null conforms to everything
+		{Integer(), nil},
+	}
+	for _, c := range ok {
+		if err := c.d.Validate(c.v); err != nil {
+			t.Errorf("Validate(%s, %v): %v", c.d, c.v, err)
+		}
+	}
+	bad := []struct {
+		d *Domain
+		v Value
+	}{
+		{Integer(), Rl(1.5)},
+		{Integer(), Str("5")},
+		{Real(), Str("1.5")},
+		{String_(), Int(1)},
+		{Boolean(), Int(0)},
+		{Enum("IO", "IN", "OUT"), Sym("SIDEWAYS")},
+		{Enum("IO", "IN", "OUT"), Str("IN")},
+	}
+	for _, c := range bad {
+		if err := c.d.Validate(c.v); err == nil {
+			t.Errorf("Validate(%s, %s): expected error", c.d, c.v)
+		}
+	}
+}
+
+func TestValidateStructured(t *testing.T) {
+	point := Record("Point", Field{"X", Integer()}, Field{"Y", Integer()})
+	if err := point.Validate(NewRec("X", Int(1), "Y", Int(2))); err != nil {
+		t.Errorf("valid point rejected: %v", err)
+	}
+	if err := point.Validate(NewRec("X", Int(1), "Z", Int(2))); err == nil {
+		t.Error("undeclared field accepted")
+	}
+	if err := point.Validate(NewRec("X", Str("a"))); err == nil {
+		t.Error("wrong field domain accepted")
+	}
+	// Partial records are fine: unset fields are null.
+	if err := point.Validate(NewRec("X", Int(1))); err != nil {
+		t.Errorf("partial record rejected: %v", err)
+	}
+
+	pins := SetOf(Record("Pin", Field{"PinId", Integer()}, Field{"InOut", Enum("IO", "IN", "OUT")}))
+	good := NewSet(NewRec("PinId", Int(1), "InOut", Sym("IN")), NewRec("PinId", Int(2), "InOut", Sym("OUT")))
+	if err := pins.Validate(good); err != nil {
+		t.Errorf("valid pin set rejected: %v", err)
+	}
+	badSet := NewSet(NewRec("PinId", Str("one")))
+	if err := pins.Validate(badSet); err == nil {
+		t.Error("bad pin set accepted")
+	}
+
+	corners := ListOf(point)
+	if err := corners.Validate(NewList(NewRec("X", Int(0), "Y", Int(0)))); err != nil {
+		t.Errorf("valid corner list rejected: %v", err)
+	}
+	if err := corners.Validate(NewList(Int(7))); err == nil {
+		t.Error("non-record corner accepted")
+	}
+	if err := corners.Validate(NewSet()); err == nil {
+		t.Error("set where list expected accepted")
+	}
+
+	truth := MatrixOf(Boolean())
+	if err := truth.Validate(NewMatrix(2, 1, Bool(true), Bool(false))); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+	if err := truth.Validate(NewMatrix(1, 1, Int(1))); err == nil {
+		t.Error("integer cell in boolean matrix accepted")
+	}
+}
+
+func TestValidateObjectRef(t *testing.T) {
+	d := ObjectRef("PinType")
+	if err := d.Validate(Ref(12)); err != nil {
+		t.Errorf("ref rejected: %v", err)
+	}
+	if err := d.Validate(Int(12)); err == nil {
+		t.Error("non-ref accepted for object domain")
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	point := Record("Point", Field{"X", Integer()}, Field{"Y", Integer()})
+	corners := ListOf(point)
+	err := corners.Validate(NewList(NewRec("X", Str("bad"))))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "[0]") || !strings.Contains(msg, "X") {
+		t.Errorf("error should locate the failure, got %q", msg)
+	}
+}

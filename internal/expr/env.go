@@ -1,0 +1,121 @@
+package expr
+
+import "cadcam/internal/domain"
+
+// Env resolves names during evaluation. The object store implements Env on
+// top of an object (attributes and local subclasses); tests use MapEnv.
+//
+// Names resolve in two roles: as a single value (attribute, quantified
+// variable) or as a collection (subclass extent, or a set-/list-valued
+// attribute). A name may be resolvable in both roles; collection context
+// decides.
+type Env interface {
+	// Lookup resolves a bare name to a value.
+	Lookup(name string) (domain.Value, bool)
+	// Collection resolves a bare name to the members of a collection.
+	// Object members are represented as domain.Ref values.
+	Collection(name string) ([]domain.Value, bool)
+	// AttrOf resolves an attribute on a referenced object.
+	AttrOf(ref domain.Ref, attr string) (domain.Value, bool)
+	// CollectionOf resolves a local subclass (or collection-valued
+	// attribute) on a referenced object.
+	CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool)
+}
+
+// MapEnv is a simple Env over Go maps, used in tests and as the base for
+// binding quantified variables.
+type MapEnv struct {
+	Vals  map[string]domain.Value
+	Colls map[string][]domain.Value
+	// Objs maps surrogate -> attribute map, for AttrOf.
+	Objs map[domain.Surrogate]map[string]domain.Value
+	// ObjColls maps surrogate -> subclass name -> members.
+	ObjColls map[domain.Surrogate]map[string][]domain.Value
+}
+
+// NewMapEnv returns an empty MapEnv.
+func NewMapEnv() *MapEnv {
+	return &MapEnv{
+		Vals:     make(map[string]domain.Value),
+		Colls:    make(map[string][]domain.Value),
+		Objs:     make(map[domain.Surrogate]map[string]domain.Value),
+		ObjColls: make(map[domain.Surrogate]map[string][]domain.Value),
+	}
+}
+
+// Lookup implements Env.
+func (m *MapEnv) Lookup(name string) (domain.Value, bool) {
+	v, ok := m.Vals[name]
+	return v, ok
+}
+
+// Collection implements Env.
+func (m *MapEnv) Collection(name string) ([]domain.Value, bool) {
+	c, ok := m.Colls[name]
+	return c, ok
+}
+
+// AttrOf implements Env.
+func (m *MapEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
+	o, ok := m.Objs[domain.Surrogate(ref)]
+	if !ok {
+		return nil, false
+	}
+	v, ok := o[attr]
+	return v, ok
+}
+
+// CollectionOf implements Env.
+func (m *MapEnv) CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool) {
+	o, ok := m.ObjColls[domain.Surrogate(ref)]
+	if !ok {
+		return nil, false
+	}
+	c, ok := o[name]
+	return c, ok
+}
+
+// bindEnv layers quantifier variable bindings over a base Env. A bound
+// variable shadows base names in both roles: as a value, and — when the
+// bound value is a set or list — as a collection.
+type bindEnv struct {
+	base Env
+	name string
+	val  domain.Value
+}
+
+func (b *bindEnv) Lookup(name string) (domain.Value, bool) {
+	if name == b.name {
+		return b.val, true
+	}
+	return b.base.Lookup(name)
+}
+
+func (b *bindEnv) Collection(name string) ([]domain.Value, bool) {
+	if name == b.name {
+		if items, ok := elems(b.val); ok {
+			return items, true
+		}
+		return nil, false
+	}
+	return b.base.Collection(name)
+}
+
+func (b *bindEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
+	return b.base.AttrOf(ref, attr)
+}
+
+func (b *bindEnv) CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool) {
+	return b.base.CollectionOf(ref, name)
+}
+
+// elems exposes set and list values as collections.
+func elems(v domain.Value) ([]domain.Value, bool) {
+	switch c := v.(type) {
+	case *domain.Set:
+		return c.Elems(), true
+	case *domain.List:
+		return c.Elems(), true
+	}
+	return nil, false
+}

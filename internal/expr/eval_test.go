@@ -1,0 +1,341 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"cadcam/internal/domain"
+)
+
+// simpleGateEnv models the paper's SimpleGate: Pins is a set-of-record
+// attribute, Length/Width integers, Function an enum.
+func simpleGateEnv() *MapEnv {
+	env := NewMapEnv()
+	env.Vals["Length"] = domain.Int(4)
+	env.Vals["Width"] = domain.Int(2)
+	env.Vals["Function"] = domain.Sym("NAND")
+	pins := domain.NewSet(
+		domain.NewRec("PinId", domain.Int(1), "InOut", domain.Sym("IN")),
+		domain.NewRec("PinId", domain.Int(2), "InOut", domain.Sym("IN")),
+		domain.NewRec("PinId", domain.Int(3), "InOut", domain.Sym("OUT")),
+	)
+	env.Vals["Pins"] = pins
+	return env
+}
+
+func evalBool(t *testing.T, src string, env Env) bool {
+	t.Helper()
+	b, err := EvalBool(MustParse(src), env)
+	if err != nil {
+		t.Fatalf("EvalBool(%q): %v", src, err)
+	}
+	return b
+}
+
+func evalVal(t *testing.T, src string, env Env) domain.Value {
+	t.Helper()
+	v, err := EvalValue(MustParse(src), env)
+	if err != nil {
+		t.Fatalf("EvalValue(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestArithmeticEval(t *testing.T) {
+	env := NewMapEnv()
+	env.Vals["x"] = domain.Int(10)
+	cases := []struct {
+		src  string
+		want domain.Value
+	}{
+		{"1 + 2 * 3", domain.Int(7)},
+		{"(1 + 2) * 3", domain.Int(9)},
+		{"x / 4", domain.Int(2)},
+		{"x / 4.0", domain.Rl(2.5)},
+		{"-x + 1", domain.Int(-9)},
+		{"x - 1 - 2", domain.Int(7)},
+	}
+	for _, c := range cases {
+		if got := evalVal(t, c.src, env); !got.Equal(c.want) {
+			t.Errorf("%q = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	env := simpleGateEnv()
+	trueCases := []string{
+		"Length < 100*Length*Width",
+		"Length = 4",
+		"Length != 5",
+		"Length <> 5",
+		"Length >= 4 and Width <= 2",
+		"Length > 100 or Width = 2",
+		"not (Length > 100)",
+		"Function = NAND",
+		"Function != AND",
+		"true",
+		"not false",
+	}
+	for _, src := range trueCases {
+		if !evalBool(t, src, env) {
+			t.Errorf("%q should hold", src)
+		}
+	}
+	falseCases := []string{
+		"Length > 100",
+		"Function = AND",
+		"false",
+	}
+	for _, src := range falseCases {
+		if evalBool(t, src, env) {
+			t.Errorf("%q should not hold", src)
+		}
+	}
+}
+
+func TestPaperPinConstraints(t *testing.T) {
+	env := simpleGateEnv()
+	// The two constraints of SimpleGate, verbatim from the paper (§3).
+	if !evalBool(t, "count (Pins) = 2 where Pins.InOut = IN", env) {
+		t.Error("IN-pin constraint should hold")
+	}
+	if !evalBool(t, "count (Pins) = 1 where Pins.InOut = OUT", env) {
+		t.Error("OUT-pin constraint should hold")
+	}
+	if evalBool(t, "count (Pins) = 2 where Pins.InOut = OUT", env) {
+		t.Error("wrong count should fail")
+	}
+	// Unfiltered count sees all three pins.
+	if got := evalVal(t, "count(Pins)", env); !got.Equal(domain.Int(3)) {
+		t.Errorf("count(Pins) = %s", got)
+	}
+}
+
+func TestCountOverObjectCollection(t *testing.T) {
+	env := NewMapEnv()
+	env.Colls["Bolt"] = []domain.Value{domain.Ref(1)}
+	env.Colls["Nut"] = []domain.Value{domain.Ref(2)}
+	env.Objs[1] = map[string]domain.Value{"Diameter": domain.Int(8), "Length": domain.Int(40)}
+	env.Objs[2] = map[string]domain.Value{"Diameter": domain.Int(8), "Length": domain.Int(10)}
+
+	if !evalBool(t, "#s in Bolt = 1", env) {
+		t.Error("#s in Bolt = 1 should hold")
+	}
+	if !evalBool(t, "#n in Nut = 1", env) {
+		t.Error("#n in Nut = 1 should hold")
+	}
+	if !evalBool(t, "for (s in Bolt, n in Nut): s.Diameter = n.Diameter", env) {
+		t.Error("diameter agreement should hold")
+	}
+	env.Objs[2]["Diameter"] = domain.Int(6)
+	if evalBool(t, "for (s in Bolt, n in Nut): s.Diameter = n.Diameter", env) {
+		t.Error("diameter mismatch should fail")
+	}
+}
+
+func TestScrewingConstraint(t *testing.T) {
+	// s.Length = n.Length + sum(Bores.Length) from ScrewingType (§5).
+	env := NewMapEnv()
+	env.Colls["Bolt"] = []domain.Value{domain.Ref(1)}
+	env.Colls["Nut"] = []domain.Value{domain.Ref(2)}
+	env.Colls["Bores"] = []domain.Value{domain.Ref(3), domain.Ref(4)}
+	env.Objs[1] = map[string]domain.Value{"Diameter": domain.Int(8), "Length": domain.Int(40)}
+	env.Objs[2] = map[string]domain.Value{"Diameter": domain.Int(8), "Length": domain.Int(10)}
+	env.Objs[3] = map[string]domain.Value{"Diameter": domain.Int(9), "Length": domain.Int(20)}
+	env.Objs[4] = map[string]domain.Value{"Diameter": domain.Int(10), "Length": domain.Int(10)}
+
+	full := "for (s in Bolt, n in Nut): s.Diameter = n.Diameter and " +
+		"(for b in Bores: s.Diameter <= b.Diameter) and " +
+		"s.Length = n.Length + sum(Bores.Length)"
+	if !evalBool(t, full, env) {
+		t.Error("screwing constraint should hold")
+	}
+	env.Objs[3]["Diameter"] = domain.Int(7) // bore narrower than bolt
+	if evalBool(t, full, env) {
+		t.Error("bolt wider than bore should fail")
+	}
+}
+
+func TestMembershipOverNestedCollections(t *testing.T) {
+	// Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins (§3).
+	env := NewMapEnv()
+	env.Vals["Wire"] = domain.Ref(100)
+	env.Objs[100] = map[string]domain.Value{"Pin1": domain.Ref(10), "Pin2": domain.Ref(21)}
+	env.Colls["Pins"] = []domain.Value{domain.Ref(10), domain.Ref(11)}
+	env.Colls["SubGates"] = []domain.Value{domain.Ref(1), domain.Ref(2)}
+	env.ObjColls[1] = map[string][]domain.Value{"Pins": {domain.Ref(20), domain.Ref(21)}}
+	env.ObjColls[2] = map[string][]domain.Value{"Pins": {domain.Ref(22)}}
+
+	check := "(Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins) and " +
+		"(Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins)"
+	if !evalBool(t, check, env) {
+		t.Error("wire endpoints should be admissible")
+	}
+	env.Objs[100]["Pin2"] = domain.Ref(99) // dangling pin
+	if evalBool(t, check, env) {
+		t.Error("dangling endpoint should fail")
+	}
+}
+
+func TestMembershipInSetValue(t *testing.T) {
+	env := NewMapEnv()
+	env.Vals["Tags"] = domain.NewSet(domain.Str("a"), domain.Str("b"))
+	if !evalBool(t, `"a" in Tags`, env) {
+		t.Error("string membership in set attribute should hold")
+	}
+	if evalBool(t, `"z" in Tags`, env) {
+		t.Error("non-member should fail")
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	env := NewMapEnv()
+	env.Colls["Bores"] = []domain.Value{domain.Ref(1), domain.Ref(2)}
+	env.Objs[1] = map[string]domain.Value{"Diameter": domain.Int(9)}
+	env.Objs[2] = map[string]domain.Value{"Diameter": domain.Int(12)}
+
+	if !evalBool(t, "for b in Bores: b.Diameter >= 9", env) {
+		t.Error("forall should hold")
+	}
+	if evalBool(t, "for b in Bores: b.Diameter >= 10", env) {
+		t.Error("forall should fail")
+	}
+	if !evalBool(t, "exists b in Bores: b.Diameter = 12", env) {
+		t.Error("exists should hold")
+	}
+	if evalBool(t, "exists b in Bores: b.Diameter = 5", env) {
+		t.Error("exists should fail")
+	}
+	// Empty range: forall vacuously true, exists false.
+	env.Colls["Empty"] = nil
+	if !evalBool(t, "for e in Empty: false", env) {
+		t.Error("forall over empty should be vacuously true")
+	}
+	if evalBool(t, "exists e in Empty: true", env) {
+		t.Error("exists over empty should be false")
+	}
+}
+
+func TestQuantifierOverBoundCollection(t *testing.T) {
+	// A quantified variable holding a set can itself be ranged over.
+	env := NewMapEnv()
+	env.Colls["Plates"] = []domain.Value{domain.Ref(1)}
+	env.Objs[1] = map[string]domain.Value{
+		"Bores": domain.NewSet(domain.Int(8), domain.Int(10)),
+	}
+	if !evalBool(t, "for p in Plates: (for b in p.Bores: b >= 8)", env) {
+		t.Error("nested quantification over attribute set should hold")
+	}
+}
+
+func TestSumSemantics(t *testing.T) {
+	env := NewMapEnv()
+	env.Colls["Bores"] = []domain.Value{domain.Ref(1), domain.Ref(2)}
+	env.Objs[1] = map[string]domain.Value{"Length": domain.Int(20)}
+	env.Objs[2] = map[string]domain.Value{"Length": domain.Int(10)}
+	if got := evalVal(t, "sum(Bores.Length)", env); !got.Equal(domain.Int(30)) {
+		t.Errorf("sum = %s", got)
+	}
+	env.Colls["None"] = nil
+	if got := evalVal(t, "sum(None)", env); !got.Equal(domain.Int(0)) {
+		t.Errorf("empty sum = %s, want 0", got)
+	}
+	// Null members are skipped.
+	env.Objs[2]["Length"] = domain.NullValue
+	if got := evalVal(t, "sum(Bores.Length)", env); !got.Equal(domain.Int(20)) {
+		t.Errorf("sum with null = %s, want 20", got)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	env := NewMapEnv()
+	env.Vals["x"] = domain.NullValue
+	if !evalBool(t, "x = null", env) {
+		t.Error("null = null should hold")
+	}
+	if evalBool(t, "x != null", env) {
+		t.Error("null != null should fail")
+	}
+	// Ordered comparison with null errors.
+	if _, err := EvalBool(MustParse("x < 3"), env); err == nil {
+		t.Error("ordered comparison with null should error")
+	}
+	// Selecting a field from null yields null.
+	if !evalBool(t, "x.Anything = null", env) {
+		t.Error("field of null should be null")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := simpleGateEnv()
+	bad := []string{
+		"count(Nowhere)",
+		"sum(Nowhere)",
+		"Length and true",
+		"not Length",
+		"Length + Function",
+		"UnknownRoot.Field = 1",
+		"Length.Field = 1",
+		"1 in Length",
+		"for p in Length: true",
+		"Length < UNKNOWN_SYMBOL", // symbol vs int incomparable
+	}
+	for _, src := range bad {
+		if _, err := EvalBool(MustParse(src), env); err == nil {
+			t.Errorf("%q should fail to evaluate", src)
+		}
+	}
+}
+
+func TestUnknownIdentifierBecomesSymbol(t *testing.T) {
+	env := NewMapEnv()
+	env.Vals["f"] = domain.Sym("NOR")
+	if !evalBool(t, "f = NOR", env) {
+		t.Error("bare NOR should resolve to a symbol literal")
+	}
+	if evalBool(t, "f = NAND", env) {
+		t.Error("f is not NAND")
+	}
+}
+
+func TestWhereFilterOnObjectCollection(t *testing.T) {
+	env := NewMapEnv()
+	env.Colls["Versions"] = []domain.Value{domain.Ref(1), domain.Ref(2), domain.Ref(3)}
+	env.Objs[1] = map[string]domain.Value{"State": domain.Sym("released")}
+	env.Objs[2] = map[string]domain.Value{"State": domain.Sym("in_work")}
+	env.Objs[3] = map[string]domain.Value{"State": domain.Sym("released")}
+	if got := evalVal(t, "count(Versions) where Versions.State = released", env); !got.Equal(domain.Int(2)) {
+		t.Errorf("filtered count = %s, want 2", got)
+	}
+}
+
+func TestWhereFilterLeavesOtherRootsAlone(t *testing.T) {
+	env := simpleGateEnv()
+	env.Colls["Wires"] = []domain.Value{domain.Ref(1)}
+	env.Objs[1] = map[string]domain.Value{}
+	// Filter mentions Pins only; Wires scan is unrestricted.
+	src := "count(Pins) + count(Wires) = 3 where Pins.InOut = IN"
+	if !evalBool(t, src, env) {
+		t.Errorf("%q should hold (2 filtered pins + 1 wire)", src)
+	}
+}
+
+func TestEvalErrorMessage(t *testing.T) {
+	env := NewMapEnv()
+	_, err := EvalBool(MustParse("count(Missing) = 0"), env)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "Missing") {
+		t.Errorf("error should name the collection: %v", err)
+	}
+}
+
+func TestNonBooleanConstraint(t *testing.T) {
+	env := NewMapEnv()
+	env.Vals["x"] = domain.Int(1)
+	if _, err := EvalBool(MustParse("x + 1"), env); err == nil {
+		t.Error("non-boolean constraint should error")
+	}
+}

@@ -1,0 +1,53 @@
+package expr
+
+import (
+	"testing"
+
+	"cadcam/internal/domain"
+)
+
+// FuzzParse ensures the expression parser never panics and that accepted
+// expressions re-parse from their own rendering (print/parse stability).
+func FuzzParse(f *testing.F) {
+	f.Add("count (Pins) = 2 where Pins.InOut = IN")
+	f.Add("for (s in Bolt, n in Nut): s.Diameter = n.Diameter")
+	f.Add("s.Length = n.Length + sum (Bores.Length)")
+	f.Add("#s in Bolt = 1")
+	f.Add("not a and (b or c) <> d")
+	f.Add(`x = "string" or y = 1.5`)
+	f.Add("-x * (y / z)")
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not re-parse: %v", src, rendered, err)
+		}
+		if got := e2.String(); got != rendered {
+			t.Fatalf("rendering unstable: %q -> %q", rendered, got)
+		}
+	})
+}
+
+// FuzzEval evaluates fuzzer-chosen expressions against a fixed
+// environment: errors are fine, panics are not.
+func FuzzEval(f *testing.F) {
+	f.Add("count(Pins) + Length * 2")
+	f.Add("for p in Pins: p.PinId >= 0")
+	f.Add("exists p in Pins: p.InOut = OUT")
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		env := NewMapEnv()
+		env.Vals["Length"] = domain.Int(4)
+		env.Colls["Pins"] = []domain.Value{domain.Ref(1), domain.Ref(2)}
+		env.Objs[1] = map[string]domain.Value{"PinId": domain.Int(1), "InOut": domain.Sym("IN")}
+		env.Objs[2] = map[string]domain.Value{"PinId": domain.Int(2), "InOut": domain.Sym("OUT")}
+		_, _ = EvalValue(e, env)
+	})
+}

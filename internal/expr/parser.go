@@ -1,0 +1,374 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+
+	"cadcam/internal/domain"
+)
+
+// Parse parses a single expression, which may carry a trailing
+// `where` filter (the paper's constraint form).
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %q after expression", p.peek().text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for statically known-good expressions; it panics on
+// error and is intended for tests and built-in schemas.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tokPunct || t.kind == tokIdent) && t.text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Src: p.src, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// where := or [ "where" or ]
+func (p *parser) parseWhere() (Expr, error) {
+	body, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("where") {
+		filter, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		return Where{Body: body, Filter: filter}, nil
+	}
+	return body, nil
+}
+
+// or := and { "or" and }
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+// and := not { "and" not }
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+// not := "not" not | cmp
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept("not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+// cmp := add [ ("=" | "!=" | "<>" | "<" | "<=" | ">" | ">=" | "in") add ]
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	var op string
+	switch {
+	case t.kind == tokPunct:
+		switch t.text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			op = t.text
+		}
+	case t.kind == tokIdent && t.text == "in":
+		op = "in"
+	}
+	if op == "" {
+		return l, nil
+	}
+	p.next()
+	if op == "<>" {
+		op = "!="
+	}
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return Bin{Op: op, L: l, R: r}, nil
+}
+
+// add := mul { ("+"|"-") mul }
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = Bin{Op: "+", L: l, R: r}
+		case p.accept("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = Bin{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// mul := unary { ("*"|"/") unary }
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Bin{Op: "*", L: l, R: r}
+		case p.accept("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Bin{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// unary := "-" unary | "#" ident "in" path | primary
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{X: x}, nil
+	}
+	if p.accept("#") {
+		// The paper's "#s in Bolt" counts the members of Bolt.
+		if p.peek().kind != tokIdent {
+			return nil, p.errf("expected variable after #")
+		}
+		p.next() // the variable name is documentation only
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return Count{P: path}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return Lit{V: domain.Int(n)}, nil
+	case tokReal:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad real %q", t.text)
+		}
+		return Lit{V: domain.Rl(f)}, nil
+	case tokString:
+		p.next()
+		return Lit{V: domain.Str(t.text)}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.next()
+			return Lit{V: domain.Bool(true)}, nil
+		case "false":
+			p.next()
+			return Lit{V: domain.Bool(false)}, nil
+		case "null":
+			p.next()
+			return Lit{V: domain.NullValue}, nil
+		case "count", "sum":
+			p.next()
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			path, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if t.text == "count" {
+				return Count{P: path}, nil
+			}
+			return Sum{P: path}, nil
+		case "for", "forall", "exists":
+			return p.parseQuant(t.text)
+		default:
+			return p.parsePathExpr()
+		}
+	}
+	return nil, p.errf("unexpected %q", t.text)
+}
+
+// parseQuant parses "for (v in C, w in D): body" or "for v in C: body".
+func (p *parser) parseQuant(kw string) (Expr, error) {
+	p.next() // kw
+	var binders []Binder
+	paren := p.accept("(")
+	for {
+		if p.peek().kind != tokIdent {
+			return nil, p.errf("expected quantified variable")
+		}
+		v := p.next().text
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		binders = append(binders, Binder{Var: v, P: path})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if paren {
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	// The quantifier body extends over and/or but stops at a top-level
+	// `where`, which belongs to the constraint as a whole.
+	body, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if kw == "exists" {
+		return Exists{Binders: binders, Body: body}, nil
+	}
+	return ForAll{Binders: binders, Body: body}, nil
+}
+
+func (p *parser) parsePathExpr() (Expr, error) {
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+func (p *parser) parsePath() (Path, error) {
+	if p.peek().kind != tokIdent {
+		return Path{}, p.errf("expected identifier, found %q", p.peek().text)
+	}
+	segs := []string{p.next().text}
+	for p.accept(".") {
+		if p.peek().kind != tokIdent {
+			return Path{}, p.errf("expected identifier after '.'")
+		}
+		segs = append(segs, p.next().text)
+	}
+	return Path{Segs: segs}, nil
+}

@@ -1,0 +1,151 @@
+// Package expr implements the constraint and query expression language the
+// paper uses in local integrity constraints, relationship restrictions and
+// version selection queries, e.g.
+//
+//	count (Pins) = 2 where Pins.InOut = IN
+//	Length < 100*Height*Width
+//	for (s in Bolt, n in Nut): s.Diameter = n.Diameter
+//	s.Length = n.Length + sum (Bores.Length)
+//	Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins
+//
+// Expressions are parsed once at schema-definition time and evaluated
+// against objects through the Env interface, which the object store
+// implements.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokReal
+	tokString
+	tokPunct // single/double char punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// SyntaxError reports a lexical or grammatical error with its position.
+type SyntaxError struct {
+	Src string
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	line, col := 1, 1
+	for i := 0; i < e.Pos && i < len(e.Src); i++ {
+		if e.Src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("expr: %s at %d:%d", e.Msg, line, col)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex scans src into tokens. Identifiers may contain letters, digits,
+// underscores and (to match the paper's names like I/O) an embedded slash
+// is not supported — the DDL maps such names to identifiers beforehand.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, &SyntaxError{l.src, l.pos, "unterminated comment"}
+			}
+			l.pos += end + 4
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			kind := tokInt
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				kind = tokReal
+				l.pos++
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
+			}
+			l.toks = append(l.toks, token{kind, l.src[start:l.pos], start})
+		case c == '"':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+					l.pos++ // skip the escaped character
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, &SyntaxError{l.src, start, "unterminated string"}
+			}
+			l.pos++
+			text, err := strconv.Unquote(l.src[start:l.pos])
+			if err != nil {
+				return nil, &SyntaxError{l.src, start, "bad string literal: " + err.Error()}
+			}
+			l.toks = append(l.toks, token{tokString, text, start})
+		default:
+			start := l.pos
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "<=", ">=", "!=", "<>":
+				l.toks = append(l.toks, token{tokPunct, two, start})
+				l.pos += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', ':', ';', '=', '<', '>', '+', '-', '*', '/', '#':
+				l.toks = append(l.toks, token{tokPunct, string(c), start})
+				l.pos++
+			default:
+				return nil, &SyntaxError{l.src, l.pos, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,127 @@
+package inherit
+
+import (
+	"fmt"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/object"
+)
+
+// CopyImport materializes the permeable data of a transmitter as a deep
+// copy — the §2 strawman ("a local subobject in O into which C is
+// copied") that the inheritance relationship replaces. It exists to make
+// the paper's comparison executable (experiment E7):
+//
+//   - a copy import goes stale when the component changes, and nobody is
+//     informed ("O is not informed when updates of the component C occur");
+//   - a view (binding) is always current and carries notification
+//     bookkeeping.
+type CopyImport struct {
+	Rel         string
+	Transmitter domain.Surrogate
+	Attrs       map[string]domain.Value
+	// SeqAtCopy is the store sequence when the copy was taken.
+	SeqAtCopy uint64
+	// Bytes approximates the copied payload size (for the benchmark's
+	// space accounting).
+	Bytes int
+}
+
+// ImportCopy copies the members permeable through relType out of the
+// transmitter. Subclass members are flattened into the attribute map as
+// "<class>[i].<attr>" entries, mirroring what a copying design would
+// store.
+func ImportCopy(s *object.Store, relType string, transmitter domain.Surrogate) (*CopyImport, error) {
+	rel, ok := s.Catalog().InherRelType(relType)
+	if !ok {
+		return nil, fmt.Errorf("inherit: no inheritance relationship %q", relType)
+	}
+	to, err := s.Get(transmitter)
+	if err != nil {
+		return nil, err
+	}
+	if to.TypeName() != rel.Transmitter {
+		return nil, fmt.Errorf("inherit: %s is %q, relationship %s requires %q",
+			transmitter, to.TypeName(), relType, rel.Transmitter)
+	}
+	ci := &CopyImport{
+		Rel:         relType,
+		Transmitter: transmitter,
+		Attrs:       make(map[string]domain.Value),
+		SeqAtCopy:   s.Seq(),
+	}
+	eff, _ := s.Catalog().Effective(rel.Transmitter)
+	for _, m := range rel.Inheriting {
+		if _, isAttr := eff.Attr(m); isAttr {
+			v, err := s.GetAttr(transmitter, m)
+			if err != nil {
+				return nil, err
+			}
+			c := v.Copy()
+			ci.Attrs[m] = c
+			ci.Bytes += len(c.String())
+			continue
+		}
+		members, err := s.Members(transmitter, m)
+		if err != nil {
+			return nil, err
+		}
+		for i, member := range members {
+			attrs, err := attributeValues(s, member)
+			if err != nil {
+				return nil, err
+			}
+			for name, v := range attrs {
+				key := fmt.Sprintf("%s[%d].%s", m, i, name)
+				c := v.Copy()
+				ci.Attrs[key] = c
+				ci.Bytes += len(c.String())
+			}
+		}
+	}
+	return ci, nil
+}
+
+// Stale reports whether the live transmitter has diverged from the copy.
+// A copying design has to recompute this by re-reading everything — which
+// is exactly the cost the benchmark measures.
+func (ci *CopyImport) Stale(s *object.Store) (bool, error) {
+	fresh, err := ImportCopy(s, ci.Rel, ci.Transmitter)
+	if err != nil {
+		return false, err
+	}
+	if len(fresh.Attrs) != len(ci.Attrs) {
+		return true, nil
+	}
+	for k, v := range ci.Attrs {
+		fv, ok := fresh.Attrs[k]
+		if !ok || !fv.Equal(v) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// attributeValues reads every non-null attribute of an object's effective
+// type.
+func attributeValues(s *object.Store, sur domain.Surrogate) (map[string]domain.Value, error) {
+	o, err := s.Get(sur)
+	if err != nil {
+		return nil, err
+	}
+	eff, ok := s.Catalog().Effective(o.TypeName())
+	if !ok {
+		return nil, fmt.Errorf("inherit: no effective type for %q", o.TypeName())
+	}
+	out := make(map[string]domain.Value)
+	for _, a := range eff.Attrs {
+		v, err := s.GetAttr(sur, a.Name)
+		if err != nil {
+			return nil, err
+		}
+		if !domain.IsNull(v) {
+			out[a.Name] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package object
+
+import (
+	"fmt"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/oplog"
+)
+
+// Bind creates an inheritance relationship object relating inheritor to
+// transmitter under the named inher-rel-type (§4.1). After a successful
+// Bind, the inheritor's inherited attributes and subclasses read through
+// to the transmitter's current data.
+//
+// Preconditions enforced:
+//   - the transmitter object has exactly the relationship's transmitter
+//     type;
+//   - the inheritor's type declares `inheritor-in` for the relationship
+//     (§4.1: inheritor types are declared explicitly);
+//   - the inheritor is not already bound under this relationship type
+//     (one transmitter per relationship);
+//   - the binding keeps value inheritance acyclic at the object level.
+func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (domain.Surrogate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rel, ok := s.cat.InherRelType(relType)
+	if !ok {
+		return 0, fmt.Errorf("%w: inheritance relationship %q", ErrNoSuchType, relType)
+	}
+	io, ok := s.objects[inheritor]
+	if !ok {
+		return 0, noObject(inheritor)
+	}
+	if err := s.guardLocked(inheritor); err != nil {
+		return 0, err
+	}
+	to, ok := s.objects[transmitter]
+	if !ok {
+		return 0, noObject(transmitter)
+	}
+	if to.typeName != rel.Transmitter {
+		return 0, fmt.Errorf("%w: transmitter %s is %q, relationship %s requires %q",
+			ErrTypeMismatch, transmitter, to.typeName, relType, rel.Transmitter)
+	}
+	if io.isRel {
+		return 0, fmt.Errorf("%w: %s is a relationship object", ErrTypeMismatch, inheritor)
+	}
+	it, _ := s.cat.ObjectType(io.typeName)
+	if !declaresInheritorIn(it.InheritorIn, relType) {
+		return 0, fmt.Errorf("%w: type %q, relationship %q", ErrNotInheritor, io.typeName, relType)
+	}
+	if s.bindingLocked(inheritor, relType) != nil {
+		return 0, fmt.Errorf("%w: %s in %s", ErrAlreadyBound, inheritor, relType)
+	}
+	if inheritor == transmitter || s.reachesLocked(transmitter, inheritor) {
+		return 0, fmt.Errorf("%w: %s -> %s via %s", ErrInheritanceCycle, inheritor, transmitter, relType)
+	}
+
+	s.nextSur++
+	obj := &Object{
+		sur:      domain.Surrogate(s.nextSur),
+		typeName: relType,
+		isRel:    true,
+		attrs: map[string]domain.Value{
+			AttrTransmitterUpdates: domain.Int(0),
+			AttrLastUpdateSeq:      domain.Int(0),
+			AttrAcknowledgedSeq:    domain.Int(0),
+		},
+		participants: map[string]domain.Value{
+			"Transmitter": domain.Ref(transmitter),
+			"Inheritor":   domain.Ref(inheritor),
+		},
+		subclasses: make(map[string]*Class),
+		subrels:    make(map[string]*Class),
+	}
+	s.objects[obj.sur] = obj
+	b := &Binding{Obj: obj, Rel: rel, Transmitter: transmitter, Inheritor: inheritor}
+	m := s.byInheritor[inheritor]
+	if m == nil {
+		m = make(map[string]*Binding)
+		s.byInheritor[inheritor] = m
+	}
+	m[relType] = b
+	s.byTransmitter[transmitter] = append(s.byTransmitter[transmitter], b)
+	s.seq++
+	s.emit(&oplog.Op{Kind: oplog.KindBind, Name: relType, Sur: inheritor, Sur2: transmitter, Out: obj.sur})
+	return obj.sur, nil
+}
+
+func declaresInheritorIn(list []string, relType string) bool {
+	for _, r := range list {
+		if r == relType {
+			return true
+		}
+	}
+	return false
+}
+
+// reachesLocked reports whether `to` is reachable from `from` by walking
+// transmitter edges upward (from inheritor to transmitter).
+func (s *Store) reachesLocked(from, to domain.Surrogate) bool {
+	for _, b := range s.byInheritor[from] {
+		if b.Transmitter == to || s.reachesLocked(b.Transmitter, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unbind removes the inheritor's binding under the named relationship
+// type. The inheritor keeps its type-level inheritance (structure) but
+// loses the transmitter's values.
+func (s *Store) Unbind(relType string, inheritor domain.Surrogate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bindingLocked(inheritor, relType)
+	if b == nil {
+		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
+	}
+	if err := s.guardLocked(inheritor); err != nil {
+		return err
+	}
+	s.removeBindingLocked(b)
+	s.seq++
+	s.emit(&oplog.Op{Kind: oplog.KindUnbind, Name: relType, Sur: inheritor})
+	return nil
+}
+
+func (s *Store) removeBindingLocked(b *Binding) {
+	delete(s.byInheritor[b.Inheritor], b.Rel.Name)
+	if len(s.byInheritor[b.Inheritor]) == 0 {
+		delete(s.byInheritor, b.Inheritor)
+	}
+	list := s.byTransmitter[b.Transmitter]
+	for i, x := range list {
+		if x == b {
+			s.byTransmitter[b.Transmitter] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(s.byTransmitter[b.Transmitter]) == 0 {
+		delete(s.byTransmitter, b.Transmitter)
+	}
+	delete(s.objects, b.Obj.sur)
+}
+
+// BindingOf returns the inheritor's binding under a relationship type.
+func (s *Store) BindingOf(inheritor domain.Surrogate, relType string) (*Binding, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b := s.bindingLocked(inheritor, relType)
+	if b == nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// BindingsOfTransmitter returns all bindings in which the object is the
+// transmitter (its inheritors).
+func (s *Store) BindingsOfTransmitter(transmitter domain.Surrogate) []*Binding {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Binding(nil), s.byTransmitter[transmitter]...)
+}
+
+// BindingsOfInheritor returns all bindings in which the object is the
+// inheritor, keyed by relationship type name.
+func (s *Store) BindingsOfInheritor(inheritor domain.Surrogate) map[string]*Binding {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]*Binding, len(s.byInheritor[inheritor]))
+	for k, v := range s.byInheritor[inheritor] {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *Store) bindingLocked(inheritor domain.Surrogate, relType string) *Binding {
+	if m, ok := s.byInheritor[inheritor]; ok {
+		return m[relType]
+	}
+	return nil
+}
+
+// Acknowledge records that the inheritor side has adapted to the latest
+// transmitter change: AcknowledgedSeq catches up with LastUpdateSeq on
+// the binding object.
+func (s *Store) Acknowledge(relType string, inheritor domain.Surrogate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bindingLocked(inheritor, relType)
+	if b == nil {
+		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
+	}
+	b.Obj.attrs[AttrAcknowledgedSeq] = b.Obj.attrs[AttrLastUpdateSeq]
+	s.emit(&oplog.Op{Kind: oplog.KindAcknowledge, Name: relType, Sur: inheritor})
+	return nil
+}
+
+// TransmitterOf resolves the transmitter an inheritor is bound to, or 0.
+func (s *Store) TransmitterOf(inheritor domain.Surrogate, relType string) domain.Surrogate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if b := s.bindingLocked(inheritor, relType); b != nil {
+		return b.Transmitter
+	}
+	return 0
+}

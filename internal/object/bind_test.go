@@ -1,0 +1,366 @@
+package object
+
+import (
+	"errors"
+	"testing"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/paperschema"
+)
+
+func TestBindValidation(t *testing.T) {
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	pin := mustSur(t)(s.NewObject(paperschema.TypePin, ""))
+
+	// Unknown relationship type.
+	if _, err := s.Bind("Ghost", impl, iface); !errors.Is(err, ErrNoSuchType) {
+		t.Errorf("unknown rel: %v", err)
+	}
+	// Wrong transmitter type.
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, pin); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("wrong transmitter: %v", err)
+	}
+	// Inheritor type must declare inheritor-in.
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, pin, iface); !errors.Is(err, ErrNotInheritor) {
+		t.Errorf("undeclared inheritor: %v", err)
+	}
+	// Missing objects.
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, 999, iface); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("missing inheritor: %v", err)
+	}
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, 999); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("missing transmitter: %v", err)
+	}
+	// Successful bind, then double bind.
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); !errors.Is(err, ErrAlreadyBound) {
+		t.Errorf("double bind: %v", err)
+	}
+}
+
+func TestUnboundInheritorIsTypeLevelOnly(t *testing.T) {
+	// §4.1 special case: an inheritor without a transmitter object
+	// inherits the attribute *structure* but no values — plain
+	// generalization.
+	s := gateStore(t)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if v := get(t, s, impl, "Length"); !domain.IsNull(v) {
+		t.Errorf("unbound inherited attr = %s, want null", v)
+	}
+	pins, err := s.Members(impl, "Pins")
+	if err != nil || len(pins) != 0 {
+		t.Errorf("unbound inherited subclass = %v, %v", pins, err)
+	}
+	// The structure is there: unknown attributes still error.
+	if _, err := s.GetAttr(impl, "Ghost"); !errors.Is(err, ErrNoSuchAttribute) {
+		t.Errorf("unknown attr: %v", err)
+	}
+}
+
+func TestValueInheritanceViewSemantics(t *testing.T) {
+	// Experiment E2 (Figure 2): updates of the transmitter are instantly
+	// visible in the inheritor; no copies anywhere.
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	if v := get(t, s, impl, "Length"); !v.Equal(domain.Int(4)) {
+		t.Errorf("inherited Length = %s", v)
+	}
+	set(t, s, iface, "Length", domain.Int(8))
+	if v := get(t, s, impl, "Length"); !v.Equal(domain.Int(8)) {
+		t.Errorf("update not visible: %s", v)
+	}
+	// New interface pin appears in the implementation immediately.
+	addPin(t, s, pinOwner(t, s, iface), "IN", 9)
+	pins, _ := s.Members(impl, "Pins")
+	if len(pins) != 4 {
+		t.Errorf("pins = %d, want 4", len(pins))
+	}
+}
+
+func TestWriteProtection(t *testing.T) {
+	// §2: "the interface data must not be updated within a single
+	// implementation".
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAttr(impl, "Length", domain.Int(99)); !errors.Is(err, ErrInheritedAttribute) {
+		t.Errorf("inherited attr write: %v", err)
+	}
+	// Even while unbound: inherited structure stays read-only.
+	impl2 := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if err := s.SetAttr(impl2, "Width", domain.Int(1)); !errors.Is(err, ErrInheritedAttribute) {
+		t.Errorf("unbound inherited attr write: %v", err)
+	}
+	// Subobject creation in an inherited subclass is refused too.
+	if _, err := s.NewSubobject(impl, "Pins"); !errors.Is(err, ErrInheritedAttribute) {
+		t.Errorf("inherited subclass insert: %v", err)
+	}
+	// Own attributes stay writable.
+	set(t, s, impl, "TimeBehavior", domain.Int(17))
+}
+
+func TestInheritanceCycleRejected(t *testing.T) {
+	s := gateStore(t)
+	// GateInterface is itself an inheritor (in AllOf_GateInterface_I), so
+	// a cycle would need an interface chain; build I1 -> G1, then try to
+	// bind I1's transmitter under G1's descendants.
+	i1 := mustSur(t)(s.NewObject(paperschema.TypeGateInterfaceI, ""))
+	g1 := mustSur(t)(s.NewObject(paperschema.TypeGateInterface, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterfaceI, g1, i1); err != nil {
+		t.Fatal(err)
+	}
+	// Self-binding is impossible even in principle.
+	g2 := mustSur(t)(s.NewObject(paperschema.TypeGateInterface, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterfaceI, g2, i1); err != nil {
+		t.Fatal(err)
+	}
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, g1); err != nil {
+		t.Fatal(err)
+	}
+	// A hypothetical rel that would close impl -> g1 -> i1 ... -> impl
+	// cannot be declared against these types, so exercise the check
+	// directly: binding g1's transmitter i1 as an inheritor *of* g1 is
+	// not possible (i1's type declares no inheritor-in), proving the
+	// guard path via types; the surrogate-level cycle guard is covered in
+	// the inherit package tests with a custom schema.
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, g1); !errors.Is(err, ErrAlreadyBound) {
+		t.Errorf("rebinding: %v", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	bsur, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists(bsur) {
+		t.Error("binding object should be a live relationship object")
+	}
+	if tr := s.TransmitterOf(impl, paperschema.RelAllOfGateInterface); tr != iface {
+		t.Errorf("TransmitterOf = %v", tr)
+	}
+	if err := s.Unbind(paperschema.RelAllOfGateInterface, impl); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(bsur) {
+		t.Error("binding object should be gone")
+	}
+	if v := get(t, s, impl, "Length"); !domain.IsNull(v) {
+		t.Errorf("after unbind, inherited attr = %s, want null", v)
+	}
+	if err := s.Unbind(paperschema.RelAllOfGateInterface, impl); !errors.Is(err, ErrNotBound) {
+		t.Errorf("double unbind: %v", err)
+	}
+	if tr := s.TransmitterOf(impl, paperschema.RelAllOfGateInterface); tr != 0 {
+		t.Errorf("TransmitterOf after unbind = %v", tr)
+	}
+}
+
+func TestUpdateNotificationBookkeeping(t *testing.T) {
+	// §2/§4.1: the relationship's attributes inform the inheritor side
+	// about transmitter changes.
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.BindingOf(impl, paperschema.RelAllOfGateInterface)
+	if !ok {
+		t.Fatal("binding missing")
+	}
+	if b.NeedsAdaptation() {
+		t.Error("fresh binding should not need adaptation")
+	}
+	// Permeable update.
+	set(t, s, iface, "Length", domain.Int(5))
+	if !b.NeedsAdaptation() {
+		t.Error("permeable update should flag adaptation")
+	}
+	if v, _ := s.GetAttr(b.Obj.Surrogate(), AttrTransmitterUpdates); !v.Equal(domain.Int(1)) {
+		t.Errorf("TransmitterUpdates = %s", v)
+	}
+	// Acknowledge clears the flag.
+	if err := s.Acknowledge(paperschema.RelAllOfGateInterface, impl); err != nil {
+		t.Fatal(err)
+	}
+	if b.NeedsAdaptation() {
+		t.Error("acknowledged binding should be clean")
+	}
+	// Subclass change (new pin) counts as a permeable update.
+	addPin(t, s, pinOwner(t, s, iface), "IN", 5)
+	if !b.NeedsAdaptation() {
+		t.Error("subclass change should flag adaptation")
+	}
+	if err := s.Acknowledge("Ghost", impl); !errors.Is(err, ErrNotBound) {
+		t.Errorf("acknowledge unknown: %v", err)
+	}
+}
+
+func TestUpdateHooksAndChains(t *testing.T) {
+	// An interface update notifies both the direct implementation binding
+	// and, transitively, a composite inheriting through the
+	// implementation (SomeOf_Gate).
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	user := mustSur(t)(s.NewObject(paperschema.TypeTimedComposite, ""))
+	if _, err := s.Bind(paperschema.RelSomeOfGate, user, impl); err != nil {
+		t.Fatal(err)
+	}
+	var events []UpdateEvent
+	s.OnTransmitterUpdate(func(ev UpdateEvent) { events = append(events, ev) })
+
+	set(t, s, iface, "Length", domain.Int(6))
+	if len(events) != 2 {
+		t.Fatalf("events = %v, want 2 (impl and user)", events)
+	}
+	seenInheritors := map[domain.Surrogate]bool{}
+	for _, ev := range events {
+		seenInheritors[ev.Inheritor] = true
+		if ev.Member != "Length" {
+			t.Errorf("event member = %q", ev.Member)
+		}
+	}
+	if !seenInheritors[impl] || !seenInheritors[user] {
+		t.Errorf("inheritors notified: %v", seenInheritors)
+	}
+
+	// TimeBehavior is permeable through SomeOf_Gate only: updating it on
+	// the implementation notifies the user binding only.
+	events = nil
+	set(t, s, impl, "TimeBehavior", domain.Int(3))
+	if len(events) != 1 || events[0].Inheritor != user || events[0].Member != "TimeBehavior" {
+		t.Errorf("events = %+v", events)
+	}
+	// Function is not permeable at all: no events.
+	events = nil
+	set(t, s, impl, "Function", domain.NewMatrix(1, 1, domain.Bool(true)))
+	if len(events) != 0 {
+		t.Errorf("non-permeable update produced events: %+v", events)
+	}
+	// The user reads TimeBehavior through the chain.
+	if v := get(t, s, user, "TimeBehavior"); !v.Equal(domain.Int(3)) {
+		t.Errorf("user.TimeBehavior = %s", v)
+	}
+	// And Length through two hops.
+	if v := get(t, s, user, "Length"); !v.Equal(domain.Int(6)) {
+		t.Errorf("user.Length = %s", v)
+	}
+}
+
+func TestDeletePolicies(t *testing.T) {
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	// Restrict (default): deleting the transmitter is refused.
+	if err := s.Delete(iface); !errors.Is(err, ErrHasInheritors) {
+		t.Errorf("restrict: %v", err)
+	}
+	if !s.Exists(iface) {
+		t.Fatal("failed delete must not remove the object")
+	}
+	// Unbind policy: delete succeeds and detaches the inheritor.
+	var unbound []UpdateEvent
+	s.OnTransmitterUpdate(func(ev UpdateEvent) {
+		if ev.Unbound {
+			unbound = append(unbound, ev)
+		}
+	})
+	s.SetDeletePolicy(DeleteUnbind)
+	if err := s.Delete(iface); err != nil {
+		t.Fatal(err)
+	}
+	if len(unbound) != 1 || unbound[0].Inheritor != impl {
+		t.Errorf("unbound events = %+v", unbound)
+	}
+	if v := get(t, s, impl, "Length"); !domain.IsNull(v) {
+		t.Errorf("detached inheritor should read null, got %s", v)
+	}
+	// Deleting the inheritor never needs a policy.
+	iface2 := buildInterface(t, s, 4, 2, 2, 1)
+	impl2 := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl2, iface2); err != nil {
+		t.Fatal(err)
+	}
+	s.SetDeletePolicy(DeleteRestrict)
+	if err := s.Delete(impl2); err != nil {
+		t.Fatal(err)
+	}
+	if bs := s.BindingsOfTransmitter(iface2); len(bs) != 0 {
+		t.Errorf("bindings after inheritor delete: %v", bs)
+	}
+}
+
+func TestDeleteCascadeWithInternalInheritors(t *testing.T) {
+	// A composite whose subobject inherits from an *internal* transmitter
+	// may be deleted under Restrict: the inheritor dies with the cascade.
+	s := gateStore(t)
+	ff, _, nandIface, _ := buildFlipFlop(t, s)
+	// nandIface is external: deleting it is restricted...
+	if err := s.Delete(nandIface); !errors.Is(err, ErrHasInheritors) {
+		t.Errorf("external transmitter delete: %v", err)
+	}
+	// ...but deleting the composite (which contains the inheritors) works.
+	if err := s.Delete(ff); err != nil {
+		t.Errorf("composite delete: %v", err)
+	}
+	// Now the interface is free.
+	if err := s.Delete(nandIface); err != nil {
+		t.Errorf("free transmitter delete: %v", err)
+	}
+}
+
+func TestBindingsOfInheritor(t *testing.T) {
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	m := s.BindingsOfInheritor(impl)
+	if len(m) != 1 || m[paperschema.RelAllOfGateInterface] == nil {
+		t.Errorf("bindings = %v", m)
+	}
+	if m[paperschema.RelAllOfGateInterface].Transmitter != iface {
+		t.Error("wrong transmitter")
+	}
+}
+
+func TestBindingSystemAttrsProtected(t *testing.T) {
+	s := gateStore(t)
+	iface := buildInterface(t, s, 4, 2, 2, 1)
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	bsur, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAttr(bsur, AttrTransmitterUpdates, domain.Int(99)); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("system attr write: %v", err)
+	}
+	// Participants of the binding are readable.
+	if v, err := s.Participant(bsur, "Transmitter"); err != nil || !v.Equal(domain.Ref(iface)) {
+		t.Errorf("binding transmitter = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,211 @@
+package object
+
+import (
+	"fmt"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/oplog"
+)
+
+// Delete removes an object and everything that depends on it:
+//
+//   - all subobjects and local relationship objects, recursively ("All
+//     subobjects depend on the complex object, they are deleted with the
+//     complex object", §3);
+//   - relationship objects in which the object (or a cascaded subobject)
+//     participates;
+//   - inheritance bindings in which it is the inheritor.
+//
+// If the object or any cascaded object is a *transmitter* with inheritors
+// outside the cascade, the delete policy decides: DeleteRestrict (default)
+// refuses the whole delete; DeleteUnbind detaches those inheritors and
+// fires an Unbound update event for each.
+func (s *Store) Delete(sur domain.Surrogate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root, ok := s.objects[sur]
+	if !ok {
+		return noObject(sur)
+	}
+	if err := s.guardLocked(sur); err != nil {
+		return err
+	}
+
+	// Phase 1: collect the cascade set.
+	cascade := make(map[domain.Surrogate]bool)
+	s.collectCascadeLocked(root, cascade)
+
+	// Phase 2: policy check for transmitters with external inheritors.
+	var detach []*Binding
+	for member := range cascade {
+		for _, b := range s.byTransmitter[member] {
+			if cascade[b.Inheritor] {
+				continue // inheritor dies with the cascade anyway
+			}
+			if s.deletePolicy == DeleteRestrict {
+				return fmt.Errorf("%w: %s has inheritor %s via %s",
+					ErrHasInheritors, member, b.Inheritor, b.Rel.Name)
+			}
+			detach = append(detach, b)
+		}
+	}
+
+	// Phase 3: apply. Detach external inheritors first so the events see
+	// a consistent store.
+	for _, b := range detach {
+		s.removeBindingLocked(b)
+		s.seq++
+		ev := UpdateEvent{
+			Rel:         b.Rel.Name,
+			Binding:     b.Obj.sur,
+			Transmitter: b.Transmitter,
+			Inheritor:   b.Inheritor,
+			Seq:         s.seq,
+			Unbound:     true,
+		}
+		for _, h := range s.hooks {
+			h(ev)
+		}
+	}
+	// Subclass changes visible outside the cascade are notified after the
+	// removal, like any other permeable update.
+	type parentSub struct {
+		parent domain.Surrogate
+		sub    string
+	}
+	var touched []parentSub
+	for member := range cascade {
+		o := s.objects[member]
+		if o != nil && o.parent != 0 && !cascade[o.parent] {
+			touched = append(touched, parentSub{o.parent, o.parentSub})
+		}
+	}
+	for member := range cascade {
+		s.removeObjectLocked(member)
+	}
+	s.seq++
+	for _, ps := range touched {
+		if po, ok := s.objects[ps.parent]; ok {
+			po.modSeq = s.seq
+		}
+		s.notifyLocked(ps.parent, ps.sub, map[domain.Surrogate]bool{})
+	}
+	s.emit(&oplog.Op{Kind: oplog.KindDelete, Sur: sur})
+	return nil
+}
+
+// collectCascadeLocked gathers the object, its subobject tree, its local
+// relationship objects, every relationship object referencing any of
+// them, and the binding objects of cascaded inheritors.
+func (s *Store) collectCascadeLocked(o *Object, acc map[domain.Surrogate]bool) {
+	if acc[o.sur] {
+		return
+	}
+	acc[o.sur] = true
+	for _, cls := range o.subclasses {
+		for _, m := range cls.Members() {
+			if mo, ok := s.objects[m]; ok {
+				s.collectCascadeLocked(mo, acc)
+			}
+		}
+	}
+	for _, cls := range o.subrels {
+		for _, m := range cls.Members() {
+			if mo, ok := s.objects[m]; ok {
+				s.collectCascadeLocked(mo, acc)
+			}
+		}
+	}
+	// Relationships referencing this object die with it.
+	for rel := range s.relsByParticipant[o.sur] {
+		if ro, ok := s.objects[rel]; ok {
+			s.collectCascadeLocked(ro, acc)
+		}
+	}
+	// Binding objects where this object is the inheritor are removed with
+	// it (handled in removeObjectLocked via removeBindingLocked).
+}
+
+// removeObjectLocked unlinks one object from every index. Bindings are
+// dissolved; classes and parents forget the member.
+func (s *Store) removeObjectLocked(sur domain.Surrogate) {
+	o, ok := s.objects[sur]
+	if !ok {
+		return
+	}
+	// Deleting a binding's own relationship object dissolves the binding
+	// (equivalent to Unbind): drop it from both binding indexes.
+	if o.isRel {
+		if _, isInher := s.cat.InherRelType(o.typeName); isInher {
+			if ref, ok := o.participants["Inheritor"].(domain.Ref); ok {
+				if b := s.bindingLocked(domain.Surrogate(ref), o.typeName); b != nil && b.Obj == o {
+					s.removeBindingLocked(b)
+				}
+			}
+		}
+	}
+	// Dissolve bindings in both roles.
+	if m, ok := s.byInheritor[sur]; ok {
+		for _, b := range copyBindings(m) {
+			s.removeBindingLocked(b)
+		}
+	}
+	for _, b := range append([]*Binding(nil), s.byTransmitter[sur]...) {
+		s.removeBindingLocked(b)
+	}
+	// Forget participant index entries for this object, and the reverse
+	// edges its own participants hold.
+	delete(s.relsByParticipant, sur)
+	if o.isRel {
+		for _, v := range o.participants {
+			s.unindexParticipantLocked(sur, v)
+		}
+	}
+	// Unlink from the owning class or parent.
+	if o.ownerClass != "" {
+		if cls, ok := s.classes[o.ownerClass]; ok {
+			cls.remove(sur)
+		}
+	}
+	if o.parent != 0 {
+		if po, ok := s.objects[o.parent]; ok {
+			if cls, ok := po.subclasses[o.parentSub]; ok {
+				cls.remove(sur)
+			}
+			if cls, ok := po.subrels[o.parentSub]; ok {
+				cls.remove(sur)
+			}
+		}
+	}
+	delete(s.objects, sur)
+}
+
+func (s *Store) unindexParticipantLocked(rel domain.Surrogate, v domain.Value) {
+	switch x := v.(type) {
+	case domain.Ref:
+		if m, ok := s.relsByParticipant[domain.Surrogate(x)]; ok {
+			delete(m, rel)
+			if len(m) == 0 {
+				delete(s.relsByParticipant, domain.Surrogate(x))
+			}
+		}
+	case *domain.Set:
+		for _, e := range x.Elems() {
+			s.unindexParticipantLocked(rel, e)
+		}
+	}
+}
+
+// deleteRelLocked removes a just-created relationship object again (used
+// to roll back a failed where-restriction check).
+func (s *Store) deleteRelLocked(o *Object) {
+	s.removeObjectLocked(o.sur)
+}
+
+func copyBindings(m map[string]*Binding) []*Binding {
+	out := make([]*Binding, 0, len(m))
+	for _, b := range m {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package object
+
+import (
+	"cadcam/internal/domain"
+	"cadcam/internal/expr"
+)
+
+// lockedEnv implements expr.Env for one object, assuming the store lock is
+// already held. It backs constraint checking inside store operations.
+type lockedEnv struct {
+	s *Store
+	o *Object
+}
+
+func (e *lockedEnv) Lookup(name string) (domain.Value, bool) {
+	v, err := e.s.getAttrLocked(e.o, name)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func (e *lockedEnv) Collection(name string) ([]domain.Value, bool) {
+	return e.s.collectionLocked(e.o, name)
+}
+
+func (e *lockedEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
+	o, ok := e.s.objects[domain.Surrogate(ref)]
+	if !ok {
+		return nil, false
+	}
+	v, err := e.s.getAttrLocked(o, attr)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func (e *lockedEnv) CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool) {
+	o, ok := e.s.objects[domain.Surrogate(ref)]
+	if !ok {
+		return nil, false
+	}
+	return e.s.collectionLocked(o, name)
+}
+
+// collectionLocked resolves a name as a collection on an object: a local
+// subclass or sub-relationship (following inheritance), a set-of
+// participant role, or a set/list-valued attribute.
+func (s *Store) collectionLocked(o *Object, name string) ([]domain.Value, bool) {
+	if o.isRel {
+		if v, ok := o.participants[name]; ok {
+			if set, isSet := v.(*domain.Set); isSet {
+				return set.Elems(), true
+			}
+			return []domain.Value{v}, true
+		}
+	}
+	if members, err := s.membersLocked(o, name); err == nil {
+		out := make([]domain.Value, len(members))
+		for i, m := range members {
+			out[i] = domain.Ref(m)
+		}
+		return out, true
+	}
+	if v, err := s.getAttrLocked(o, name); err == nil {
+		switch x := v.(type) {
+		case *domain.Set:
+			return x.Elems(), true
+		case *domain.List:
+			return x.Elems(), true
+		}
+	}
+	return nil, false
+}
+
+// storeEnv is the exported Env: every call takes the store's read lock, so
+// it must not be used from inside store operations (use lockedEnv there).
+type storeEnv struct {
+	s   *Store
+	sur domain.Surrogate
+}
+
+// Env returns an expr.Env evaluating names against the given object:
+// attributes (own and inherited), local subclasses, sub-relationships and
+// participant roles. Version-selection queries and user-level constraint
+// checks use it.
+func (s *Store) Env(sur domain.Surrogate) expr.Env {
+	return &storeEnv{s: s, sur: sur}
+}
+
+func (e *storeEnv) object() (*Object, bool) {
+	o, ok := e.s.objects[e.sur]
+	return o, ok
+}
+
+func (e *storeEnv) Lookup(name string) (domain.Value, bool) {
+	e.s.mu.RLock()
+	defer e.s.mu.RUnlock()
+	o, ok := e.object()
+	if !ok {
+		return nil, false
+	}
+	return (&lockedEnv{s: e.s, o: o}).Lookup(name)
+}
+
+func (e *storeEnv) Collection(name string) ([]domain.Value, bool) {
+	e.s.mu.RLock()
+	defer e.s.mu.RUnlock()
+	o, ok := e.object()
+	if !ok {
+		return nil, false
+	}
+	return (&lockedEnv{s: e.s, o: o}).Collection(name)
+}
+
+func (e *storeEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
+	e.s.mu.RLock()
+	defer e.s.mu.RUnlock()
+	o, ok := e.object()
+	if !ok {
+		return nil, false
+	}
+	return (&lockedEnv{s: e.s, o: o}).AttrOf(ref, attr)
+}
+
+func (e *storeEnv) CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool) {
+	e.s.mu.RLock()
+	defer e.s.mu.RUnlock()
+	o, ok := e.object()
+	if !ok {
+		return nil, false
+	}
+	return (&lockedEnv{s: e.s, o: o}).CollectionOf(ref, name)
+}
+
+// ClassEnv returns an expr.Env over the database-level classes, for
+// queries that scan class extents (e.g. top-down version selection).
+func (s *Store) ClassEnv() expr.Env { return &classEnv{s: s} }
+
+type classEnv struct{ s *Store }
+
+func (e *classEnv) Lookup(string) (domain.Value, bool) { return nil, false }
+
+func (e *classEnv) Collection(name string) ([]domain.Value, bool) {
+	e.s.mu.RLock()
+	defer e.s.mu.RUnlock()
+	cls, ok := e.s.classes[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]domain.Value, cls.Len())
+	for i, m := range cls.members {
+		out[i] = domain.Ref(m)
+	}
+	return out, true
+}
+
+func (e *classEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
+	e.s.mu.RLock()
+	defer e.s.mu.RUnlock()
+	o, ok := e.s.objects[domain.Surrogate(ref)]
+	if !ok {
+		return nil, false
+	}
+	v, err := e.s.getAttrLocked(o, attr)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func (e *classEnv) CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool) {
+	e.s.mu.RLock()
+	defer e.s.mu.RUnlock()
+	o, ok := e.s.objects[domain.Surrogate(ref)]
+	if !ok {
+		return nil, false
+	}
+	return e.s.collectionLocked(o, name)
+}

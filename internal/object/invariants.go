@@ -1,0 +1,219 @@
+package object
+
+import (
+	"fmt"
+
+	"cadcam/internal/domain"
+)
+
+// CheckInvariants audits the store's internal index consistency and
+// returns a description of every violation found (empty = healthy). It
+// is meant for tests, fuzzing harnesses and post-recovery verification;
+// it takes the read lock for its whole run.
+//
+// Invariants checked:
+//
+//  1. class membership is symmetric: every member of a database class
+//     exists and knows its owner class, and vice versa;
+//  2. parent/subclass linkage is symmetric for subobjects and local
+//     relationship members;
+//  3. every binding is indexed consistently by inheritor and by
+//     transmitter, its endpoints exist, and its relationship object is
+//     registered;
+//  4. binding graphs are acyclic (value inheritance terminates);
+//  5. the participant index matches the participants actually stored on
+//     relationship objects, in both directions;
+//  6. no allocated surrogate exceeds the allocation counter.
+func (s *Store) CheckInvariants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// 1. database classes <-> ownerClass.
+	for name, cls := range s.classes {
+		for _, m := range cls.members {
+			o, ok := s.objects[m]
+			if !ok {
+				report("class %q holds dead member %s", name, m)
+				continue
+			}
+			if o.ownerClass != name {
+				report("class %q holds %s whose ownerClass is %q", name, m, o.ownerClass)
+			}
+		}
+	}
+	for sur, o := range s.objects {
+		if o.ownerClass != "" {
+			cls, ok := s.classes[o.ownerClass]
+			if !ok || !cls.Contains(sur) {
+				report("%s claims class %q but is not a member", sur, o.ownerClass)
+			}
+		}
+	}
+
+	// 2. parent/subclass symmetry.
+	for sur, o := range s.objects {
+		if o.parent != 0 {
+			po, ok := s.objects[o.parent]
+			if !ok {
+				report("%s has dead parent %s", sur, o.parent)
+				continue
+			}
+			in := false
+			if cls, ok := po.subclasses[o.parentSub]; ok && cls.Contains(sur) {
+				in = true
+			}
+			if cls, ok := po.subrels[o.parentSub]; ok && cls.Contains(sur) {
+				in = true
+			}
+			if !in {
+				report("%s claims parent %s subclass %q but is not a member", sur, o.parent, o.parentSub)
+			}
+		}
+		for name, cls := range o.subclasses {
+			for _, m := range cls.members {
+				mo, ok := s.objects[m]
+				if !ok {
+					report("%s subclass %q holds dead member %s", sur, name, m)
+					continue
+				}
+				if mo.parent != sur || mo.parentSub != name {
+					report("%s subclass %q member %s has parent %s/%q", sur, name, m, mo.parent, mo.parentSub)
+				}
+			}
+		}
+		for name, cls := range o.subrels {
+			for _, m := range cls.members {
+				mo, ok := s.objects[m]
+				if !ok {
+					report("%s subrel %q holds dead member %s", sur, name, m)
+					continue
+				}
+				if !mo.isRel {
+					report("%s subrel %q member %s is not a relationship", sur, name, m)
+				}
+			}
+		}
+	}
+
+	// 3. binding index symmetry.
+	for inh, m := range s.byInheritor {
+		for rel, b := range m {
+			if b.Inheritor != inh || b.Rel.Name != rel {
+				report("binding index mismatch at (%s, %s)", inh, rel)
+			}
+			if _, ok := s.objects[b.Obj.sur]; !ok {
+				report("binding object %s not registered", b.Obj.sur)
+			}
+			if _, ok := s.objects[b.Transmitter]; !ok {
+				report("binding %s has dead transmitter %s", b.Obj.sur, b.Transmitter)
+			}
+			if _, ok := s.objects[b.Inheritor]; !ok {
+				report("binding %s has dead inheritor %s", b.Obj.sur, b.Inheritor)
+			}
+			found := false
+			for _, tb := range s.byTransmitter[b.Transmitter] {
+				if tb == b {
+					found = true
+					break
+				}
+			}
+			if !found {
+				report("binding %s missing from transmitter index", b.Obj.sur)
+			}
+		}
+	}
+	for trans, list := range s.byTransmitter {
+		for _, b := range list {
+			if b.Transmitter != trans {
+				report("transmitter index mismatch at %s", trans)
+			}
+			if ib := s.bindingLocked(b.Inheritor, b.Rel.Name); ib != b {
+				report("binding %s missing from inheritor index", b.Obj.sur)
+			}
+		}
+	}
+
+	// 4. acyclicity: walk transmitter edges from every inheritor.
+	for inh := range s.byInheritor {
+		if s.reachesLocked(inh, inh) {
+			report("binding cycle through %s", inh)
+		}
+	}
+
+	// 5. participant index in both directions.
+	for part, rels := range s.relsByParticipant {
+		for rel := range rels {
+			ro, ok := s.objects[rel]
+			if !ok {
+				report("participant index holds dead relationship %s", rel)
+				continue
+			}
+			if !ro.isRel {
+				report("participant index holds non-relationship %s", rel)
+				continue
+			}
+			if !refersTo(ro.participants, part) {
+				report("relationship %s indexed for %s but does not reference it", rel, part)
+			}
+		}
+	}
+	for sur, o := range s.objects {
+		if !o.isRel || o.participants == nil {
+			continue
+		}
+		// Binding objects are indexed via byInheritor/byTransmitter, not
+		// the participant index.
+		if _, isInher := s.cat.InherRelType(o.typeName); isInher {
+			continue
+		}
+		var check func(v domain.Value)
+		check = func(v domain.Value) {
+			switch x := v.(type) {
+			case domain.Ref:
+				if !s.relsByParticipant[domain.Surrogate(x)][sur] {
+					report("relationship %s references %s without index entry", sur, x)
+				}
+			case *domain.Set:
+				for _, e := range x.Elems() {
+					check(e)
+				}
+			}
+		}
+		for _, v := range o.participants {
+			check(v)
+		}
+	}
+
+	// 6. surrogate allocation.
+	for sur := range s.objects {
+		if uint64(sur) > s.nextSur {
+			report("surrogate %s exceeds allocation counter %d", sur, s.nextSur)
+		}
+	}
+	return bad
+}
+
+func refersTo(parts map[string]domain.Value, target domain.Surrogate) bool {
+	var found bool
+	var walk func(v domain.Value)
+	walk = func(v domain.Value) {
+		switch x := v.(type) {
+		case domain.Ref:
+			if domain.Surrogate(x) == target {
+				found = true
+			}
+		case *domain.Set:
+			for _, e := range x.Elems() {
+				walk(e)
+			}
+		}
+	}
+	for _, v := range parts {
+		walk(v)
+	}
+	return found
+}

@@ -1,0 +1,319 @@
+package object
+
+import (
+	"fmt"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/oplog"
+	"cadcam/internal/schema"
+)
+
+// SetAttr sets an attribute on an object or relationship object.
+//
+// Write protection (§2): attributes that reach the object through an
+// inheritance relationship are read-only here and can only change on the
+// transmitter side; attempting to set them returns ErrInheritedAttribute.
+//
+// Every successful update of an object that is a transmitter bumps the
+// bookkeeping attributes of all bindings through which the change is
+// visible and fires registered update hooks, transitively along
+// inheritance chains.
+func (s *Store) SetAttr(sur domain.Surrogate, name string, v domain.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[sur]
+	if !ok {
+		return noObject(sur)
+	}
+	if err := s.guardLocked(sur); err != nil {
+		return err
+	}
+	if o.isRel {
+		return s.setRelAttrLocked(o, name, v)
+	}
+	eff, err := s.effectiveLocked(o)
+	if err != nil {
+		return err
+	}
+	a, ok := eff.Attr(name)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
+	}
+	if a.Inherited() {
+		return fmt.Errorf("%w: %s.%s (from %s via %s)", ErrInheritedAttribute, o.typeName, name, a.Source, a.Via)
+	}
+	if err := a.Domain.Validate(v); err != nil {
+		return fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
+	}
+	if err := s.checkRefValueLocked(a.Domain, v); err != nil {
+		return err
+	}
+	if domain.IsNull(v) {
+		delete(o.attrs, name)
+	} else {
+		o.attrs[name] = v
+	}
+	s.seq++
+	o.modSeq = s.seq
+	s.notifyLocked(sur, name, map[domain.Surrogate]bool{})
+	// A subobject update also changes what the parent's subclass shows:
+	// inheritors seeing the parent's subclass are informed as well.
+	if o.parent != 0 {
+		s.notifyLocked(o.parent, o.parentSub, map[domain.Surrogate]bool{})
+	}
+	s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: sur, Name: name, Value: v})
+	return nil
+}
+
+// setRelAttrLocked updates a user-declared attribute of a relationship
+// object. Participant roles and the binding bookkeeping attributes are not
+// assignable.
+func (s *Store) setRelAttrLocked(o *Object, name string, v domain.Value) error {
+	var attrs []schema.Attribute
+	if rt, ok := s.cat.RelType(o.typeName); ok {
+		for _, p := range rt.Participants {
+			if p.Name == name {
+				return fmt.Errorf("%w: participant role %q is fixed at creation", ErrTypeMismatch, name)
+			}
+		}
+		attrs = rt.Attributes
+	} else if it, ok := s.cat.InherRelType(o.typeName); ok {
+		switch name {
+		case AttrTransmitterUpdates, AttrLastUpdateSeq, AttrAcknowledgedSeq:
+			return fmt.Errorf("%w: %q is maintained by the system", ErrTypeMismatch, name)
+		}
+		attrs = it.Attributes
+	} else {
+		return fmt.Errorf("%w: %q", ErrNoSuchType, o.typeName)
+	}
+	for _, a := range attrs {
+		if a.Name != name {
+			continue
+		}
+		if err := a.Domain.Validate(v); err != nil {
+			return fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
+		}
+		if domain.IsNull(v) {
+			delete(o.attrs, name)
+		} else {
+			o.attrs[name] = v
+		}
+		s.seq++
+		o.modSeq = s.seq
+		s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: o.sur, Name: name, Value: v})
+		return nil
+	}
+	return fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
+}
+
+// checkRefValueLocked verifies that object references inside v point to
+// live objects of the domain's required type.
+func (s *Store) checkRefValueLocked(d *domain.Domain, v domain.Value) error {
+	if domain.IsNull(v) {
+		return nil
+	}
+	switch x := v.(type) {
+	case domain.Ref:
+		ro, ok := s.objects[domain.Surrogate(x)]
+		if !ok {
+			return fmt.Errorf("%w: reference %s", ErrNoSuchObject, x)
+		}
+		if want := d.ObjectType(); want != "" && ro.typeName != want {
+			return fmt.Errorf("%w: reference %s is %q, want %q", ErrTypeMismatch, x, ro.typeName, want)
+		}
+	case *domain.Set:
+		if d.Kind() == domain.KindSet {
+			for _, e := range x.Elems() {
+				if err := s.checkRefValueLocked(d.Elem(), e); err != nil {
+					return err
+				}
+			}
+		}
+	case *domain.List:
+		if d.Kind() == domain.KindList {
+			for _, e := range x.Elems() {
+				if err := s.checkRefValueLocked(d.Elem(), e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GetAttr reads an attribute with the paper's resolution rule: own
+// attributes come from the object itself; inherited attributes are read
+// through the binding from the live transmitter (view semantics — never a
+// copy), or read as null while unbound (type-level inheritance only).
+func (s *Store) GetAttr(sur domain.Surrogate, name string) (domain.Value, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[sur]
+	if !ok {
+		return nil, noObject(sur)
+	}
+	return s.getAttrLocked(o, name)
+}
+
+func (s *Store) getAttrLocked(o *Object, name string) (domain.Value, error) {
+	if name == "Surrogate" {
+		return domain.Ref(o.sur), nil
+	}
+	if o.isRel {
+		return s.getRelAttrLocked(o, name)
+	}
+	eff, err := s.effectiveLocked(o)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := eff.Attr(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
+	}
+	if !a.Inherited() {
+		if v, ok := o.attrs[name]; ok {
+			return v, nil
+		}
+		return domain.NullValue, nil
+	}
+	b := s.bindingLocked(o.sur, a.Via)
+	if b == nil {
+		return domain.NullValue, nil
+	}
+	t, ok := s.objects[b.Transmitter]
+	if !ok {
+		return domain.NullValue, nil
+	}
+	return s.getAttrLocked(t, name)
+}
+
+func (s *Store) getRelAttrLocked(o *Object, name string) (domain.Value, error) {
+	if v, ok := o.participants[name]; ok {
+		return v, nil
+	}
+	if v, ok := o.attrs[name]; ok {
+		return v, nil
+	}
+	// Verify the name is declared before returning null.
+	if rt, ok := s.cat.RelType(o.typeName); ok {
+		for _, a := range rt.Attributes {
+			if a.Name == name {
+				return domain.NullValue, nil
+			}
+		}
+	} else if it, ok := s.cat.InherRelType(o.typeName); ok {
+		for _, a := range it.Attributes {
+			if a.Name == name {
+				return domain.NullValue, nil
+			}
+		}
+		switch name {
+		case AttrTransmitterUpdates, AttrLastUpdateSeq, AttrAcknowledgedSeq:
+			return domain.Int(0), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
+}
+
+// Members returns the member surrogates of a local subclass or
+// relationship subclass, following inheritance for subclasses the object's
+// type inherits (the interface's Pins seen from the implementation).
+func (s *Store) Members(sur domain.Surrogate, name string) ([]domain.Surrogate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[sur]
+	if !ok {
+		return nil, noObject(sur)
+	}
+	return s.membersLocked(o, name)
+}
+
+func (s *Store) membersLocked(o *Object, name string) ([]domain.Surrogate, error) {
+	if cls, ok := o.subrels[name]; ok {
+		return cls.Members(), nil
+	}
+	if o.isRel {
+		if cls, ok := o.subclasses[name]; ok {
+			return cls.Members(), nil
+		}
+		if rt, ok := s.cat.RelType(o.typeName); ok {
+			for _, sc := range rt.Subclasses {
+				if sc.Name == name {
+					return nil, nil // declared but empty
+				}
+			}
+			for _, sr := range rt.SubRels {
+				if sr.Name == name {
+					return nil, nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("%w: %s has no subclass %q", ErrNoSuchClass, o.typeName, name)
+	}
+	eff, err := s.effectiveLocked(o)
+	if err != nil {
+		return nil, err
+	}
+	if sd, ok := eff.SubclassByName(name); ok {
+		if !sd.Inherited() {
+			if cls, ok := o.subclasses[name]; ok {
+				return cls.Members(), nil
+			}
+			return nil, nil
+		}
+		b := s.bindingLocked(o.sur, sd.Via)
+		if b == nil {
+			return nil, nil // unbound: structure without members
+		}
+		t, ok := s.objects[b.Transmitter]
+		if !ok {
+			return nil, nil
+		}
+		return s.membersLocked(t, name)
+	}
+	if eff.Type.SubRels != nil {
+		for _, sr := range eff.Type.SubRels {
+			if sr.Name == name {
+				return nil, nil // declared but no members yet
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %s has no subclass %q", ErrNoSuchClass, o.typeName, name)
+}
+
+// notifyLocked walks the inheritance fan-out from a changed transmitter,
+// updating binding bookkeeping and firing hooks for every binding through
+// which the change is visible. Chains re-transmit: if an implementation
+// inherits Pins from its interface and a composite inherits Pins from the
+// implementation, an interface update notifies both bindings.
+func (s *Store) notifyLocked(transmitter domain.Surrogate, member string, visited map[domain.Surrogate]bool) {
+	if visited[transmitter] {
+		return
+	}
+	visited[transmitter] = true
+	for _, b := range s.byTransmitter[transmitter] {
+		if !b.Rel.Inherits(member) {
+			continue
+		}
+		s.bumpBindingLocked(b)
+		ev := UpdateEvent{
+			Rel:         b.Rel.Name,
+			Binding:     b.Obj.sur,
+			Transmitter: transmitter,
+			Inheritor:   b.Inheritor,
+			Member:      member,
+			Seq:         s.seq,
+		}
+		for _, h := range s.hooks {
+			h(ev)
+		}
+		// The inheritor's own inheritors may see the member through it.
+		s.notifyLocked(b.Inheritor, member, visited)
+	}
+}
+
+func (s *Store) bumpBindingLocked(b *Binding) {
+	n, _ := domain.AsInt(b.Obj.attrs[AttrTransmitterUpdates])
+	b.Obj.attrs[AttrTransmitterUpdates] = domain.Int(n + 1)
+	b.Obj.attrs[AttrLastUpdateSeq] = domain.Int(int64(s.seq))
+}

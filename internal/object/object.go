@@ -1,0 +1,155 @@
+// Package object implements the runtime of the object model: objects with
+// system-managed surrogates, classes, complex objects (local subobject and
+// relationship subclasses, §3), relationship objects, and the inheritance
+// bindings that give composite objects and interface/implementation pairs
+// their view semantics (§4).
+//
+// The Store is the unit of consistency: all operations go through it and
+// it is safe for concurrent use. Higher layers add transactions
+// (internal/txn), versioning (internal/version) and persistence
+// (internal/storage).
+package object
+
+import (
+	"sort"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/schema"
+)
+
+// Object is one object or relationship object. All mutation goes through
+// the Store; the accessor methods here are read-only snapshots and must
+// only be used while the caller is certain no concurrent mutation runs
+// (the Store's public API copies what it returns).
+type Object struct {
+	sur      domain.Surrogate
+	typeName string
+	isRel    bool // relationship object (including inheritance bindings)
+
+	attrs        map[string]domain.Value
+	participants map[string]domain.Value // rel objects: role -> Ref or *Set
+	subclasses   map[string]*Class
+	subrels      map[string]*Class
+
+	parent     domain.Surrogate // 0 for top-level objects
+	parentSub  string           // subclass of the parent that holds this object
+	ownerClass string           // top-level class name, "" if none
+
+	// modSeq is the store sequence of the last direct mutation (attribute
+	// write, subclass membership change); used for optimistic checkin.
+	modSeq uint64
+}
+
+// Surrogate returns the system-wide identifier.
+func (o *Object) Surrogate() domain.Surrogate { return o.sur }
+
+// TypeName returns the object's (or relationship's) type name.
+func (o *Object) TypeName() string { return o.typeName }
+
+// IsRelationship reports whether the object represents a relationship.
+func (o *Object) IsRelationship() bool { return o.isRel }
+
+// Parent returns the owning complex object's surrogate, or 0.
+func (o *Object) Parent() domain.Surrogate { return o.parent }
+
+// ParentSubclass returns the parent subclass holding this subobject.
+func (o *Object) ParentSubclass() string { return o.parentSub }
+
+// Class is an ordered set of member objects: either a database-level
+// class or a local subclass of a complex object.
+type Class struct {
+	name     string
+	elemType string
+	members  []domain.Surrogate
+	index    map[domain.Surrogate]int
+}
+
+func newClass(name, elemType string) *Class {
+	return &Class{name: name, elemType: elemType, index: make(map[domain.Surrogate]int)}
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// ElemType returns the member object type ("" for unrestricted classes).
+func (c *Class) ElemType() string { return c.elemType }
+
+// Len reports the member count.
+func (c *Class) Len() int { return len(c.members) }
+
+// Members returns the member surrogates in insertion order (a copy).
+func (c *Class) Members() []domain.Surrogate {
+	return append([]domain.Surrogate(nil), c.members...)
+}
+
+// Contains reports membership.
+func (c *Class) Contains(sur domain.Surrogate) bool {
+	_, ok := c.index[sur]
+	return ok
+}
+
+func (c *Class) add(sur domain.Surrogate) {
+	if _, dup := c.index[sur]; dup {
+		return
+	}
+	c.index[sur] = len(c.members)
+	c.members = append(c.members, sur)
+}
+
+func (c *Class) remove(sur domain.Surrogate) {
+	i, ok := c.index[sur]
+	if !ok {
+		return
+	}
+	copy(c.members[i:], c.members[i+1:])
+	c.members = c.members[:len(c.members)-1]
+	delete(c.index, sur)
+	for j := i; j < len(c.members); j++ {
+		c.index[c.members[j]] = j
+	}
+}
+
+// Binding is one inheritance relationship object: it relates an inheritor
+// to its transmitter under an inher-rel-type and carries the relationship
+// object (with the system bookkeeping attributes and any user-declared
+// attributes).
+//
+// System attributes maintained on the relationship object (§2: "the
+// attributes of the relationship can be used" to inform about transmitter
+// changes):
+//
+//	TransmitterUpdates — number of permeable transmitter updates so far
+//	LastUpdateSeq      — store sequence number of the latest such update
+//	AcknowledgedSeq    — sequence the inheritor side has adapted to
+type Binding struct {
+	Obj         *Object
+	Rel         *schema.InherRelType
+	Transmitter domain.Surrogate
+	Inheritor   domain.Surrogate
+}
+
+// System attribute names on binding relationship objects.
+const (
+	AttrTransmitterUpdates = "TransmitterUpdates"
+	AttrLastUpdateSeq      = "LastUpdateSeq"
+	AttrAcknowledgedSeq    = "AcknowledgedSeq"
+)
+
+// NeedsAdaptation reports whether the transmitter changed since the
+// inheritor last acknowledged (the consistency-control reading of the
+// binding attributes).
+func (b *Binding) NeedsAdaptation() bool {
+	last, _ := domain.AsInt(b.Obj.attrs[AttrLastUpdateSeq])
+	ack, _ := domain.AsInt(b.Obj.attrs[AttrAcknowledgedSeq])
+	return last > ack
+}
+
+// sortedNames returns map keys in sorted order for deterministic output.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

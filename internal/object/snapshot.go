@@ -1,0 +1,261 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"cadcam/internal/domain"
+)
+
+// The Export/Import API serializes store state for persistence snapshots.
+// Export walks the live store; Import rebuilds an *empty* store from the
+// records, reconstructing every index. Records are keyed by surrogate and
+// imported in ascending surrogate order.
+
+// ObjectRecord is the portable form of one object (or non-binding
+// relationship object).
+type ObjectRecord struct {
+	Sur          domain.Surrogate
+	TypeName     string
+	IsRel        bool
+	Parent       domain.Surrogate
+	ParentSub    string
+	OwnerClass   string
+	ModSeq       uint64
+	Attrs        map[string]domain.Value
+	Participants map[string]domain.Value
+}
+
+// BindingRecord is the portable form of one inheritance binding.
+type BindingRecord struct {
+	Sur         domain.Surrogate
+	RelType     string
+	Transmitter domain.Surrogate
+	Inheritor   domain.Surrogate
+	Attrs       map[string]domain.Value
+}
+
+// ClassRecord describes a database-level class.
+type ClassRecord struct {
+	Name     string
+	ElemType string
+}
+
+// StoreState is a complete logical snapshot of a store.
+type StoreState struct {
+	Classes  []ClassRecord
+	Objects  []ObjectRecord
+	Bindings []BindingRecord
+	NextSur  uint64
+	Seq      uint64
+}
+
+// Export captures the store's full state. The result shares no mutable
+// structure with the store (values are deep-copied).
+func (s *Store) Export() *StoreState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.exportLocked()
+}
+
+// WithExclusive runs f while holding the store's write lock, passing a
+// consistent export. No mutation (and hence no journal append) can run
+// concurrently; the checkpointer uses this to pair a snapshot with a log
+// rotation atomically.
+func (s *Store) WithExclusive(f func(st *StoreState) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f(s.exportLocked())
+}
+
+func (s *Store) exportLocked() *StoreState {
+	st := &StoreState{NextSur: s.nextSur, Seq: s.seq}
+	for _, name := range sortedNames(s.classes) {
+		st.Classes = append(st.Classes, ClassRecord{Name: name, ElemType: s.classes[name].elemType})
+	}
+	surs := s.surrogatesLocked()
+	bindingSurs := make(map[domain.Surrogate]*Binding)
+	for _, list := range s.byTransmitter {
+		for _, b := range list {
+			bindingSurs[b.Obj.sur] = b
+		}
+	}
+	for _, sur := range surs {
+		if b, isBinding := bindingSurs[sur]; isBinding {
+			st.Bindings = append(st.Bindings, BindingRecord{
+				Sur:         sur,
+				RelType:     b.Rel.Name,
+				Transmitter: b.Transmitter,
+				Inheritor:   b.Inheritor,
+				Attrs:       copyAttrs(b.Obj.attrs),
+			})
+			continue
+		}
+		o := s.objects[sur]
+		st.Objects = append(st.Objects, ObjectRecord{
+			Sur:          sur,
+			TypeName:     o.typeName,
+			IsRel:        o.isRel,
+			Parent:       o.parent,
+			ParentSub:    o.parentSub,
+			OwnerClass:   o.ownerClass,
+			ModSeq:       o.modSeq,
+			Attrs:        copyAttrs(o.attrs),
+			Participants: copyAttrs(o.participants),
+		})
+	}
+	return st
+}
+
+func copyAttrs(m map[string]domain.Value) map[string]domain.Value {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]domain.Value, len(m))
+	for k, v := range m {
+		out[k] = v.Copy()
+	}
+	return out
+}
+
+// Import rebuilds the state into an empty store. It fails if the store
+// already holds objects or if the state is inconsistent with the catalog.
+func (s *Store) Import(st *StoreState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.objects) != 0 {
+		return fmt.Errorf("object: Import needs an empty store")
+	}
+	for _, c := range st.Classes {
+		if _, dup := s.classes[c.Name]; dup {
+			return fmt.Errorf("object: duplicate class %q in snapshot", c.Name)
+		}
+		s.classes[c.Name] = newClass(c.Name, c.ElemType)
+	}
+	// Objects in ascending surrogate order so parents precede subobjects
+	// is NOT guaranteed in general; link classes in a second pass.
+	recs := append([]ObjectRecord(nil), st.Objects...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Sur < recs[j].Sur })
+	for _, r := range recs {
+		if _, dup := s.objects[r.Sur]; dup {
+			return fmt.Errorf("object: duplicate surrogate %s in snapshot", r.Sur)
+		}
+		if r.IsRel {
+			if _, ok := s.cat.RelType(r.TypeName); !ok {
+				return fmt.Errorf("%w: %q", ErrNoSuchType, r.TypeName)
+			}
+		} else if _, ok := s.cat.ObjectType(r.TypeName); !ok {
+			return fmt.Errorf("%w: %q", ErrNoSuchType, r.TypeName)
+		}
+		o := &Object{
+			sur:          r.Sur,
+			typeName:     r.TypeName,
+			isRel:        r.IsRel,
+			parent:       r.Parent,
+			parentSub:    r.ParentSub,
+			ownerClass:   r.OwnerClass,
+			modSeq:       r.ModSeq,
+			attrs:        copyAttrs(r.Attrs),
+			participants: copyAttrs(r.Participants),
+			subclasses:   make(map[string]*Class),
+			subrels:      make(map[string]*Class),
+		}
+		if o.attrs == nil {
+			o.attrs = make(map[string]domain.Value)
+		}
+		s.objects[r.Sur] = o
+	}
+	// Second pass: class membership and participant index.
+	for _, r := range recs {
+		o := s.objects[r.Sur]
+		if r.OwnerClass != "" {
+			cls, ok := s.classes[r.OwnerClass]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrNoSuchClass, r.OwnerClass)
+			}
+			cls.add(r.Sur)
+		}
+		if r.Parent != 0 {
+			po, ok := s.objects[r.Parent]
+			if !ok {
+				return fmt.Errorf("object: snapshot parent %s missing", r.Parent)
+			}
+			if err := s.linkSubobjectLocked(po, o); err != nil {
+				return err
+			}
+		}
+		for _, v := range o.participants {
+			s.indexParticipantLocked(o.sur, v)
+		}
+	}
+	// Bindings.
+	brecs := append([]BindingRecord(nil), st.Bindings...)
+	sort.Slice(brecs, func(i, j int) bool { return brecs[i].Sur < brecs[j].Sur })
+	for _, r := range brecs {
+		rel, ok := s.cat.InherRelType(r.RelType)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoSuchType, r.RelType)
+		}
+		if _, ok := s.objects[r.Transmitter]; !ok {
+			return fmt.Errorf("object: snapshot transmitter %s missing", r.Transmitter)
+		}
+		if _, ok := s.objects[r.Inheritor]; !ok {
+			return fmt.Errorf("object: snapshot inheritor %s missing", r.Inheritor)
+		}
+		obj := &Object{
+			sur:      r.Sur,
+			typeName: r.RelType,
+			isRel:    true,
+			attrs:    copyAttrs(r.Attrs),
+			participants: map[string]domain.Value{
+				"Transmitter": domain.Ref(r.Transmitter),
+				"Inheritor":   domain.Ref(r.Inheritor),
+			},
+			subclasses: make(map[string]*Class),
+			subrels:    make(map[string]*Class),
+		}
+		if obj.attrs == nil {
+			obj.attrs = make(map[string]domain.Value)
+		}
+		if _, dup := s.objects[r.Sur]; dup {
+			return fmt.Errorf("object: duplicate surrogate %s in snapshot", r.Sur)
+		}
+		s.objects[r.Sur] = obj
+		b := &Binding{Obj: obj, Rel: rel, Transmitter: r.Transmitter, Inheritor: r.Inheritor}
+		m := s.byInheritor[r.Inheritor]
+		if m == nil {
+			m = make(map[string]*Binding)
+			s.byInheritor[r.Inheritor] = m
+		}
+		if _, dup := m[r.RelType]; dup {
+			return fmt.Errorf("object: duplicate binding for %s in %s", r.Inheritor, r.RelType)
+		}
+		m[r.RelType] = b
+		s.byTransmitter[r.Transmitter] = append(s.byTransmitter[r.Transmitter], b)
+	}
+	s.nextSur = st.NextSur
+	s.seq = st.Seq
+	return nil
+}
+
+// linkSubobjectLocked re-registers a subobject in its parent's subclass
+// or sub-relationship class during import.
+func (s *Store) linkSubobjectLocked(parent, child *Object) error {
+	name := child.parentSub
+	if child.isRel {
+		cls, ok := parent.subrels[name]
+		if !ok {
+			cls = newClass(name, child.typeName)
+			parent.subrels[name] = cls
+		}
+		cls.add(child.sur)
+		return nil
+	}
+	cls, ok := parent.subclasses[name]
+	if !ok {
+		cls = newClass(name, child.typeName)
+		parent.subclasses[name] = cls
+	}
+	cls.add(child.sur)
+	return nil
+}

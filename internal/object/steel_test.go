@@ -1,0 +1,281 @@
+package object
+
+import (
+	"errors"
+	"testing"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/paperschema"
+)
+
+// buildGirderInterface creates a GirderInterface with the given dimensions
+// and bore diameters/lengths.
+func buildGirderInterface(t *testing.T, s *Store, l, h, w int64, bores [][2]int64) domain.Surrogate {
+	t.Helper()
+	gi := mustSur(t)(s.NewObject(paperschema.TypeGirderInterface, ""))
+	set(t, s, gi, "Length", domain.Int(l))
+	set(t, s, gi, "Height", domain.Int(h))
+	set(t, s, gi, "Width", domain.Int(w))
+	for _, b := range bores {
+		bore := mustSur(t)(s.NewSubobject(gi, "Bores"))
+		set(t, s, bore, "Diameter", domain.Int(b[0]))
+		set(t, s, bore, "Length", domain.Int(b[1]))
+	}
+	return gi
+}
+
+func buildPlateInterface(t *testing.T, s *Store, thickness int64, bores [][2]int64) domain.Surrogate {
+	t.Helper()
+	pi := mustSur(t)(s.NewObject(paperschema.TypePlateInterface, ""))
+	set(t, s, pi, "Thickness", domain.Int(thickness))
+	set(t, s, pi, "Area", domain.NewRec("Length", domain.Int(200), "Width", domain.Int(100)))
+	for _, b := range bores {
+		bore := mustSur(t)(s.NewSubobject(pi, "Bores"))
+		set(t, s, bore, "Diameter", domain.Int(b[0]))
+		set(t, s, bore, "Length", domain.Int(b[1]))
+	}
+	return pi
+}
+
+// buildStructure assembles the paper's Figure 5 weight-carrying structure:
+// one girder and one plate (as components of the structure) screwed
+// together through aligned bores with a bolt/nut pair living inside the
+// screwing relationship.
+func buildStructure(t *testing.T, s *Store) (st, screw domain.Surrogate) {
+	t.Helper()
+	gi := buildGirderInterface(t, s, 500, 20, 10, [][2]int64{{10, 20}})
+	pi := buildPlateInterface(t, s, 10, [][2]int64{{10, 10}})
+
+	bolt := mustSur(t)(s.NewObject(paperschema.TypeBolt, ""))
+	set(t, s, bolt, "Length", domain.Int(40))
+	set(t, s, bolt, "Diameter", domain.Int(8))
+	nut := mustSur(t)(s.NewObject(paperschema.TypeNut, ""))
+	set(t, s, nut, "Length", domain.Int(10))
+	set(t, s, nut, "Diameter", domain.Int(8))
+
+	st = mustSur(t)(s.NewObject(paperschema.TypeStructure, ""))
+	set(t, s, st, "Designer", domain.Str("Pegels"))
+	set(t, s, st, "Description", domain.Str("weight carrying structure"))
+
+	girder := mustSur(t)(s.NewSubobject(st, "Girders"))
+	if _, err := s.Bind(paperschema.RelAllOfGirderIf, girder, gi); err != nil {
+		t.Fatal(err)
+	}
+	plate := mustSur(t)(s.NewSubobject(st, "Plates"))
+	if _, err := s.Bind(paperschema.RelAllOfPlateIf, plate, pi); err != nil {
+		t.Fatal(err)
+	}
+
+	gBores, err := s.Members(girder, "Bores")
+	if err != nil || len(gBores) != 1 {
+		t.Fatalf("girder bores = %v, %v", gBores, err)
+	}
+	pBores, err := s.Members(plate, "Bores")
+	if err != nil || len(pBores) != 1 {
+		t.Fatalf("plate bores = %v, %v", pBores, err)
+	}
+
+	screw, err = s.RelateIn(st, "Screwings", Participants{
+		"Bores": domain.NewSet(domain.Ref(gBores[0]), domain.Ref(pBores[0])),
+	})
+	if err != nil {
+		t.Fatalf("screwing: %v", err)
+	}
+	set(t, s, screw, "Strength", domain.Int(7))
+
+	// The bolt and nut are subobjects *of the relationship* bound to the
+	// part catalog.
+	sb := mustSur(t)(s.NewRelSubobject(screw, "Bolt"))
+	if _, err := s.Bind(paperschema.RelAllOfBoltType, sb, bolt); err != nil {
+		t.Fatal(err)
+	}
+	sn := mustSur(t)(s.NewRelSubobject(screw, "Nut"))
+	if _, err := s.Bind(paperschema.RelAllOfNutType, sn, nut); err != nil {
+		t.Fatal(err)
+	}
+	return st, screw
+}
+
+func TestWeightCarryingStructure(t *testing.T) {
+	// Experiment E6 (Figure 5 / §5).
+	s := steelStore(t)
+	st, screw := buildStructure(t, s)
+
+	// Girder subobject reads the interface's dimensions by inheritance.
+	girders, _ := s.Members(st, "Girders")
+	if len(girders) != 1 {
+		t.Fatal("one girder expected")
+	}
+	if v := get(t, s, girders[0], "Length"); !v.Equal(domain.Int(500)) {
+		t.Errorf("girder Length = %s", v)
+	}
+	// Bolt length 40 = nut 10 + bore lengths 20+10: the ScrewingType
+	// constraint family holds.
+	if v, err := s.CheckConstraints(screw); err != nil || len(v) != 0 {
+		t.Fatalf("screwing violations: %v err=%v", v, err)
+	}
+	// The structure's own constraints (where clause of Screwings) hold.
+	if v, err := s.CheckConstraints(st); err != nil || len(v) != 0 {
+		t.Fatalf("structure violations: %v err=%v", v, err)
+	}
+	if v := s.CheckAll(); len(v) != 0 {
+		t.Fatalf("global violations: %v", v)
+	}
+}
+
+func TestScrewingConstraintViolations(t *testing.T) {
+	s := steelStore(t)
+	_, screw := buildStructure(t, s)
+
+	// Shrink a bore below the bolt diameter: "s.Diameter <= b.Diameter"
+	// fails. The bore belongs to the girder interface.
+	boresV, err := s.Participant(screw, "Bores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bores := boresV.(*domain.Set).Elems()
+	boreSur := domain.Surrogate(bores[0].(domain.Ref))
+	set(t, s, boreSur, "Diameter", domain.Int(6))
+	v, _ := s.CheckConstraints(screw)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+
+	// Restore, then break the bolt/nut diameter agreement. The bolt's
+	// Diameter is inherited: it must change on the part, not the
+	// subobject.
+	set(t, s, boreSur, "Diameter", domain.Int(10))
+	boltSubs, _ := s.Members(screw, "Bolt")
+	if len(boltSubs) != 1 {
+		t.Fatal("bolt subobject missing")
+	}
+	if err := s.SetAttr(boltSubs[0], "Diameter", domain.Int(9)); !errors.Is(err, ErrInheritedAttribute) {
+		t.Fatalf("bolt diameter should be write-protected: %v", err)
+	}
+	b, ok := s.BindingOf(boltSubs[0], paperschema.RelAllOfBoltType)
+	if !ok {
+		t.Fatal("bolt binding missing")
+	}
+	set(t, s, b.Transmitter, "Diameter", domain.Int(9))
+	v, _ = s.CheckConstraints(screw)
+	if len(v) != 1 {
+		t.Fatalf("diameter mismatch should violate: %v", v)
+	}
+	// Fixing the catalog part fixes every screwing that uses it.
+	set(t, s, b.Transmitter, "Diameter", domain.Int(8))
+	v, _ = s.CheckConstraints(screw)
+	if len(v) != 0 {
+		t.Fatalf("violations after fix: %v", v)
+	}
+}
+
+func TestScrewingRequiresStructureBores(t *testing.T) {
+	// The where restriction: screwings may only use bores of the
+	// structure's own girders and plates.
+	s := steelStore(t)
+	st, _ := buildStructure(t, s)
+	// A bore of an unrelated interface.
+	other := buildGirderInterface(t, s, 100, 10, 10, [][2]int64{{12, 30}})
+	otherBores, _ := s.Members(other, "Bores")
+	_, err := s.RelateIn(st, "Screwings", Participants{
+		"Bores": domain.NewSet(domain.Ref(otherBores[0])),
+	})
+	if !errors.Is(err, ErrConstraint) {
+		t.Fatalf("foreign bore should violate the where clause: %v", err)
+	}
+}
+
+func TestSharedPartCatalog(t *testing.T) {
+	// Standard parts (bolts) are heavily shared transmitters: many
+	// screwings inherit from one bolt part. One update reaches them all.
+	s := steelStore(t)
+	bolt := mustSur(t)(s.NewObject(paperschema.TypeBolt, ""))
+	set(t, s, bolt, "Length", domain.Int(40))
+	set(t, s, bolt, "Diameter", domain.Int(8))
+
+	gi := buildGirderInterface(t, s, 500, 20, 10, [][2]int64{{10, 40}, {10, 40}, {10, 40}})
+	st := mustSur(t)(s.NewObject(paperschema.TypeStructure, ""))
+	girder := mustSur(t)(s.NewSubobject(st, "Girders"))
+	if _, err := s.Bind(paperschema.RelAllOfGirderIf, girder, gi); err != nil {
+		t.Fatal(err)
+	}
+	gBores, _ := s.Members(girder, "Bores")
+
+	var boltSubs []domain.Surrogate
+	for _, bore := range gBores {
+		screw, err := s.RelateIn(st, "Screwings", Participants{
+			"Bores": domain.NewSet(domain.Ref(bore)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb := mustSur(t)(s.NewRelSubobject(screw, "Bolt"))
+		if _, err := s.Bind(paperschema.RelAllOfBoltType, sb, bolt); err != nil {
+			t.Fatal(err)
+		}
+		boltSubs = append(boltSubs, sb)
+	}
+	if got := len(s.BindingsOfTransmitter(bolt)); got != 3 {
+		t.Fatalf("bolt inheritors = %d", got)
+	}
+	set(t, s, bolt, "Diameter", domain.Int(9))
+	for _, sb := range boltSubs {
+		if v := get(t, s, sb, "Diameter"); !v.Equal(domain.Int(9)) {
+			t.Errorf("shared update not visible at %s: %s", sb, v)
+		}
+	}
+	// Deleting the shared part is restricted while in use.
+	if err := s.Delete(bolt); !errors.Is(err, ErrHasInheritors) {
+		t.Errorf("shared part delete: %v", err)
+	}
+}
+
+func TestGirderInterfaceConstraint(t *testing.T) {
+	// "Length < 100*Height*Width" on GirderInterface.
+	s := steelStore(t)
+	gi := buildGirderInterface(t, s, 500, 20, 10, nil)
+	if v, _ := s.CheckConstraints(gi); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	set(t, s, gi, "Height", domain.Int(0))
+	if v, _ := s.CheckConstraints(gi); len(v) != 1 {
+		t.Fatal("degenerate girder should violate")
+	}
+}
+
+func TestRelSubobjectErrors(t *testing.T) {
+	s := steelStore(t)
+	_, screw := buildStructure(t, s)
+	if _, err := s.NewRelSubobject(screw, "Ghost"); !errors.Is(err, ErrNoSuchClass) {
+		t.Errorf("unknown rel subclass: %v", err)
+	}
+	gi := mustSur(t)(s.NewObject(paperschema.TypeGirderInterface, ""))
+	if _, err := s.NewRelSubobject(gi, "Bolt"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("rel subobject on non-rel: %v", err)
+	}
+	if _, err := s.NewRelSubobject(999, "Bolt"); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("rel subobject on missing: %v", err)
+	}
+	// A second bolt in the same screwing violates "#s in Bolt = 1".
+	sb2 := mustSur(t)(s.NewRelSubobject(screw, "Bolt"))
+	_ = sb2
+	v, _ := s.CheckConstraints(screw)
+	if len(v) == 0 {
+		t.Error("two bolts should violate the cardinality constraint")
+	}
+}
+
+func TestStructureEnvQueries(t *testing.T) {
+	// The Env machinery supports ad-hoc queries against an object.
+	s := steelStore(t)
+	st, _ := buildStructure(t, s)
+	env := s.Env(st)
+	holds, err := evalBoolSrc("count(Screwings) = 1 and count(Girders) = 1", env)
+	if err != nil || !holds {
+		t.Errorf("query: %v %v", holds, err)
+	}
+	holds, err = evalBoolSrc("for g in Girders: g.Length < 100*g.Height*g.Width", env)
+	if err != nil || !holds {
+		t.Errorf("girder bound query: %v %v", holds, err)
+	}
+}

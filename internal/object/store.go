@@ -1,0 +1,365 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/oplog"
+	"cadcam/internal/schema"
+)
+
+// DeletePolicy controls what deleting a transmitter does to its bound
+// inheritors. The paper leaves this open; both behaviours are useful.
+type DeletePolicy uint8
+
+const (
+	// DeleteRestrict refuses to delete a transmitter with live inheritors.
+	DeleteRestrict DeletePolicy = iota
+	// DeleteUnbind detaches inheritors (they fall back to type-level
+	// inheritance: structure without values) and flags them for
+	// adaptation via the update hook.
+	DeleteUnbind
+)
+
+// UpdateEvent describes a permeable transmitter change observed by a
+// binding; hooks receive it synchronously under the store lock, so they
+// must not call back into the store.
+type UpdateEvent struct {
+	Rel         string // inher-rel-type name
+	Binding     domain.Surrogate
+	Transmitter domain.Surrogate
+	Inheritor   domain.Surrogate
+	Member      string // attribute or subclass that changed
+	Seq         uint64
+	// Unbound marks the transmitter-side deletion under DeleteUnbind.
+	Unbound bool
+}
+
+// UpdateHook observes permeable transmitter updates (the trigger
+// mechanism the paper defers to future work, §2/§4.1).
+type UpdateHook func(UpdateEvent)
+
+// Store is the object base: all objects, classes and bindings of one
+// database, typed by a validated schema catalog.
+type Store struct {
+	mu  sync.RWMutex
+	cat *schema.Catalog
+
+	objects map[domain.Surrogate]*Object
+	classes map[string]*Class
+
+	// byInheritor indexes bindings by (inheritor, inher-rel-type).
+	byInheritor map[domain.Surrogate]map[string]*Binding
+	// byTransmitter indexes bindings by transmitter.
+	byTransmitter map[domain.Surrogate][]*Binding
+	// relsByParticipant indexes relationship objects by the objects they
+	// relate, for cascading deletes (allocated lazily).
+	relsByParticipant map[domain.Surrogate]map[domain.Surrogate]bool
+
+	nextSur uint64
+	seq     uint64
+
+	deletePolicy DeletePolicy
+	hooks        []UpdateHook
+
+	// journal, when set, receives every successful mutation in execution
+	// order; called under the store mutex, so it must not call back in.
+	journal func(*oplog.Op)
+
+	// guard, when set, is consulted before any mutation of an object; a
+	// non-nil result vetoes the mutation. The database facade uses it to
+	// write-protect frozen versions.
+	guard func(sur domain.Surrogate) error
+}
+
+// NewStore creates an empty store over a validated catalog.
+func NewStore(cat *schema.Catalog) (*Store, error) {
+	if !cat.Validated() {
+		return nil, fmt.Errorf("object: catalog must be validated")
+	}
+	return &Store{
+		cat:           cat,
+		objects:       make(map[domain.Surrogate]*Object),
+		classes:       make(map[string]*Class),
+		byInheritor:   make(map[domain.Surrogate]map[string]*Binding),
+		byTransmitter: make(map[domain.Surrogate][]*Binding),
+	}, nil
+}
+
+// Catalog returns the schema catalog.
+func (s *Store) Catalog() *schema.Catalog { return s.cat }
+
+// SetDeletePolicy selects the transmitter delete behaviour.
+func (s *Store) SetDeletePolicy(p DeletePolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deletePolicy = p
+	s.emit(&oplog.Op{Kind: oplog.KindDeletePolicy, Num: int64(p)})
+}
+
+// SetJournal installs the journal callback. It is invoked under the store
+// mutex after every successful mutation, in execution order; it must not
+// call store methods. Pass nil to disable journaling.
+func (s *Store) SetJournal(fn func(*oplog.Op)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = fn
+}
+
+func (s *Store) emit(op *oplog.Op) {
+	if s.journal != nil {
+		s.journal(op)
+	}
+}
+
+// SetWriteGuard installs a veto consulted before mutations of an object
+// (attribute writes, subobject/relationship insertion, binding changes,
+// deletion). Pass nil to disable.
+func (s *Store) SetWriteGuard(g func(sur domain.Surrogate) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.guard = g
+}
+
+func (s *Store) guardLocked(sur domain.Surrogate) error {
+	if s.guard != nil {
+		return s.guard(sur)
+	}
+	return nil
+}
+
+// OnTransmitterUpdate registers a hook; hooks run synchronously under the
+// store lock and must not call store methods.
+func (s *Store) OnTransmitterUpdate(h UpdateHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = append(s.hooks, h)
+}
+
+// Seq returns the current logical update sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// ModSeq returns the store sequence of the object's last direct mutation;
+// 0 if it was never mutated since creation. Long transactions use it for
+// optimistic checkin validation.
+func (s *Store) ModSeq(sur domain.Surrogate) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[sur]
+	if !ok {
+		return 0, noObject(sur)
+	}
+	return o.modSeq, nil
+}
+
+// DefineClass creates a database-level class holding objects of the given
+// type ("" = unrestricted). Several classes may hold objects of the same
+// type (§3).
+func (s *Store) DefineClass(name, elemType string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		return fmt.Errorf("object: class needs a name")
+	}
+	if _, dup := s.classes[name]; dup {
+		return fmt.Errorf("object: duplicate class %q", name)
+	}
+	if elemType != "" {
+		if _, ok := s.cat.ObjectType(elemType); !ok {
+			return fmt.Errorf("%w: %q", ErrNoSuchType, elemType)
+		}
+	}
+	s.classes[name] = newClass(name, elemType)
+	s.emit(&oplog.Op{Kind: oplog.KindDefineClass, Name: name, Name2: elemType})
+	return nil
+}
+
+// Class returns the members of a database-level class.
+func (s *Store) Class(name string) ([]domain.Surrogate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.classes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchClass, name)
+	}
+	return c.Members(), nil
+}
+
+// ClassNames lists database-level classes, sorted.
+func (s *Store) ClassNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedNames(s.classes)
+}
+
+// NewObject creates a top-level object of the named type, optionally
+// inserting it into a database-level class.
+func (s *Store) NewObject(typeName, className string) (domain.Surrogate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.cat.ObjectType(typeName)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchType, typeName)
+	}
+	var cls *Class
+	if className != "" {
+		cls, ok = s.classes[className]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoSuchClass, className)
+		}
+		if cls.elemType != "" && cls.elemType != typeName {
+			return 0, fmt.Errorf("%w: class %q holds %q, not %q", ErrTypeMismatch, className, cls.elemType, typeName)
+		}
+	}
+	o := s.newObjectLocked(t, false)
+	if cls != nil {
+		cls.add(o.sur)
+		o.ownerClass = className
+	}
+	s.emit(&oplog.Op{Kind: oplog.KindNewObject, Name: typeName, Name2: className, Out: o.sur})
+	return o.sur, nil
+}
+
+// NewSubobject creates a subobject in the named local subclass of parent.
+// The member type comes from the subclass declaration; subobjects live
+// and die with the parent (§3).
+func (s *Store) NewSubobject(parent domain.Surrogate, subclass string) (domain.Surrogate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	po, ok := s.objects[parent]
+	if !ok {
+		return 0, noObject(parent)
+	}
+	if err := s.guardLocked(parent); err != nil {
+		return 0, err
+	}
+	sd, cls, err := s.subclassOf(po, subclass)
+	if err != nil {
+		return 0, err
+	}
+	if sd.Inherited() {
+		return 0, fmt.Errorf("%w: subclass %q is inherited from %s and read-only here",
+			ErrInheritedAttribute, subclass, sd.Source)
+	}
+	mt, ok := s.cat.ObjectType(sd.ElemType)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchType, sd.ElemType)
+	}
+	o := s.newObjectLocked(mt, false)
+	o.parent = parent
+	o.parentSub = subclass
+	cls.add(o.sur)
+	s.seq++
+	po.modSeq = s.seq
+	// Gaining a member is a visible change of the subclass: inheritors of
+	// the parent (e.g. implementations of an interface gaining a pin) are
+	// informed through their binding bookkeeping.
+	s.notifyLocked(parent, subclass, map[domain.Surrogate]bool{})
+	s.emit(&oplog.Op{Kind: oplog.KindNewSubobject, Sur: parent, Name: subclass, Out: o.sur})
+	return o.sur, nil
+}
+
+// subclassOf resolves a subclass declaration and its materialized class on
+// an object, creating the class lazily for own (non-inherited) subclasses.
+func (s *Store) subclassOf(o *Object, name string) (*schema.EffSubclass, *Class, error) {
+	eff, err := s.effectiveLocked(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	sd, ok := eff.SubclassByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q has no subclass %q", ErrNoSuchClass, o.typeName, name)
+	}
+	if sd.Inherited() {
+		return sd, nil, nil
+	}
+	cls, ok := o.subclasses[name]
+	if !ok {
+		cls = newClass(name, sd.ElemType)
+		o.subclasses[name] = cls
+	}
+	return sd, cls, nil
+}
+
+func (s *Store) effectiveLocked(o *Object) (*schema.EffectiveType, error) {
+	if o.isRel {
+		return nil, fmt.Errorf("%w: %q is a relationship type", ErrNoSuchType, o.typeName)
+	}
+	eff, ok := s.cat.Effective(o.typeName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchType, o.typeName)
+	}
+	return eff, nil
+}
+
+func (s *Store) newObjectLocked(t *schema.ObjectType, isRel bool) *Object {
+	s.nextSur++
+	o := &Object{
+		sur:          domain.Surrogate(s.nextSur),
+		typeName:     t.Name,
+		isRel:        isRel,
+		attrs:        make(map[string]domain.Value),
+		subclasses:   make(map[string]*Class),
+		subrels:      make(map[string]*Class),
+		participants: nil,
+	}
+	s.objects[o.sur] = o
+	return o
+}
+
+// Exists reports whether a surrogate denotes a live object.
+func (s *Store) Exists(sur domain.Surrogate) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[sur]
+	return ok
+}
+
+// TypeOf returns the type name of an object.
+func (s *Store) TypeOf(sur domain.Surrogate) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[sur]
+	if !ok {
+		return "", noObject(sur)
+	}
+	return o.typeName, nil
+}
+
+// Get returns the object for a surrogate. The returned *Object must be
+// treated as read-only.
+func (s *Store) Get(sur domain.Surrogate) (*Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[sur]
+	if !ok {
+		return nil, noObject(sur)
+	}
+	return o, nil
+}
+
+// Len reports the number of live objects (including relationship objects).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Surrogates returns all live surrogates in ascending order; intended for
+// iteration in tools, tests and persistence snapshots.
+func (s *Store) Surrogates() []domain.Surrogate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]domain.Surrogate, 0, len(s.objects))
+	for sur := range s.objects {
+		out = append(out, sur)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,87 @@
+// Package oplog defines the logical operation records the database
+// journals. It is a leaf package (values and codec only) so that both the
+// object store (which emits ops as it mutates) and the recovery machinery
+// (which replays them) can depend on it without cycles.
+package oplog
+
+import (
+	"cadcam/internal/codec"
+	"cadcam/internal/domain"
+)
+
+// Kind identifies a logical operation. Append-only: never renumber.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KindInvalid Kind = iota
+	KindDefineClass
+	KindNewObject
+	KindNewSubobject
+	KindNewRelSubobject
+	KindSetAttr
+	KindRelate
+	KindRelateIn
+	KindBind
+	KindUnbind
+	KindAcknowledge
+	KindDelete
+	KindDeletePolicy
+	KindDefineDesign
+	KindAddVersion
+	KindSetStatus
+	KindSetDefault
+)
+
+// Op is one journaled operation. Field use depends on Kind; unused fields
+// stay zero. Out records the surrogate a creation op produced, so replay
+// can verify determinism.
+type Op struct {
+	Kind  Kind
+	Sur   domain.Surrogate // primary object
+	Sur2  domain.Surrogate // secondary (transmitter, parent, ...)
+	Out   domain.Surrogate // surrogate assigned by a creation op
+	Name  string           // type/class/attr/design name
+	Name2 string           // secondary name
+	Value domain.Value
+	Parts map[string]domain.Value
+	Surs  []domain.Surrogate
+	Num   int64
+}
+
+// Encode serializes the op.
+func (op *Op) Encode() []byte {
+	var e codec.Buf
+	e.Byte(byte(op.Kind))
+	e.Sur(op.Sur)
+	e.Sur(op.Sur2)
+	e.Sur(op.Out)
+	e.Str(op.Name)
+	e.Str(op.Name2)
+	e.Value(op.Value)
+	e.ValueMap(op.Parts)
+	e.Surs(op.Surs)
+	e.Varint(op.Num)
+	return e.Bytes()
+}
+
+// Decode deserializes an op.
+func Decode(b []byte) (*Op, error) {
+	r := codec.NewReader(b)
+	op := &Op{
+		Kind:  Kind(r.Byte()),
+		Sur:   r.Sur(),
+		Sur2:  r.Sur(),
+		Out:   r.Sur(),
+		Name:  r.Str(),
+		Name2: r.Str(),
+		Value: r.Value(),
+		Parts: r.ValueMap(),
+		Surs:  r.Surs(),
+		Num:   r.Varint(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return op, nil
+}

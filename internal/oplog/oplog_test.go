@@ -1,0 +1,135 @@
+package oplog
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cadcam/internal/domain"
+)
+
+func TestRoundTripAllFields(t *testing.T) {
+	op := &Op{
+		Kind:  KindRelateIn,
+		Sur:   7,
+		Sur2:  8,
+		Out:   9,
+		Name:  "Wires",
+		Name2: "WireType",
+		Value: domain.NewList(domain.Int(1)),
+		Parts: map[string]domain.Value{
+			"Pin1": domain.Ref(1),
+			"Pin2": domain.Ref(2),
+		},
+		Surs: []domain.Surrogate{3, 4, 5},
+		Num:  -12,
+	}
+	got, err := Decode(op.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != op.Kind || got.Sur != op.Sur || got.Sur2 != op.Sur2 || got.Out != op.Out ||
+		got.Name != op.Name || got.Name2 != op.Name2 || got.Num != op.Num {
+		t.Errorf("scalar fields: %+v vs %+v", got, op)
+	}
+	if !got.Value.Equal(op.Value) {
+		t.Errorf("value: %s vs %s", got.Value, op.Value)
+	}
+	if len(got.Parts) != 2 || !got.Parts["Pin1"].Equal(domain.Ref(1)) {
+		t.Errorf("parts: %v", got.Parts)
+	}
+	if len(got.Surs) != 3 || got.Surs[2] != 5 {
+		t.Errorf("surs: %v", got.Surs)
+	}
+}
+
+func TestZeroOpRoundTrip(t *testing.T) {
+	op := &Op{Kind: KindDelete}
+	got, err := Decode(op.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindDelete || got.Sur != 0 || got.Name != "" || got.Parts != nil || got.Surs != nil {
+		t.Errorf("zero op: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{byte(KindSetAttr)},          // truncated after kind
+		{byte(KindSetAttr), 1, 2, 3}, // truncated mid-fields
+	}
+	for _, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("input % x should fail", b)
+		}
+	}
+}
+
+type randomOp struct{ Op *Op }
+
+func (randomOp) Generate(r *rand.Rand, _ int) reflect.Value {
+	op := &Op{
+		Kind:  Kind(r.Intn(int(KindSetDefault) + 1)),
+		Sur:   domain.Surrogate(r.Uint64() >> 1),
+		Sur2:  domain.Surrogate(r.Uint64() >> 1),
+		Out:   domain.Surrogate(r.Uint64() >> 1),
+		Name:  randName(r),
+		Name2: randName(r),
+		Num:   r.Int63() - (1 << 62),
+	}
+	if r.Intn(2) == 0 {
+		op.Value = domain.Int(r.Int63())
+	} else {
+		op.Value = domain.NullValue
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		if op.Parts == nil {
+			op.Parts = map[string]domain.Value{}
+		}
+		op.Parts[randName(r)] = domain.Ref(r.Uint64())
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		op.Surs = append(op.Surs, domain.Surrogate(r.Uint64()))
+	}
+	return reflect.ValueOf(randomOp{Op: op})
+}
+
+func randName(r *rand.Rand) string {
+	b := make([]byte, r.Intn(10))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// Property: ops round-trip exactly.
+func TestQuickOpRoundTrip(t *testing.T) {
+	f := func(a randomOp) bool {
+		got, err := Decode(a.Op.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Kind != a.Op.Kind || got.Sur != a.Op.Sur || got.Sur2 != a.Op.Sur2 ||
+			got.Out != a.Op.Out || got.Name != a.Op.Name || got.Name2 != a.Op.Name2 ||
+			got.Num != a.Op.Num || len(got.Parts) != len(a.Op.Parts) || len(got.Surs) != len(a.Op.Surs) {
+			return false
+		}
+		for k, v := range a.Op.Parts {
+			if !got.Parts[k].Equal(v) {
+				return false
+			}
+		}
+		for i, s := range a.Op.Surs {
+			if got.Surs[i] != s {
+				return false
+			}
+		}
+		return got.Value.Equal(a.Op.Value) || (domain.IsNull(got.Value) && domain.IsNull(a.Op.Value))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package paperschema constructs, in Go, the two schemas the paper
+// develops in full: the chip-design schema of §3/§4 (simple gates,
+// elementary gates, gate interfaces and implementations, interface
+// hierarchies, permeability tailoring) and the steel-construction schema
+// of §5 (plates, girders, bolts, nuts, screwings, weight-carrying
+// structures).
+//
+// Tests, examples and the benchmark harness all build on these catalogs;
+// the DDL front end parses the same definitions from testdata/paper.ddl
+// and must produce equivalent catalogs (verified by a test).
+//
+// Two deliberate normalizations against the paper's pseudocode are
+// documented in DESIGN.md:
+//   - inheritance relationships shared by a named type and by component
+//     subobjects declare `inheritor: object` (unrestricted), because the
+//     paper binds the same relationship to both;
+//   - the loose constraint scoping of ScrewingType ("s" leaking between
+//     constraint lines) is written as one properly nested constraint.
+package paperschema
+
+import (
+	"cadcam/internal/domain"
+	"cadcam/internal/schema"
+)
+
+// Domain and type names used across the code base.
+const (
+	DomPoint = "Point"
+	DomIO    = "IO"
+
+	TypePin                = "PinType"
+	TypeWire               = "WireType"
+	TypeSimpleGate         = "SimpleGate"
+	TypeElementaryGate     = "ElementaryGate"
+	TypeGateInterfaceI     = "GateInterface_I"
+	TypeGateInterface      = "GateInterface"
+	TypeGateImplementation = "GateImplementation"
+	TypeSubGates           = "GateImplementation.SubGates"
+
+	RelAllOfGateInterfaceI = "AllOf_GateInterface_I"
+	RelAllOfGateInterface  = "AllOf_GateInterface"
+	RelSomeOfGate          = "SomeOf_Gate"
+
+	TypeTimedComposite = "TimedComposite"
+)
+
+// Gates builds the chip-design catalog. The returned catalog is
+// validated.
+func Gates() (*schema.Catalog, error) {
+	c := schema.NewCatalog()
+	point := domain.Record(DomPoint,
+		domain.Field{Name: "X", Dom: domain.Integer()},
+		domain.Field{Name: "Y", Dom: domain.Integer()},
+	)
+	io := domain.Enum(DomIO, "IN", "OUT")
+	gateFn := domain.Enum("GateFn", "AND", "OR", "NAND", "NOR")
+	if err := c.AddDomain(point); err != nil {
+		return nil, err
+	}
+	if err := c.AddDomain(io); err != nil {
+		return nil, err
+	}
+	if err := c.AddDomain(gateFn); err != nil {
+		return nil, err
+	}
+
+	// obj-type PinType (§3).
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name: TypePin,
+		Attributes: []schema.Attribute{
+			{Name: "InOut", Domain: io},
+			{Name: "PinLocation", Domain: point},
+			{Name: "PinId", Domain: domain.Integer()},
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	// rel-type WireType (§3).
+	if err := c.AddRelType(&schema.RelType{
+		Name: TypeWire,
+		Participants: []schema.Participant{
+			{Name: "Pin1", Type: TypePin},
+			{Name: "Pin2", Type: TypePin},
+		},
+		Attributes: []schema.Attribute{
+			{Name: "Corners", Domain: domain.ListOf(point)},
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	// obj-type SimpleGate (§3): pins as a set-of-record *attribute*.
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name: TypeSimpleGate,
+		Attributes: []schema.Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Width", Domain: domain.Integer()},
+			{Name: "Function", Domain: gateFn},
+			{Name: "Pins", Domain: domain.SetOf(domain.Record("",
+				domain.Field{Name: "PinId", Dom: domain.Integer()},
+				domain.Field{Name: "InOut", Dom: io},
+			))},
+		},
+		Constraints: []schema.Constraint{
+			schema.MustConstraint("count (Pins) = 2 where Pins.InOut = IN"),
+			schema.MustConstraint("count (Pins) = 1 where Pins.InOut = OUT"),
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	// obj-type ElementaryGate (§3): pins as subobjects.
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name: TypeElementaryGate,
+		Attributes: []schema.Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Width", Domain: domain.Integer()},
+			{Name: "Function", Domain: gateFn},
+			{Name: "GatePosition", Domain: point},
+		},
+		Subclasses: []schema.Subclass{{Name: "Pins", ElemType: TypePin}},
+		Constraints: []schema.Constraint{
+			schema.MustConstraint("count (Pins) = 2 where Pins.InOut = IN"),
+			schema.MustConstraint("count (Pins) = 1 where Pins.InOut = OUT"),
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	// obj-type GateInterface_I (§4.2): root of the interface hierarchy.
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name:       TypeGateInterfaceI,
+		Subclasses: []schema.Subclass{{Name: "Pins", ElemType: TypePin}},
+	}); err != nil {
+		return nil, err
+	}
+	if err := c.AddInherRelType(&schema.InherRelType{
+		Name:        RelAllOfGateInterfaceI,
+		Transmitter: TypeGateInterfaceI,
+		Inheriting:  []string{"Pins"},
+	}); err != nil {
+		return nil, err
+	}
+
+	// obj-type GateInterface (§4.2): interface version with expansion.
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name:        TypeGateInterface,
+		InheritorIn: []string{RelAllOfGateInterfaceI},
+		Attributes: []schema.Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Width", Domain: domain.Integer()},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := c.AddInherRelType(&schema.InherRelType{
+		Name:        RelAllOfGateInterface,
+		Transmitter: TypeGateInterface,
+		Inheriting:  []string{"Length", "Width", "Pins"},
+	}); err != nil {
+		return nil, err
+	}
+
+	// obj-type GateImplementation (§4.2, composite form): inherits the
+	// interface; SubGates subobjects are themselves inheritors bound to
+	// *component* interfaces and add placement data.
+	whereWires := "(Pin1 in Pins or Pin1 in SubGates.Pins) and (Pin2 in Pins or Pin2 in SubGates.Pins)"
+	wc := schema.MustConstraint(whereWires)
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name:        TypeGateImplementation,
+		InheritorIn: []string{RelAllOfGateInterface},
+		Attributes: []schema.Attribute{
+			{Name: "Function", Domain: domain.MatrixOf(domain.Boolean())},
+			{Name: "TimeBehavior", Domain: domain.Integer()},
+		},
+		Subclasses: []schema.Subclass{
+			{Name: "SubGates", Inline: &schema.ObjectType{
+				InheritorIn: []string{RelAllOfGateInterface},
+				Attributes:  []schema.Attribute{{Name: "GateLocation", Domain: point}},
+			}},
+		},
+		SubRels: []schema.SubRel{
+			{Name: "Wires", RelType: TypeWire, Where: &wc},
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	// inher-rel-type SomeOf_Gate (§4 end): tailored permeability exporting
+	// TimeBehavior past the interface.
+	if err := c.AddInherRelType(&schema.InherRelType{
+		Name:        RelSomeOfGate,
+		Transmitter: TypeGateImplementation,
+		Inheriting:  []string{"Length", "Width", "TimeBehavior", "Pins"},
+	}); err != nil {
+		return nil, err
+	}
+	// A consumer type using the tailored view (e.g. a timing simulator's
+	// placement of a gate).
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name:        TypeTimedComposite,
+		InheritorIn: []string{RelSomeOfGate},
+		Attributes: []schema.Attribute{
+			{Name: "SimSlot", Domain: domain.Integer()},
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustGates is Gates for callers with static schemas.
+func MustGates() *schema.Catalog {
+	c, err := Gates()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

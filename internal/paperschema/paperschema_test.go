@@ -1,0 +1,96 @@
+package paperschema
+
+import "testing"
+
+func TestGatesCatalogValidates(t *testing.T) {
+	c, err := Gates()
+	if err != nil {
+		t.Fatalf("Gates: %v", err)
+	}
+	for _, name := range []string{
+		TypePin, TypeSimpleGate, TypeElementaryGate, TypeGateInterfaceI,
+		TypeGateInterface, TypeGateImplementation, TypeSubGates, TypeTimedComposite,
+	} {
+		if _, ok := c.ObjectType(name); !ok {
+			t.Errorf("object type %q missing", name)
+		}
+	}
+	if _, ok := c.RelType(TypeWire); !ok {
+		t.Error("WireType missing")
+	}
+	for _, name := range []string{RelAllOfGateInterfaceI, RelAllOfGateInterface, RelSomeOfGate} {
+		if _, ok := c.InherRelType(name); !ok {
+			t.Errorf("inher-rel-type %q missing", name)
+		}
+	}
+
+	// GateImplementation's effective type: own Function/TimeBehavior,
+	// inherited Length/Width/Pins (Pins originating two levels up).
+	e, ok := c.Effective(TypeGateImplementation)
+	if !ok {
+		t.Fatal("effective type missing")
+	}
+	pins, ok := e.SubclassByName("Pins")
+	if !ok || pins.Source != TypeGateInterfaceI {
+		t.Errorf("Pins: ok=%v source=%q, want source %q", ok, pins.Source, TypeGateInterfaceI)
+	}
+	if a, ok := e.Attr("TimeBehavior"); !ok || a.Inherited() {
+		t.Error("TimeBehavior should be an own attribute of the implementation")
+	}
+
+	// TimedComposite sees TimeBehavior through SomeOf_Gate.
+	te, _ := c.Effective(TypeTimedComposite)
+	tb, ok := te.Attr("TimeBehavior")
+	if !ok || tb.Via != RelSomeOfGate || tb.Source != TypeGateImplementation {
+		t.Errorf("TimeBehavior via=%q source=%q ok=%v", tb.Via, tb.Source, ok)
+	}
+	if _, ok := te.Attr("Function"); ok {
+		t.Error("Function is not permeable through SomeOf_Gate")
+	}
+}
+
+func TestSteelCatalogValidates(t *testing.T) {
+	c, err := Steel()
+	if err != nil {
+		t.Fatalf("Steel: %v", err)
+	}
+	for _, name := range []string{
+		TypeBolt, TypeNut, TypeBore, TypeGirderInterface, TypePlateInterface,
+		TypeGirder, TypePlate, TypeStructure,
+	} {
+		if _, ok := c.ObjectType(name); !ok {
+			t.Errorf("object type %q missing", name)
+		}
+	}
+	// The bolt and nut inline types inside the screwing relationship.
+	for _, name := range []string{"ScrewingType.Bolt", "ScrewingType.Nut"} {
+		ot, ok := c.ObjectType(name)
+		if !ok || !ot.Anonymous {
+			t.Errorf("inline type %q missing or not anonymous", name)
+		}
+	}
+	// Girder inherits the full interface.
+	e, _ := c.Effective(TypeGirder)
+	for _, attr := range []string{"Length", "Height", "Width"} {
+		if a, ok := e.Attr(attr); !ok || !a.Inherited() {
+			t.Errorf("Girder.%s should be inherited", attr)
+		}
+	}
+	if b, ok := e.SubclassByName("Bores"); !ok || b.Source != TypeGirderInterface {
+		t.Error("Girder.Bores should come from the interface")
+	}
+	if a, ok := e.Attr("Material"); !ok || a.Inherited() {
+		t.Error("Girder.Material should be own")
+	}
+	// The structure's Girders subclass members inherit from the interface.
+	se, _ := c.Effective(TypeStructure + ".Girders")
+	if _, ok := se.Attr("Length"); !ok {
+		t.Error("structure girder subobjects should inherit Length")
+	}
+	if mg := MustGates(); mg == nil {
+		t.Error("MustGates returned nil")
+	}
+	if ms := MustSteel(); ms == nil {
+		t.Error("MustSteel returned nil")
+	}
+}

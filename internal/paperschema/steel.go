@@ -1,0 +1,191 @@
+package paperschema
+
+import (
+	"cadcam/internal/domain"
+	"cadcam/internal/schema"
+)
+
+// Steel-construction type names (§5).
+const (
+	DomArea = "AreaDom"
+
+	TypeBolt            = "BoltType"
+	TypeNut             = "NutType"
+	TypeBore            = "BoreType"
+	TypeGirderInterface = "GirderInterface"
+	TypePlateInterface  = "PlateInterface"
+	TypeGirder          = "Girder"
+	TypePlate           = "Plate"
+	TypeScrewing        = "ScrewingType"
+	TypeStructure       = "WeightCarrying_Structure"
+
+	RelAllOfGirderIf = "AllOf_GirderIf"
+	RelAllOfPlateIf  = "AllOf_PlateIf"
+	RelAllOfBoltType = "AllOf_BoltType"
+	RelAllOfNutType  = "AllOf_NutType"
+)
+
+// Steel builds the steel-construction catalog of §5. The returned catalog
+// is validated.
+func Steel() (*schema.Catalog, error) {
+	c := schema.NewCatalog()
+	area := domain.Record(DomArea,
+		domain.Field{Name: "Length", Dom: domain.Integer()},
+		domain.Field{Name: "Width", Dom: domain.Integer()},
+	)
+	material := domain.Enum("Material", "wood", "metal")
+	pointless := domain.Record(DomPoint,
+		domain.Field{Name: "X", Dom: domain.Integer()},
+		domain.Field{Name: "Y", Dom: domain.Integer()},
+	)
+	if err := c.AddDomain(area); err != nil {
+		return nil, err
+	}
+	if err := c.AddDomain(material); err != nil {
+		return nil, err
+	}
+	if err := c.AddDomain(pointless); err != nil {
+		return nil, err
+	}
+
+	// Basic part types.
+	for _, t := range []*schema.ObjectType{
+		{Name: TypeBolt, Attributes: []schema.Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Diameter", Domain: domain.Integer()},
+		}},
+		{Name: TypeNut, Attributes: []schema.Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Diameter", Domain: domain.Integer()},
+		}},
+		{Name: TypeBore, Attributes: []schema.Attribute{
+			{Name: "Diameter", Domain: domain.Integer()},
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Position", Domain: pointless},
+		}},
+	} {
+		if err := c.AddObjectType(t); err != nil {
+			return nil, err
+		}
+	}
+
+	// 1. Interface definitions.
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name: TypeGirderInterface,
+		Attributes: []schema.Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Height", Domain: domain.Integer()},
+			{Name: "Width", Domain: domain.Integer()},
+		},
+		Subclasses: []schema.Subclass{{Name: "Bores", ElemType: TypeBore}},
+		Constraints: []schema.Constraint{
+			schema.MustConstraint("Length < 100*Height*Width"),
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name: TypePlateInterface,
+		Attributes: []schema.Attribute{
+			{Name: "Thickness", Domain: domain.Integer()},
+			{Name: "Area", Domain: area},
+		},
+		Subclasses: []schema.Subclass{{Name: "Bores", ElemType: TypeBore}},
+	}); err != nil {
+		return nil, err
+	}
+
+	// 2. Inheritance relationships. (Unrestricted inheritor: the same
+	// relationship binds the Girder/Plate types and the component
+	// subobjects of WeightCarrying_Structure — see package comment.)
+	for _, r := range []*schema.InherRelType{
+		{Name: RelAllOfGirderIf, Transmitter: TypeGirderInterface,
+			Inheriting: []string{"Length", "Height", "Width", "Bores"}},
+		{Name: RelAllOfPlateIf, Transmitter: TypePlateInterface,
+			Inheriting: []string{"Thickness", "Area", "Bores"}},
+		{Name: RelAllOfBoltType, Transmitter: TypeBolt,
+			Inheriting: []string{"Length", "Diameter"}},
+		{Name: RelAllOfNutType, Transmitter: TypeNut,
+			Inheriting: []string{"Length", "Diameter"}},
+	} {
+		if err := c.AddInherRelType(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Girder and Plate.
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name:        TypeGirder,
+		InheritorIn: []string{RelAllOfGirderIf},
+		Attributes:  []schema.Attribute{{Name: "Material", Domain: material}},
+	}); err != nil {
+		return nil, err
+	}
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name:        TypePlate,
+		InheritorIn: []string{RelAllOfPlateIf},
+		Attributes:  []schema.Attribute{{Name: "Material", Domain: material}},
+	}); err != nil {
+		return nil, err
+	}
+
+	// rel-type ScrewingType: the assembly relationship. It relates a set
+	// of bores and *contains* its bolt and nut as subobjects inheriting
+	// from the part catalog (§5).
+	if err := c.AddRelType(&schema.RelType{
+		Name: TypeScrewing,
+		Participants: []schema.Participant{
+			{Name: "Bores", Type: TypeBore, SetOf: true},
+		},
+		Attributes: []schema.Attribute{
+			{Name: "Strength", Domain: domain.Integer()},
+		},
+		Subclasses: []schema.Subclass{
+			{Name: "Bolt", Inline: &schema.ObjectType{InheritorIn: []string{RelAllOfBoltType}}},
+			{Name: "Nut", Inline: &schema.ObjectType{InheritorIn: []string{RelAllOfNutType}}},
+		},
+		Constraints: []schema.Constraint{
+			schema.MustConstraint("#s in Bolt = 1"),
+			schema.MustConstraint("#n in Nut = 1"),
+			schema.MustConstraint(
+				"for (s in Bolt, n in Nut): s.Diameter = n.Diameter and " +
+					"(for b in Bores: s.Diameter <= b.Diameter) and " +
+					"s.Length = n.Length + sum(Bores.Length)"),
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	// obj-type WeightCarrying_Structure.
+	whereScrew := schema.MustConstraint("for x in Bores: x in Girders.Bores or x in Plates.Bores")
+	if err := c.AddObjectType(&schema.ObjectType{
+		Name: TypeStructure,
+		Attributes: []schema.Attribute{
+			{Name: "Designer", Domain: domain.String_()},
+			{Name: "Description", Domain: domain.String_()},
+		},
+		Subclasses: []schema.Subclass{
+			{Name: "Girders", Inline: &schema.ObjectType{InheritorIn: []string{RelAllOfGirderIf}}},
+			{Name: "Plates", Inline: &schema.ObjectType{InheritorIn: []string{RelAllOfPlateIf}}},
+		},
+		SubRels: []schema.SubRel{
+			{Name: "Screwings", RelType: TypeScrewing, Where: &whereScrew},
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustSteel is Steel for callers with static schemas.
+func MustSteel() *schema.Catalog {
+	c, err := Steel()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,341 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"cadcam/internal/domain"
+)
+
+// EffAttr is one attribute of an effective type: either owned by the type
+// itself (Via == "") or contributed at the type level by an inheritance
+// relationship (Via names the inher-rel-type, Source the transmitter type
+// that owns the attribute — possibly reached through a chain of
+// inheritance relationships, the paper's interface *hierarchies*).
+type EffAttr struct {
+	Attribute
+	Via    string
+	Source string
+}
+
+// Inherited reports whether the attribute was contributed by inheritance.
+func (a *EffAttr) Inherited() bool { return a.Via != "" }
+
+// EffSubclass is one subclass of an effective type, with the same Via /
+// Source convention as EffAttr.
+type EffSubclass struct {
+	Subclass
+	Via    string
+	Source string
+}
+
+// Inherited reports whether the subclass was contributed by inheritance.
+func (s *EffSubclass) Inherited() bool { return s.Via != "" }
+
+// EffectiveType is the full structure of an object type after type-level
+// inheritance: its own attributes and subclasses plus everything permeable
+// through its inheritor-in declarations, transitively.
+type EffectiveType struct {
+	Type       *ObjectType
+	Attrs      []EffAttr
+	Subclasses []EffSubclass
+
+	attrIdx map[string]int
+	subIdx  map[string]int
+}
+
+// Attr resolves an attribute by name.
+func (e *EffectiveType) Attr(name string) (*EffAttr, bool) {
+	i, ok := e.attrIdx[name]
+	if !ok {
+		return nil, false
+	}
+	return &e.Attrs[i], true
+}
+
+// SubclassByName resolves a subclass by name.
+func (e *EffectiveType) SubclassByName(name string) (*EffSubclass, bool) {
+	i, ok := e.subIdx[name]
+	if !ok {
+		return nil, false
+	}
+	return &e.Subclasses[i], true
+}
+
+// Validate checks every registered type and computes effective types.
+// After a successful Validate the catalog is immutable and safe for
+// concurrent reads.
+func (c *Catalog) Validate() error {
+	if c.validated {
+		return nil
+	}
+	// 1. Inheritance relationship types: transmitter/inheritor resolve.
+	for _, name := range c.InherRelTypeNames() {
+		r := c.inherRels[name]
+		if _, ok := c.objTypes[r.Transmitter]; !ok {
+			return errf(name, "transmitter type %q not declared", r.Transmitter)
+		}
+		if r.Inheritor != "" {
+			if _, ok := c.objTypes[r.Inheritor]; !ok {
+				return errf(name, "inheritor type %q not declared", r.Inheritor)
+			}
+		}
+		if err := checkAttrs(c, name, r.Attributes); err != nil {
+			return err
+		}
+	}
+	// 2. Object types: structural checks.
+	for _, name := range c.ObjectTypeNames() {
+		if err := c.checkObjectType(c.objTypes[name]); err != nil {
+			return err
+		}
+	}
+	// 3. Relationship types.
+	for _, name := range c.RelTypeNames() {
+		if err := c.checkRelType(c.relTypes[name]); err != nil {
+			return err
+		}
+	}
+	// 4. Effective types (detects type-level inheritance cycles and
+	// verifies every inheriting-clause entry and name clashes).
+	c.effective = make(map[string]*EffectiveType, len(c.objTypes))
+	for _, name := range c.ObjectTypeNames() {
+		if _, err := c.effectiveOf(name, nil); err != nil {
+			return err
+		}
+	}
+	// 5. Inheritor type restrictions: if an inher-rel restricts the
+	// inheritor type, every type declaring inheritor-in that rel must be
+	// exactly that type (the paper specifies the inheritor type, not a
+	// subtype lattice).
+	for _, name := range c.ObjectTypeNames() {
+		t := c.objTypes[name]
+		for _, rn := range t.InheritorIn {
+			r := c.inherRels[rn]
+			if r.Inheritor != "" && r.Inheritor != t.Name {
+				return errf(t.Name, "inheritor-in %s requires inheritor type %q", rn, r.Inheritor)
+			}
+		}
+	}
+	c.validated = true
+	return nil
+}
+
+func (c *Catalog) checkObjectType(t *ObjectType) error {
+	if err := checkAttrs(c, t.Name, t.Attributes); err != nil {
+		return err
+	}
+	seen := make(map[string]string) // name -> what declared it
+	for _, a := range t.Attributes {
+		seen[a.Name] = "attribute"
+	}
+	for _, s := range t.Subclasses {
+		if prev, dup := seen[s.Name]; dup {
+			return errf(t.Name, "subclass %q clashes with %s of the same name", s.Name, prev)
+		}
+		seen[s.Name] = "subclass"
+		if s.ElemType == "" {
+			return errf(t.Name, "subclass %q has no member type", s.Name)
+		}
+		if _, ok := c.objTypes[s.ElemType]; !ok {
+			return errf(t.Name, "subclass %q: member type %q not declared", s.Name, s.ElemType)
+		}
+	}
+	for _, sr := range t.SubRels {
+		if prev, dup := seen[sr.Name]; dup {
+			return errf(t.Name, "sub-relationship %q clashes with %s of the same name", sr.Name, prev)
+		}
+		seen[sr.Name] = "sub-relationship"
+		if _, ok := c.relTypes[sr.RelType]; !ok {
+			return errf(t.Name, "sub-relationship %q: relationship type %q not declared", sr.Name, sr.RelType)
+		}
+	}
+	for _, rn := range t.InheritorIn {
+		if _, ok := c.inherRels[rn]; !ok {
+			return errf(t.Name, "inheritor-in names unknown inheritance relationship %q", rn)
+		}
+	}
+	return nil
+}
+
+func (c *Catalog) checkRelType(t *RelType) error {
+	if err := checkAttrs(c, t.Name, t.Attributes); err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	for _, p := range t.Participants {
+		if p.Name == "" {
+			return errf(t.Name, "participant needs a role name")
+		}
+		if seen[p.Name] {
+			return errf(t.Name, "duplicate participant role %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Type != "" {
+			if _, ok := c.objTypes[p.Type]; !ok {
+				return errf(t.Name, "participant %q: object type %q not declared", p.Name, p.Type)
+			}
+		}
+	}
+	for _, a := range t.Attributes {
+		if seen[a.Name] {
+			return errf(t.Name, "attribute %q clashes with a participant role", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, s := range t.Subclasses {
+		if seen[s.Name] {
+			return errf(t.Name, "subclass %q clashes with an earlier name", s.Name)
+		}
+		seen[s.Name] = true
+		if s.ElemType == "" {
+			return errf(t.Name, "subclass %q has no member type", s.Name)
+		}
+		if _, ok := c.objTypes[s.ElemType]; !ok {
+			return errf(t.Name, "subclass %q: member type %q not declared", s.Name, s.ElemType)
+		}
+	}
+	return nil
+}
+
+func checkAttrs(c *Catalog, where string, attrs []Attribute) error {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a.Name == "" {
+			return errf(where, "attribute needs a name")
+		}
+		if a.Name == "Surrogate" {
+			return errf(where, "attribute name %q is reserved", a.Name)
+		}
+		if seen[a.Name] {
+			return errf(where, "duplicate attribute %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Domain == nil {
+			return errf(where, "attribute %q has nil domain", a.Name)
+		}
+		if ot := a.Domain.ObjectType(); ot != "" && a.Domain.Kind() == domain.KindSurrogate {
+			if _, ok := c.objTypes[ot]; !ok {
+				return errf(where, "attribute %q references undeclared object type %q", a.Name, ot)
+			}
+		}
+	}
+	return nil
+}
+
+// Effective returns the effective type of an object type. The catalog
+// must be validated.
+func (c *Catalog) Effective(name string) (*EffectiveType, bool) {
+	e, ok := c.effective[name]
+	return e, ok
+}
+
+// effectiveOf computes (and memoizes) the effective type, detecting cycles
+// through the visiting stack.
+func (c *Catalog) effectiveOf(name string, visiting []string) (*EffectiveType, error) {
+	if e, ok := c.effective[name]; ok {
+		return e, nil
+	}
+	for _, v := range visiting {
+		if v == name {
+			return nil, errf(name, "type-level inheritance cycle: %v", append(visiting, name))
+		}
+	}
+	t := c.objTypes[name]
+	e := &EffectiveType{
+		Type:    t,
+		attrIdx: make(map[string]int),
+		subIdx:  make(map[string]int),
+	}
+	for _, a := range t.Attributes {
+		e.attrIdx[a.Name] = len(e.Attrs)
+		e.Attrs = append(e.Attrs, EffAttr{Attribute: a})
+	}
+	for _, s := range t.Subclasses {
+		e.subIdx[s.Name] = len(e.Subclasses)
+		e.Subclasses = append(e.Subclasses, EffSubclass{Subclass: s})
+	}
+	for _, rn := range t.InheritorIn {
+		r := c.inherRels[rn]
+		te, err := c.effectiveOf(r.Transmitter, append(visiting, name))
+		if err != nil {
+			return nil, err
+		}
+		for _, inh := range r.Inheriting {
+			switch {
+			case hasAttr(te, inh):
+				a, _ := te.Attr(inh)
+				if _, dup := e.attrIdx[inh]; dup {
+					return nil, errf(name, "inherited attribute %q (via %s) clashes with an existing member", inh, rn)
+				}
+				if _, dup := e.subIdx[inh]; dup {
+					return nil, errf(name, "inherited attribute %q (via %s) clashes with a subclass", inh, rn)
+				}
+				src := a.Source
+				if src == "" {
+					src = r.Transmitter
+				}
+				e.attrIdx[inh] = len(e.Attrs)
+				e.Attrs = append(e.Attrs, EffAttr{Attribute: a.Attribute, Via: rn, Source: src})
+			case hasSubclass(te, inh):
+				s, _ := te.SubclassByName(inh)
+				if _, dup := e.subIdx[inh]; dup {
+					return nil, errf(name, "inherited subclass %q (via %s) clashes with an existing member", inh, rn)
+				}
+				if _, dup := e.attrIdx[inh]; dup {
+					return nil, errf(name, "inherited subclass %q (via %s) clashes with an attribute", inh, rn)
+				}
+				src := s.Source
+				if src == "" {
+					src = r.Transmitter
+				}
+				e.subIdx[inh] = len(e.Subclasses)
+				e.Subclasses = append(e.Subclasses, EffSubclass{Subclass: s.Subclass, Via: rn, Source: src})
+			default:
+				return nil, errf(rn, "inheriting clause names %q, which transmitter %q has neither as attribute nor subclass", inh, r.Transmitter)
+			}
+		}
+	}
+	c.effective[name] = e
+	return e, nil
+}
+
+func hasAttr(e *EffectiveType, name string) bool {
+	_, ok := e.Attr(name)
+	return ok
+}
+
+func hasSubclass(e *EffectiveType, name string) bool {
+	_, ok := e.SubclassByName(name)
+	return ok
+}
+
+// Describe renders a human-readable summary of the effective type; the
+// caddl tool uses it for its report output.
+func (e *EffectiveType) Describe() string {
+	var out string
+	out += fmt.Sprintf("obj-type %s\n", e.Type.Name)
+	for _, a := range e.Attrs {
+		tag := ""
+		if a.Inherited() {
+			tag = fmt.Sprintf("  [inherited from %s via %s]", a.Source, a.Via)
+		}
+		out += fmt.Sprintf("  attr %s: %s%s\n", a.Name, a.Domain, tag)
+	}
+	for _, s := range e.Subclasses {
+		tag := ""
+		if s.Inherited() {
+			tag = fmt.Sprintf("  [inherited from %s via %s]", s.Source, s.Via)
+		}
+		out += fmt.Sprintf("  subclass %s: %s%s\n", s.Name, s.ElemType, tag)
+	}
+	names := make([]string, 0, len(e.Type.SubRels))
+	for _, sr := range e.Type.SubRels {
+		names = append(names, fmt.Sprintf("  subrel %s: %s\n", sr.Name, sr.RelType))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,405 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"cadcam/internal/domain"
+)
+
+// gateCatalog builds the paper's chip-design schema (§3, §4) by hand.
+func gateCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	point := domain.Record("Point", domain.Field{Name: "X", Dom: domain.Integer()}, domain.Field{Name: "Y", Dom: domain.Integer()})
+	io := domain.Enum("IO", "IN", "OUT")
+	if err := c.AddDomain(point); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDomain(io); err != nil {
+		t.Fatal(err)
+	}
+
+	mustAddObj := func(o *ObjectType) {
+		t.Helper()
+		if err := c.AddObjectType(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mustAddObj(&ObjectType{
+		Name: "PinType",
+		Attributes: []Attribute{
+			{Name: "InOut", Domain: io},
+			{Name: "PinLocation", Domain: point},
+		},
+	})
+	if err := c.AddRelType(&RelType{
+		Name: "WireType",
+		Participants: []Participant{
+			{Name: "Pin1", Type: "PinType"},
+			{Name: "Pin2", Type: "PinType"},
+		},
+		Attributes: []Attribute{{Name: "Corners", Domain: domain.ListOf(point)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustAddObj(&ObjectType{
+		Name: "ElementaryGate",
+		Attributes: []Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Width", Domain: domain.Integer()},
+			{Name: "Function", Domain: domain.Enum("GateFn", "AND", "OR", "NAND", "NOR")},
+			{Name: "GatePosition", Domain: point},
+		},
+		Subclasses: []Subclass{{Name: "Pins", ElemType: "PinType"}},
+		Constraints: []Constraint{
+			MustConstraint("count (Pins) = 2 where Pins.InOut = IN"),
+			MustConstraint("count (Pins) = 1 where Pins.InOut = OUT"),
+		},
+	})
+	mustAddObj(&ObjectType{
+		Name: "GateInterface",
+		Attributes: []Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Width", Domain: domain.Integer()},
+		},
+		Subclasses: []Subclass{{Name: "Pins", ElemType: "PinType"}},
+	})
+	if err := c.AddInherRelType(&InherRelType{
+		Name:        "AllOf_GateInterface",
+		Transmitter: "GateInterface",
+		Inheriting:  []string{"Length", "Width", "Pins"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustAddObj(&ObjectType{
+		Name:        "GateImplementation",
+		InheritorIn: []string{"AllOf_GateInterface"},
+		Attributes: []Attribute{
+			{Name: "Function", Domain: domain.MatrixOf(domain.Boolean())},
+		},
+		Subclasses: []Subclass{
+			{Name: "SubGates", Inline: &ObjectType{
+				InheritorIn: []string{"AllOf_GateInterface"},
+				Attributes:  []Attribute{{Name: "GateLocation", Domain: point}},
+			}},
+		},
+		SubRels: []SubRel{{
+			Name:    "Wires",
+			RelType: "WireType",
+			Where:   constraintPtr(MustConstraint("(Wires.Pin1 in Pins or Wires.Pin1 in SubGates.Pins) and (Wires.Pin2 in Pins or Wires.Pin2 in SubGates.Pins)")),
+		}},
+	})
+	return c
+}
+
+func constraintPtr(c Constraint) *Constraint { return &c }
+
+func TestCatalogValidateGateSchema(t *testing.T) {
+	c := gateCatalog(t)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !c.Validated() {
+		t.Error("catalog should report validated")
+	}
+	// Validate is idempotent.
+	if err := c.Validate(); err != nil {
+		t.Fatalf("second Validate: %v", err)
+	}
+}
+
+func TestEffectiveTypeLevelInheritance(t *testing.T) {
+	c := gateCatalog(t)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Effective("GateImplementation")
+	if !ok {
+		t.Fatal("effective type missing")
+	}
+	// Own attribute.
+	fn, ok := e.Attr("Function")
+	if !ok || fn.Inherited() {
+		t.Error("Function should be an own attribute")
+	}
+	// Inherited attributes.
+	for _, name := range []string{"Length", "Width"} {
+		a, ok := e.Attr(name)
+		if !ok {
+			t.Fatalf("attribute %s missing from effective type", name)
+		}
+		if !a.Inherited() || a.Via != "AllOf_GateInterface" || a.Source != "GateInterface" {
+			t.Errorf("%s: via=%q source=%q", name, a.Via, a.Source)
+		}
+	}
+	// Inherited subclass.
+	pins, ok := e.SubclassByName("Pins")
+	if !ok || !pins.Inherited() || pins.ElemType != "PinType" {
+		t.Errorf("Pins subclass: %+v ok=%v", pins, ok)
+	}
+	// Own subclass from inline type.
+	sg, ok := e.SubclassByName("SubGates")
+	if !ok || sg.Inherited() {
+		t.Fatal("SubGates should be an own subclass")
+	}
+	if sg.ElemType != "GateImplementation.SubGates" {
+		t.Errorf("inline member type = %q", sg.ElemType)
+	}
+	inline, ok := c.ObjectType("GateImplementation.SubGates")
+	if !ok || !inline.Anonymous {
+		t.Fatal("inline type should be registered as anonymous")
+	}
+	// Inline member type inherits the interface too (component role).
+	ie, ok := c.Effective("GateImplementation.SubGates")
+	if !ok {
+		t.Fatal("inline effective type missing")
+	}
+	if _, ok := ie.Attr("Length"); !ok {
+		t.Error("inline type should inherit Length")
+	}
+	if _, ok := ie.Attr("GateLocation"); !ok {
+		t.Error("inline type should own GateLocation")
+	}
+}
+
+func TestInterfaceHierarchy(t *testing.T) {
+	// §4.2: GateInterface_I --AllOf_GateInterface_I--> GateInterface
+	// --AllOf_GateInterface--> implementations. Pins flows two levels.
+	c := NewCatalog()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.AddObjectType(&ObjectType{Name: "PinType", Attributes: []Attribute{{Name: "InOut", Domain: domain.Enum("IO", "IN", "OUT")}}}))
+	must(c.AddObjectType(&ObjectType{
+		Name:       "GateInterface_I",
+		Subclasses: []Subclass{{Name: "Pins", ElemType: "PinType"}},
+	}))
+	must(c.AddInherRelType(&InherRelType{Name: "AllOf_GateInterface_I", Transmitter: "GateInterface_I", Inheriting: []string{"Pins"}}))
+	must(c.AddObjectType(&ObjectType{
+		Name:        "GateInterface",
+		InheritorIn: []string{"AllOf_GateInterface_I"},
+		Attributes: []Attribute{
+			{Name: "Length", Domain: domain.Integer()},
+			{Name: "Width", Domain: domain.Integer()},
+		},
+	}))
+	// AllOf_GateInterface forwards Pins although GateInterface only
+	// inherits it — the inheriting clause resolves against the
+	// transmitter's *effective* type.
+	must(c.AddInherRelType(&InherRelType{Name: "AllOf_GateInterface", Transmitter: "GateInterface", Inheriting: []string{"Length", "Width", "Pins"}}))
+	must(c.AddObjectType(&ObjectType{
+		Name:        "GateImplementation",
+		InheritorIn: []string{"AllOf_GateInterface"},
+	}))
+	must(c.Validate())
+
+	e, _ := c.Effective("GateImplementation")
+	pins, ok := e.SubclassByName("Pins")
+	if !ok {
+		t.Fatal("Pins should flow through the hierarchy")
+	}
+	if pins.Source != "GateInterface_I" {
+		t.Errorf("Pins source = %q, want original owner GateInterface_I", pins.Source)
+	}
+	if pins.Via != "AllOf_GateInterface" {
+		t.Errorf("Pins via = %q, want the relationship it arrived through", pins.Via)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	point := domain.Record("Point", domain.Field{Name: "X", Dom: domain.Integer()})
+	cases := []struct {
+		name  string
+		build func(c *Catalog) error
+		want  string
+	}{
+		{"unknown transmitter", func(c *Catalog) error {
+			_ = c.AddInherRelType(&InherRelType{Name: "R", Transmitter: "Ghost", Inheriting: []string{"X"}})
+			return c.Validate()
+		}, "transmitter type"},
+		{"unknown inheritor restriction", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{{Name: "X", Domain: domain.Integer()}}})
+			_ = c.AddInherRelType(&InherRelType{Name: "R", Transmitter: "A", Inheritor: "Ghost", Inheriting: []string{"X"}})
+			return c.Validate()
+		}, "inheritor type"},
+		{"inheriting names nothing", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{{Name: "X", Domain: domain.Integer()}}})
+			_ = c.AddInherRelType(&InherRelType{Name: "R", Transmitter: "A", Inheriting: []string{"Nope"}})
+			_ = c.AddObjectType(&ObjectType{Name: "B", InheritorIn: []string{"R"}})
+			return c.Validate()
+		}, "neither as attribute nor subclass"},
+		{"inheritor-in unknown rel", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "B", InheritorIn: []string{"Ghost"}})
+			return c.Validate()
+		}, "unknown inheritance relationship"},
+		{"wrong restricted inheritor", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{{Name: "X", Domain: domain.Integer()}}})
+			_ = c.AddObjectType(&ObjectType{Name: "B"})
+			_ = c.AddInherRelType(&InherRelType{Name: "R", Transmitter: "A", Inheritor: "B", Inheriting: []string{"X"}})
+			_ = c.AddObjectType(&ObjectType{Name: "C", InheritorIn: []string{"R"}})
+			return c.Validate()
+		}, "requires inheritor type"},
+		{"name clash own vs inherited", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{{Name: "X", Domain: domain.Integer()}}})
+			_ = c.AddInherRelType(&InherRelType{Name: "R", Transmitter: "A", Inheriting: []string{"X"}})
+			_ = c.AddObjectType(&ObjectType{Name: "B", InheritorIn: []string{"R"}, Attributes: []Attribute{{Name: "X", Domain: domain.Integer()}}})
+			return c.Validate()
+		}, "clashes"},
+		{"inheritance cycle", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", InheritorIn: []string{"RB"}, Attributes: []Attribute{{Name: "X", Domain: domain.Integer()}}})
+			_ = c.AddObjectType(&ObjectType{Name: "B", InheritorIn: []string{"RA"}, Attributes: []Attribute{{Name: "Y", Domain: domain.Integer()}}})
+			_ = c.AddInherRelType(&InherRelType{Name: "RA", Transmitter: "A", Inheriting: []string{"X"}})
+			_ = c.AddInherRelType(&InherRelType{Name: "RB", Transmitter: "B", Inheriting: []string{"Y"}})
+			return c.Validate()
+		}, "cycle"},
+		{"subclass unknown member type", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Subclasses: []Subclass{{Name: "S", ElemType: "Ghost"}}})
+			return c.Validate()
+		}, "not declared"},
+		{"subrel unknown rel type", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", SubRels: []SubRel{{Name: "S", RelType: "Ghost"}}})
+			return c.Validate()
+		}, "not declared"},
+		{"duplicate attribute", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{
+				{Name: "X", Domain: domain.Integer()}, {Name: "X", Domain: domain.Integer()}}})
+			return c.Validate()
+		}, "duplicate attribute"},
+		{"reserved attribute", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{{Name: "Surrogate", Domain: domain.Integer()}}})
+			return c.Validate()
+		}, "reserved"},
+		{"nil attribute domain", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{{Name: "X"}}})
+			return c.Validate()
+		}, "nil domain"},
+		{"attr references undeclared object type", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{{Name: "X", Domain: domain.ObjectRef("Ghost")}}})
+			return c.Validate()
+		}, "undeclared object type"},
+		{"participant undeclared type", func(c *Catalog) error {
+			_ = c.AddRelType(&RelType{Name: "R", Participants: []Participant{{Name: "P", Type: "Ghost"}}})
+			return c.Validate()
+		}, "not declared"},
+		{"duplicate participant", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A"})
+			_ = c.AddRelType(&RelType{Name: "R", Participants: []Participant{{Name: "P", Type: "A"}, {Name: "P", Type: "A"}}})
+			return c.Validate()
+		}, "duplicate participant"},
+		{"point helper in use", func(c *Catalog) error {
+			_ = c.AddObjectType(&ObjectType{Name: "A", Attributes: []Attribute{{Name: "P", Domain: point}, {Name: "P", Domain: point}}})
+			return c.Validate()
+		}, "duplicate attribute"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCatalog()
+			err := tc.build(c)
+			if err == nil {
+				t.Fatalf("expected validation error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	c := NewCatalog()
+	if err := c.AddObjectType(&ObjectType{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddObjectType(&ObjectType{Name: "A"}); err == nil {
+		t.Error("duplicate object type accepted")
+	}
+	if err := c.AddRelType(&RelType{Name: "A", Participants: []Participant{{Name: "x"}}}); err == nil {
+		t.Error("rel type clashing with object type accepted")
+	}
+	if err := c.AddRelType(&RelType{Name: "R"}); err == nil {
+		t.Error("rel type without participants accepted")
+	}
+	if err := c.AddInherRelType(&InherRelType{Name: "I"}); err == nil {
+		t.Error("inher rel without transmitter accepted")
+	}
+	if err := c.AddInherRelType(&InherRelType{Name: "I", Transmitter: "A"}); err == nil {
+		t.Error("inher rel without inheriting clause accepted")
+	}
+	if err := c.AddObjectType(&ObjectType{}); err == nil {
+		t.Error("unnamed object type accepted")
+	}
+	if err := c.AddDomain(domain.Enum("", "X").Named("")); err == nil {
+		t.Error("unnamed domain accepted")
+	}
+	if err := c.AddDomain(domain.Enum("E", "X")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDomain(domain.Enum("E", "Y")); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+	if d, ok := c.Domain("E"); !ok || d.SymbolIndex("X") != 0 {
+		t.Error("domain lookup failed")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutation after validation is refused.
+	if err := c.AddObjectType(&ObjectType{Name: "Late"}); err == nil {
+		t.Error("mutation after Validate accepted")
+	}
+	if err := c.AddRelType(&RelType{Name: "LateR", Participants: []Participant{{Name: "x"}}}); err == nil {
+		t.Error("rel mutation after Validate accepted")
+	}
+	if err := c.AddInherRelType(&InherRelType{Name: "LateI", Transmitter: "A", Inheriting: []string{"x"}}); err == nil {
+		t.Error("inher mutation after Validate accepted")
+	}
+	if err := c.AddDomain(domain.Enum("LateD", "X")); err == nil {
+		t.Error("domain mutation after Validate accepted")
+	}
+}
+
+func TestInheritsClause(t *testing.T) {
+	r := &InherRelType{Name: "R", Transmitter: "T", Inheriting: []string{"Length", "Pins"}}
+	if !r.Inherits("Length") || !r.Inherits("Pins") {
+		t.Error("declared names should be permeable")
+	}
+	if r.Inherits("TimeBehavior") {
+		t.Error("undeclared names should not be permeable")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := gateCatalog(t)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.Effective("GateImplementation")
+	d := e.Describe()
+	for _, want := range []string{"GateImplementation", "Length", "inherited from GateInterface", "SubGates", "subrel Wires"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestTypeNameListings(t *testing.T) {
+	c := gateCatalog(t)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	obj := c.ObjectTypeNames()
+	if len(obj) < 5 {
+		t.Errorf("object types = %v", obj)
+	}
+	if got := c.RelTypeNames(); len(got) != 1 || got[0] != "WireType" {
+		t.Errorf("rel types = %v", got)
+	}
+	if got := c.InherRelTypeNames(); len(got) != 1 || got[0] != "AllOf_GateInterface" {
+		t.Errorf("inher rel types = %v", got)
+	}
+}

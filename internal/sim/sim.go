@@ -1,0 +1,464 @@
+// Package sim is a small digital-logic simulator over the object model —
+// the kind of application §4 of the paper motivates when it argues that
+// "some applications may require more information of a chip to integrate
+// it as a component into a composite object (for instance, time
+// information for time simulations)".
+//
+// A composite gate (GateImplementation) is compiled into a Circuit: its
+// external pins become circuit inputs/outputs, each SubGates component is
+// resolved — via the caller-supplied Resolver, typically backed by the
+// version manager's selection policies — to a concrete implementation
+// whose Function matrix provides the truth table and whose TimeBehavior
+// provides the gate delay; Wires become nets.
+//
+// The compiler requires each component to own distinct pin objects (i.e.
+// each subgate bound to its own interface instance). If two components
+// share one interface, its pins are shared objects and wire endpoints
+// become ambiguous — a genuine consequence of the paper's value-
+// inheritance model that the compiler reports as ErrSharedPins.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/object"
+)
+
+// Errors returned by the compiler and evaluator.
+var (
+	// ErrSharedPins reports two components sharing one interface's pins.
+	ErrSharedPins = errors.New("sim: components share interface pins; bind each subgate to its own interface instance")
+	// ErrNoBehavior reports a component whose resolved implementation has
+	// no Function matrix.
+	ErrNoBehavior = errors.New("sim: component has no Function matrix")
+	// ErrBadTable reports a Function matrix whose shape does not match
+	// the pin count (rows must be 2^inputs, columns the output count).
+	ErrBadTable = errors.New("sim: Function matrix shape does not match pins")
+	// ErrUnstable reports a feedback circuit that did not settle.
+	ErrUnstable = errors.New("sim: circuit did not stabilize (oscillation)")
+	// ErrArity reports an Eval call with the wrong input count.
+	ErrArity = errors.New("sim: wrong number of inputs")
+)
+
+// Resolver chooses the concrete implementation simulating a component
+// interface — the version-selection hook (§6: top-down, bottom-up or
+// environment policies all fit this signature).
+type Resolver func(iface domain.Surrogate) (domain.Surrogate, error)
+
+// gate is one compiled component.
+type gate struct {
+	ins   []int // net ids in PinId order
+	outs  []int
+	table *domain.Matrix
+	delay int64
+}
+
+// Circuit is a compiled, evaluable netlist.
+type Circuit struct {
+	nIn, nOut int
+	inNets    []int // net id per external input (PinId order)
+	outNets   []int
+	gates     []gate
+	netCount  int
+}
+
+// Inputs reports the number of external inputs.
+func (c *Circuit) Inputs() int { return c.nIn }
+
+// Outputs reports the number of external outputs.
+func (c *Circuit) Outputs() int { return c.nOut }
+
+// Gates reports the number of components.
+func (c *Circuit) Gates() int { return len(c.gates) }
+
+// Compile builds a circuit from a composite implementation. The resolver
+// maps each component's interface to the implementation providing its
+// behaviour; pass nil to require every component interface to have
+// exactly one bound implementation in the store.
+func Compile(s *object.Store, impl domain.Surrogate, resolve Resolver) (*Circuit, error) {
+	if resolve == nil {
+		resolve = defaultResolver(s)
+	}
+	c := &Circuit{}
+	netOf := make(map[domain.Surrogate]int) // pin -> net (before wire union)
+	pinOwner := make(map[domain.Surrogate]domain.Surrogate)
+	newNet := func() int {
+		id := c.netCount
+		c.netCount++
+		return id
+	}
+	claimPins := func(owner domain.Surrogate, pins []domain.Surrogate) error {
+		for _, p := range pins {
+			if prev, taken := pinOwner[p]; taken && prev != owner {
+				return fmt.Errorf("%w: pin %s used by %s and %s", ErrSharedPins, p, prev, owner)
+			}
+			pinOwner[p] = owner
+			if _, ok := netOf[p]; !ok {
+				netOf[p] = newNet()
+			}
+		}
+		return nil
+	}
+
+	// External pins.
+	extIn, extOut, err := pinsByDirection(s, impl)
+	if err != nil {
+		return nil, err
+	}
+	if err := claimPins(impl, append(append([]domain.Surrogate(nil), extIn...), extOut...)); err != nil {
+		return nil, err
+	}
+
+	// Components.
+	subs, err := s.Members(impl, "SubGates")
+	if err != nil {
+		return nil, err
+	}
+	type compiledGate struct {
+		ins, outs []domain.Surrogate
+		table     *domain.Matrix
+		delay     int64
+	}
+	var comps []compiledGate
+	for _, sg := range subs {
+		ins, outs, err := pinsByDirection(s, sg)
+		if err != nil {
+			return nil, err
+		}
+		if err := claimPins(sg, append(append([]domain.Surrogate(nil), ins...), outs...)); err != nil {
+			return nil, err
+		}
+		iface := componentInterface(s, sg)
+		if iface == 0 {
+			return nil, fmt.Errorf("sim: component %s is not bound to an interface", sg)
+		}
+		behavior, err := resolve(iface)
+		if err != nil {
+			return nil, fmt.Errorf("sim: resolving component %s: %w", sg, err)
+		}
+		table, delay, err := behaviorOf(s, behavior)
+		if err != nil {
+			return nil, fmt.Errorf("sim: component %s: %w", sg, err)
+		}
+		if table.Rows() != 1<<len(ins) || table.Cols() != len(outs) {
+			return nil, fmt.Errorf("%w: %dx%d table for %d inputs, %d outputs",
+				ErrBadTable, table.Rows(), table.Cols(), len(ins), len(outs))
+		}
+		comps = append(comps, compiledGate{ins: ins, outs: outs, table: table, delay: delay})
+	}
+
+	// Wires merge nets (union-find).
+	uf := newUnionFind(c.netCount)
+	wires, err := s.Members(impl, "Wires")
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range wires {
+		p1, err := pinRef(s, w, "Pin1")
+		if err != nil {
+			return nil, err
+		}
+		p2, err := pinRef(s, w, "Pin2")
+		if err != nil {
+			return nil, err
+		}
+		n1, ok1 := netOf[p1]
+		n2, ok2 := netOf[p2]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sim: wire %s references a pin outside the circuit", w)
+		}
+		uf.union(n1, n2)
+	}
+	canon := func(p domain.Surrogate) int { return uf.find(netOf[p]) }
+
+	for _, p := range extIn {
+		c.inNets = append(c.inNets, canon(p))
+	}
+	for _, p := range extOut {
+		c.outNets = append(c.outNets, canon(p))
+	}
+	for _, cg := range comps {
+		g := gate{table: cg.table, delay: cg.delay}
+		for _, p := range cg.ins {
+			g.ins = append(g.ins, canon(p))
+		}
+		for _, p := range cg.outs {
+			g.outs = append(g.outs, canon(p))
+		}
+		c.gates = append(c.gates, g)
+	}
+	c.nIn, c.nOut = len(extIn), len(extOut)
+	return c, nil
+}
+
+// Result carries one evaluation's outputs and timing.
+type Result struct {
+	Outputs []bool
+	// Delay is the settled critical-path delay in TimeBehavior units.
+	Delay int64
+	// Iterations is the number of sweeps until the netlist settled
+	// (1 for purely feed-forward circuits evaluated in one pass order).
+	Iterations int
+}
+
+// maxSettleIterations bounds fixed-point iteration for feedback circuits.
+const maxSettleIterations = 64
+
+// Eval evaluates the circuit for one input vector (ordered by the
+// external IN pins' PinId). Feedback circuits (latches) are iterated to a
+// fixed point; oscillating circuits return ErrUnstable.
+//
+// Delay semantics: for feed-forward circuits, Delay is the exact critical
+// path in TimeBehavior units; for feedback circuits (whose combinational
+// delay is unbounded by definition), arrival propagation is capped at one
+// sweep per gate, yielding the settle-time approximation.
+func (c *Circuit) Eval(inputs []bool) (*Result, error) {
+	if len(inputs) != c.nIn {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrArity, len(inputs), c.nIn)
+	}
+	value := make([]bool, c.netCount)
+	for i, in := range inputs {
+		value[c.inNets[i]] = in
+	}
+	// Phase 1: values to a fixed point (Gauss-Seidel sweeps).
+	iter := 0
+	for ; iter < maxSettleIterations; iter++ {
+		changed := false
+		for _, g := range c.gates {
+			row := 0
+			for bit, net := range g.ins {
+				if value[net] {
+					row |= 1 << bit
+				}
+			}
+			for col, net := range g.outs {
+				out := bool(g.table.At(row, col).(domain.Bool))
+				if value[net] != out {
+					value[net] = out
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if iter == maxSettleIterations {
+		return nil, ErrUnstable
+	}
+	// Phase 2: arrival times, bounded by one sweep per gate (exact for
+	// feed-forward topologies regardless of gate order).
+	arrival := make([]int64, c.netCount)
+	for sweep := 0; sweep <= len(c.gates); sweep++ {
+		changed := false
+		for _, g := range c.gates {
+			var inArrival int64
+			for _, net := range g.ins {
+				if arrival[net] > inArrival {
+					inArrival = arrival[net]
+				}
+			}
+			outArrival := inArrival + g.delay
+			for _, net := range g.outs {
+				if outArrival > arrival[net] {
+					arrival[net] = outArrival
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res := &Result{Iterations: iter + 1}
+	for _, net := range c.outNets {
+		res.Outputs = append(res.Outputs, value[net])
+		if arrival[net] > res.Delay {
+			res.Delay = arrival[net]
+		}
+	}
+	return res, nil
+}
+
+// TruthTable prints the full truth table of the circuit; handy for tests
+// and the example.
+func (c *Circuit) TruthTable() ([][]bool, error) {
+	rows := 1 << c.nIn
+	out := make([][]bool, rows)
+	for r := 0; r < rows; r++ {
+		inputs := make([]bool, c.nIn)
+		for b := 0; b < c.nIn; b++ {
+			inputs[b] = r&(1<<b) != 0
+		}
+		res, err := c.Eval(inputs)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = res.Outputs
+	}
+	return out, nil
+}
+
+// ---- helpers ----
+
+// pinsByDirection returns an object's pins split by InOut, each group
+// ordered by PinId.
+func pinsByDirection(s *object.Store, owner domain.Surrogate) (ins, outs []domain.Surrogate, err error) {
+	pins, err := s.Members(owner, "Pins")
+	if err != nil {
+		return nil, nil, err
+	}
+	type pin struct {
+		sur domain.Surrogate
+		id  int64
+		in  bool
+	}
+	list := make([]pin, 0, len(pins))
+	for _, p := range pins {
+		dir, err := s.GetAttr(p, "InOut")
+		if err != nil {
+			return nil, nil, err
+		}
+		idV, err := s.GetAttr(p, "PinId")
+		if err != nil {
+			return nil, nil, err
+		}
+		id, _ := domain.AsInt(idV)
+		list = append(list, pin{sur: p, id: id, in: dir.Equal(domain.Sym("IN"))})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	for _, p := range list {
+		if p.in {
+			ins = append(ins, p.sur)
+		} else {
+			outs = append(outs, p.sur)
+		}
+	}
+	return ins, outs, nil
+}
+
+// componentInterface finds the interface a component inherits its pins
+// from (any binding whose relationship carries Pins).
+func componentInterface(s *object.Store, sg domain.Surrogate) domain.Surrogate {
+	for _, b := range s.BindingsOfInheritor(sg) {
+		if b.Rel.Inherits("Pins") {
+			return b.Transmitter
+		}
+	}
+	return 0
+}
+
+// behaviorOf reads the Function matrix and TimeBehavior of an
+// implementation.
+func behaviorOf(s *object.Store, impl domain.Surrogate) (*domain.Matrix, int64, error) {
+	fnV, err := s.GetAttr(impl, "Function")
+	if err != nil {
+		return nil, 0, err
+	}
+	table, ok := fnV.(*domain.Matrix)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoBehavior, impl)
+	}
+	tbV, err := s.GetAttr(impl, "TimeBehavior")
+	if err != nil {
+		return nil, 0, err
+	}
+	delay, _ := domain.AsInt(tbV)
+	return table, delay, nil
+}
+
+// pinRef reads a wire endpoint.
+func pinRef(s *object.Store, wire domain.Surrogate, role string) (domain.Surrogate, error) {
+	v, err := s.Participant(wire, role)
+	if err != nil {
+		return 0, err
+	}
+	ref, ok := v.(domain.Ref)
+	if !ok {
+		return 0, fmt.Errorf("sim: wire %s role %s is not a reference", wire, role)
+	}
+	return domain.Surrogate(ref), nil
+}
+
+// defaultResolver picks the unique implementation bound to an interface.
+func defaultResolver(s *object.Store) Resolver {
+	return func(iface domain.Surrogate) (domain.Surrogate, error) {
+		var impls []domain.Surrogate
+		for _, b := range s.BindingsOfTransmitter(iface) {
+			o, err := s.Get(b.Inheritor)
+			if err != nil {
+				continue
+			}
+			// Implementations carry behaviour; component subobjects do not.
+			if v, err := s.GetAttr(b.Inheritor, "Function"); err == nil && !domain.IsNull(v) {
+				impls = append(impls, o.Surrogate())
+			}
+		}
+		if len(impls) != 1 {
+			return 0, fmt.Errorf("sim: interface %s has %d candidate implementations; supply a Resolver", iface, len(impls))
+		}
+		return impls[0], nil
+	}
+}
+
+// ---- union-find ----
+
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// Tables for the paper's elementary gate functions, as Function matrices
+// (rows indexed by the input bits, LSB = lowest PinId).
+func Table(fn string, nIn int) (*domain.Matrix, error) {
+	rows := 1 << nIn
+	cells := make([]domain.Value, rows)
+	for r := 0; r < rows; r++ {
+		ones := 0
+		for b := 0; b < nIn; b++ {
+			if r&(1<<b) != 0 {
+				ones++
+			}
+		}
+		var out bool
+		switch fn {
+		case "AND":
+			out = ones == nIn
+		case "OR":
+			out = ones > 0
+		case "NAND":
+			out = ones != nIn
+		case "NOR":
+			out = ones == 0
+		case "XOR":
+			out = ones%2 == 1
+		default:
+			return nil, fmt.Errorf("sim: unknown function %q", fn)
+		}
+		cells[r] = domain.Bool(out)
+	}
+	return domain.NewMatrix(rows, 1, cells...), nil
+}

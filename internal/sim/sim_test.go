@@ -1,0 +1,493 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/object"
+	"cadcam/internal/paperschema"
+)
+
+// rig assembles simulation circuits over the gate schema.
+type rig struct {
+	t *testing.T
+	s *object.Store
+	// behavior implementations by function name (master copies).
+	behaviors map[string]domain.Surrogate
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	s, err := object.NewStore(paperschema.MustGates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{t: t, s: s, behaviors: make(map[string]domain.Surrogate)}
+}
+
+func (r *rig) must(sur domain.Surrogate, err error) domain.Surrogate {
+	r.t.Helper()
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return sur
+}
+
+func (r *rig) set(sur domain.Surrogate, attr string, v domain.Value) {
+	r.t.Helper()
+	if err := r.s.SetAttr(sur, attr, v); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// iface builds a fresh interface instance with nIn inputs, nOut outputs.
+func (r *rig) iface(nIn, nOut int) domain.Surrogate {
+	r.t.Helper()
+	root := r.must(r.s.NewObject(paperschema.TypeGateInterfaceI, ""))
+	id := int64(1)
+	for i := 0; i < nIn; i++ {
+		pin := r.must(r.s.NewSubobject(root, "Pins"))
+		r.set(pin, "InOut", domain.Sym("IN"))
+		r.set(pin, "PinId", domain.Int(id))
+		id++
+	}
+	for i := 0; i < nOut; i++ {
+		pin := r.must(r.s.NewSubobject(root, "Pins"))
+		r.set(pin, "InOut", domain.Sym("OUT"))
+		r.set(pin, "PinId", domain.Int(id))
+		id++
+	}
+	iface := r.must(r.s.NewObject(paperschema.TypeGateInterface, ""))
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterfaceI, iface, root); err != nil {
+		r.t.Fatal(err)
+	}
+	return iface
+}
+
+// behavior returns (creating on demand) a master implementation with the
+// named function's truth table and the given delay.
+func (r *rig) behavior(fn string, nIn int, delay int64) domain.Surrogate {
+	r.t.Helper()
+	key := fn
+	if impl, ok := r.behaviors[key]; ok {
+		return impl
+	}
+	iface := r.iface(nIn, 1)
+	impl := r.must(r.s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		r.t.Fatal(err)
+	}
+	table, err := Table(fn, nIn)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.set(impl, "Function", table)
+	r.set(impl, "TimeBehavior", domain.Int(delay))
+	r.behaviors[key] = impl
+	return impl
+}
+
+// composite builds a composite implementation with external pins and
+// subgates. Each subgate gets its own fresh interface instance (distinct
+// pins) and a function name; the returned resolver maps usage interfaces
+// to the master behavior implementations.
+type compositeSpec struct {
+	nIn, nOut int
+	gates     []gateSpec
+	// wires: each entry is a pair of pin handles (see pinHandle).
+	wires [][2]pinHandle
+}
+
+// pinHandle addresses a pin: gate < 0 means an external pin of the
+// composite; index counts pins of that owner in PinId order (inputs
+// first).
+type pinHandle struct {
+	gate  int
+	index int
+}
+
+type gateSpec struct {
+	fn    string
+	nIn   int
+	delay int64
+}
+
+func (r *rig) composite(spec compositeSpec) (domain.Surrogate, Resolver) {
+	r.t.Helper()
+	ownIface := r.iface(spec.nIn, spec.nOut)
+	impl := r.must(r.s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, impl, ownIface); err != nil {
+		r.t.Fatal(err)
+	}
+	usageToBehavior := make(map[domain.Surrogate]domain.Surrogate)
+	var gatePins [][]domain.Surrogate
+	for _, g := range spec.gates {
+		usage := r.iface(g.nIn, 1)
+		sg := r.must(r.s.NewSubobject(impl, "SubGates"))
+		if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, sg, usage); err != nil {
+			r.t.Fatal(err)
+		}
+		usageToBehavior[usage] = r.behavior(g.fn, g.nIn, g.delay)
+		pins, err := r.s.Members(sg, "Pins")
+		if err != nil {
+			r.t.Fatal(err)
+		}
+		gatePins = append(gatePins, pins)
+	}
+	extPins, err := r.s.Members(impl, "Pins")
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	resolvePin := func(h pinHandle) domain.Surrogate {
+		if h.gate < 0 {
+			return extPins[h.index]
+		}
+		return gatePins[h.gate][h.index]
+	}
+	for _, w := range spec.wires {
+		if _, err := r.s.RelateIn(impl, "Wires", object.Participants{
+			"Pin1": domain.Ref(resolvePin(w[0])),
+			"Pin2": domain.Ref(resolvePin(w[1])),
+		}); err != nil {
+			r.t.Fatal(err)
+		}
+	}
+	resolver := func(iface domain.Surrogate) (domain.Surrogate, error) {
+		impl, ok := usageToBehavior[iface]
+		if !ok {
+			return 0, errors.New("unknown usage interface")
+		}
+		return impl, nil
+	}
+	return impl, resolver
+}
+
+func ext(i int) pinHandle     { return pinHandle{gate: -1, index: i} }
+func gpin(g, i int) pinHandle { return pinHandle{gate: g, index: i} }
+func bools(bs ...bool) []bool { return bs }
+func TestTableGeneration(t *testing.T) {
+	cases := []struct {
+		fn   string
+		nIn  int
+		want []bool // rows in binary order
+	}{
+		{"AND", 2, bools(false, false, false, true)},
+		{"OR", 2, bools(false, true, true, true)},
+		{"NAND", 2, bools(true, true, true, false)},
+		{"NOR", 2, bools(true, false, false, false)},
+		{"XOR", 2, bools(false, true, true, false)},
+		{"NOR", 1, bools(true, false)}, // NOT
+	}
+	for _, c := range cases {
+		m, err := Table(c.fn, c.nIn)
+		if err != nil {
+			t.Fatalf("Table(%s): %v", c.fn, err)
+		}
+		for r, want := range c.want {
+			if got := bool(m.At(r, 0).(domain.Bool)); got != want {
+				t.Errorf("%s row %d = %v, want %v", c.fn, r, got, want)
+			}
+		}
+	}
+	if _, err := Table("XNOR", 2); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestSingleNANDGate(t *testing.T) {
+	r := newRig(t)
+	impl, resolver := r.composite(compositeSpec{
+		nIn: 2, nOut: 1,
+		gates: []gateSpec{{fn: "NAND", nIn: 2, delay: 3}},
+		wires: [][2]pinHandle{
+			{ext(0), gpin(0, 0)},
+			{ext(1), gpin(0, 1)},
+			{gpin(0, 2), ext(2)},
+		},
+	})
+	c, err := Compile(r.s, impl, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inputs() != 2 || c.Outputs() != 1 || c.Gates() != 1 {
+		t.Fatalf("shape: in=%d out=%d gates=%d", c.Inputs(), c.Outputs(), c.Gates())
+	}
+	tt, err := c.TruthTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bools(true, true, true, false)
+	for r, row := range tt {
+		if row[0] != want[r] {
+			t.Errorf("row %d = %v, want %v", r, row[0], want[r])
+		}
+	}
+	res, err := c.Eval(bools(true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay != 3 {
+		t.Errorf("delay = %d, want 3", res.Delay)
+	}
+}
+
+func TestHalfAdder(t *testing.T) {
+	// sum = XOR(a, b); carry = AND(a, b).
+	r := newRig(t)
+	impl, resolver := r.composite(compositeSpec{
+		nIn: 2, nOut: 2,
+		gates: []gateSpec{
+			{fn: "XOR", nIn: 2, delay: 4},
+			{fn: "AND", nIn: 2, delay: 2},
+		},
+		wires: [][2]pinHandle{
+			{ext(0), gpin(0, 0)}, {ext(0), gpin(1, 0)},
+			{ext(1), gpin(0, 1)}, {ext(1), gpin(1, 1)},
+			{gpin(0, 2), ext(2)}, // sum
+			{gpin(1, 2), ext(3)}, // carry
+		},
+	})
+	c, err := Compile(r.s, impl, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b, sum, carry bool
+	}{
+		{false, false, false, false},
+		{true, false, true, false},
+		{false, true, true, false},
+		{true, true, false, true},
+	}
+	for _, tc := range cases {
+		res, err := c.Eval(bools(tc.a, tc.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outputs[0] != tc.sum || res.Outputs[1] != tc.carry {
+			t.Errorf("%v+%v: sum=%v carry=%v", tc.a, tc.b, res.Outputs[0], res.Outputs[1])
+		}
+		// Critical path is the slower XOR.
+		if res.Delay != 4 {
+			t.Errorf("delay = %d, want 4", res.Delay)
+		}
+	}
+}
+
+func TestTwoStageDelayAccumulates(t *testing.T) {
+	// NAND feeding NAND (inputs tied): a buffer with delay 3+3.
+	r := newRig(t)
+	impl, resolver := r.composite(compositeSpec{
+		nIn: 1, nOut: 1,
+		gates: []gateSpec{
+			{fn: "NAND", nIn: 2, delay: 3},
+			{fn: "NAND", nIn: 2, delay: 3},
+		},
+		wires: [][2]pinHandle{
+			{ext(0), gpin(0, 0)}, {ext(0), gpin(0, 1)},
+			{gpin(0, 2), gpin(1, 0)}, {gpin(0, 2), gpin(1, 1)},
+			{gpin(1, 2), ext(1)},
+		},
+	})
+	c, err := Compile(r.s, impl, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Eval(bools(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outputs[0] {
+		t.Error("double inversion should restore the input")
+	}
+	if res.Delay != 6 {
+		t.Errorf("delay = %d, want 6", res.Delay)
+	}
+}
+
+func TestSRLatchSettles(t *testing.T) {
+	// Cross-coupled NORs: Q = NOR(R, notQ), notQ = NOR(S, Q).
+	r := newRig(t)
+	impl, resolver := r.composite(compositeSpec{
+		nIn: 2, nOut: 2, // S, R in; Q, notQ out
+		gates: []gateSpec{
+			{fn: "NOR", nIn: 2, delay: 1}, // drives Q
+			{fn: "NOR", nIn: 2, delay: 1}, // drives notQ
+		},
+		wires: [][2]pinHandle{
+			{ext(1), gpin(0, 0)},     // R -> gate0
+			{gpin(1, 2), gpin(0, 1)}, // notQ -> gate0
+			{ext(0), gpin(1, 0)},     // S -> gate1
+			{gpin(0, 2), gpin(1, 1)}, // Q -> gate1
+			{gpin(0, 2), ext(2)},     // Q out
+			{gpin(1, 2), ext(3)},     // notQ out
+		},
+	})
+	c, err := Compile(r.s, impl, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set: S=1, R=0 -> Q=1.
+	res, err := c.Eval(bools(true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outputs[0] || res.Outputs[1] {
+		t.Errorf("set: Q=%v notQ=%v", res.Outputs[0], res.Outputs[1])
+	}
+	if res.Iterations < 2 {
+		t.Errorf("feedback should need iteration, got %d", res.Iterations)
+	}
+	// Reset: S=0, R=1 -> Q=0.
+	res, err = c.Eval(bools(false, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] || !res.Outputs[1] {
+		t.Errorf("reset: Q=%v notQ=%v", res.Outputs[0], res.Outputs[1])
+	}
+}
+
+func TestOscillatorDetected(t *testing.T) {
+	// A NOT gate feeding itself never settles.
+	r := newRig(t)
+	impl, resolver := r.composite(compositeSpec{
+		nIn: 0, nOut: 1,
+		gates: []gateSpec{{fn: "NOR", nIn: 1, delay: 1}},
+		wires: [][2]pinHandle{
+			{gpin(0, 1), gpin(0, 0)}, // out -> in
+			{gpin(0, 1), ext(0)},
+		},
+	})
+	c, err := Compile(r.s, impl, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Eval(nil); !errors.Is(err, ErrUnstable) {
+		t.Errorf("oscillator: %v", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	r := newRig(t)
+
+	// Shared interface pins between two components are ambiguous.
+	shared := r.iface(2, 1)
+	impl := r.must(r.s.NewObject(paperschema.TypeGateImplementation, ""))
+	own := r.iface(2, 1)
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, impl, own); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sg := r.must(r.s.NewSubobject(impl, "SubGates"))
+		if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, sg, shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	behavior := r.behavior("NAND", 2, 1)
+	resolver := func(domain.Surrogate) (domain.Surrogate, error) { return behavior, nil }
+	if _, err := Compile(r.s, impl, resolver); !errors.Is(err, ErrSharedPins) {
+		t.Errorf("shared pins: %v", err)
+	}
+
+	// Missing behaviour (nil resolver and zero implementations).
+	impl2, _ := r.composite(compositeSpec{
+		nIn: 1, nOut: 1,
+		gates: []gateSpec{{fn: "NAND", nIn: 2, delay: 1}},
+	})
+	if _, err := Compile(r.s, impl2, func(domain.Surrogate) (domain.Surrogate, error) {
+		return 0, errors.New("nope")
+	}); err == nil {
+		t.Error("resolver error should propagate")
+	}
+
+	// Table shape mismatch: 1-input table on a 2-input component.
+	badBehavior := r.behaviors["NAND"]
+	one, _ := Table("NOR", 1)
+	if err := r.s.SetAttr(badBehavior, "Function", one); err != nil {
+		t.Fatal(err)
+	}
+	impl3, resolver3 := r.composite(compositeSpec{
+		nIn: 2, nOut: 1,
+		gates: []gateSpec{{fn: "NAND", nIn: 2, delay: 1}},
+	})
+	_ = resolver3
+	if _, err := Compile(r.s, impl3, func(domain.Surrogate) (domain.Surrogate, error) {
+		return badBehavior, nil
+	}); !errors.Is(err, ErrBadTable) {
+		t.Errorf("bad table: %v", err)
+	}
+
+	// Wrong arity at Eval time.
+	impl4, resolver4 := r.composite(compositeSpec{
+		nIn: 2, nOut: 1,
+		gates: []gateSpec{{fn: "XOR", nIn: 2, delay: 1}},
+		wires: [][2]pinHandle{
+			{ext(0), gpin(0, 0)}, {ext(1), gpin(0, 1)}, {gpin(0, 2), ext(2)},
+		},
+	})
+	c4, err := Compile(r.s, impl4, resolver4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c4.Eval(bools(true)); !errors.Is(err, ErrArity) {
+		t.Errorf("arity: %v", err)
+	}
+}
+
+func TestDefaultResolver(t *testing.T) {
+	// With exactly one implementation bound to the usage interface, nil
+	// resolver works.
+	r := newRig(t)
+	usage := r.iface(2, 1)
+	behavior := r.must(r.s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, behavior, usage); err != nil {
+		t.Fatal(err)
+	}
+	table, _ := Table("AND", 2)
+	r.set(behavior, "Function", table)
+	r.set(behavior, "TimeBehavior", domain.Int(2))
+
+	own := r.iface(2, 1)
+	impl := r.must(r.s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, impl, own); err != nil {
+		t.Fatal(err)
+	}
+	sg := r.must(r.s.NewSubobject(impl, "SubGates"))
+	// Bind the component to a *fresh* interface so pins are distinct, and
+	// bind the behavior to the same one so the default resolver finds it.
+	usage2 := r.iface(2, 1)
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, sg, usage2); err != nil {
+		t.Fatal(err)
+	}
+	behavior2 := r.must(r.s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, behavior2, usage2); err != nil {
+		t.Fatal(err)
+	}
+	r.set(behavior2, "Function", table)
+	r.set(behavior2, "TimeBehavior", domain.Int(2))
+
+	extPins, _ := r.s.Members(impl, "Pins")
+	sgPins, _ := r.s.Members(sg, "Pins")
+	for _, pair := range [][2]domain.Surrogate{
+		{extPins[0], sgPins[0]}, {extPins[1], sgPins[1]}, {sgPins[2], extPins[2]},
+	} {
+		if _, err := r.s.RelateIn(impl, "Wires", object.Participants{
+			"Pin1": domain.Ref(pair[0]), "Pin2": domain.Ref(pair[1]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := Compile(r.s, impl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Eval(bools(true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outputs[0] {
+		t.Error("AND(1,1) should be 1")
+	}
+}

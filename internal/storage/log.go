@@ -1,0 +1,221 @@
+// Package storage implements the on-disk substrate of the database: an
+// append-only record log with CRC-checked framing and torn-tail recovery,
+// plus atomic snapshot files. The records themselves are opaque payloads;
+// the wal package defines their logical content.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt reports a record whose checksum does not match. A corrupt
+// record in the *middle* of the log is fatal; a torn record at the tail
+// is truncated silently (the write never committed).
+var ErrCorrupt = errors.New("storage: corrupt log record")
+
+const headerSize = 8 // 4 bytes length + 4 bytes CRC32
+
+// Log is an append-only record log. Appends are atomic at the record
+// level: a crash mid-write leaves a torn tail that Open truncates.
+type Log struct {
+	f    *os.File
+	path string
+	size int64
+	// SyncEvery controls fsync: 1 = every append (durable, slow),
+	// 0 = never (rely on Close/Checkpoint). Default 1.
+	syncEvery int
+	pending   int
+}
+
+// OpenLog opens (creating if necessary) the log at path, scans and
+// returns all intact records, and truncates a torn tail.
+func OpenLog(path string) (*Log, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: open log: %w", err)
+	}
+	records, validSize, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Log{f: f, path: path, size: validSize, syncEvery: 1}, records, nil
+}
+
+// scan reads records until EOF or a torn/corrupt tail. It distinguishes a
+// torn tail (incomplete final record: tolerated) from interior corruption
+// (checksum mismatch followed by more data: fatal).
+func scan(f *os.File) ([][]byte, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	total := info.Size()
+	var records [][]byte
+	var offset int64
+	header := make([]byte, headerSize)
+	for offset < total {
+		if total-offset < headerSize {
+			break // torn header
+		}
+		if _, err := io.ReadFull(f, header); err != nil {
+			return nil, 0, err
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if int64(length) > total-offset-headerSize {
+			break // torn payload
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if offset+headerSize+int64(length) >= total {
+				break // torn final record
+			}
+			return nil, 0, fmt.Errorf("%w at offset %d", ErrCorrupt, offset)
+		}
+		records = append(records, payload)
+		offset += headerSize + int64(length)
+	}
+	return records, offset, nil
+}
+
+// SetSync configures fsync frequency: n = fsync every n appends
+// (n <= 0 disables fsync on append).
+func (l *Log) SetSync(n int) { l.syncEvery = n }
+
+// Append writes one record and, per the sync policy, fsyncs.
+func (l *Log) Append(payload []byte) error {
+	header := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(header); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	l.size += headerSize + int64(len(payload))
+	l.pending++
+	if l.syncEvery > 0 && l.pending >= l.syncEvery {
+		l.pending = 0
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Size reports the current log size in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Reset truncates the log to empty (after a checkpoint has captured its
+// contents in a snapshot).
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.size = 0
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// WriteSnapshot atomically replaces the snapshot file at path: the bytes
+// are written to a temp file, fsynced, and renamed over the target.
+func WriteSnapshot(path string, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: snapshot: %w", err)
+	}
+	header := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: snapshot rename: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadSnapshot loads and verifies a snapshot file. A missing file returns
+// (nil, nil).
+func ReadSnapshot(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < headerSize {
+		return nil, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if int(length) != len(b)-headerSize {
+		return nil, fmt.Errorf("%w: snapshot length mismatch", ErrCorrupt)
+	}
+	payload := b[headerSize:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best effort; not all platforms support dir sync
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,98 @@
+package txn
+
+import (
+	"sort"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/object"
+)
+
+// PotentialConflict pairs two objects, one from each of two transactions'
+// access sets, that are related to each other — §6: "the explicitly
+// defined relationships between objects can be used to identify potential
+// conflicts (two update transactions are working on objects which are
+// related to each other)".
+type PotentialConflict struct {
+	A, B domain.Surrogate
+	// Via is the relationship object (binding or ordinary relationship)
+	// connecting them, or 0 for a direct parent/subobject dependency.
+	Via domain.Surrogate
+}
+
+// RelatedObjects returns the objects directly related to sur: binding
+// partners in both roles, co-participants of shared relationship objects,
+// and the parent/subobjects. The result is sorted and duplicate-free.
+func RelatedObjects(s *object.Store, sur domain.Surrogate) []domain.Surrogate {
+	related := make(map[domain.Surrogate]bool)
+	for _, b := range s.BindingsOfTransmitter(sur) {
+		related[b.Inheritor] = true
+	}
+	for _, b := range s.BindingsOfInheritor(sur) {
+		related[b.Transmitter] = true
+	}
+	if o, err := s.Get(sur); err == nil {
+		if o.Parent() != 0 {
+			related[o.Parent()] = true
+		}
+	}
+	for _, pair := range relationshipPartners(s, sur) {
+		related[pair] = true
+	}
+	delete(related, sur)
+	out := make([]domain.Surrogate, 0, len(related))
+	for r := range related {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// relationshipPartners finds co-participants of every relationship object
+// that references sur.
+func relationshipPartners(s *object.Store, sur domain.Surrogate) []domain.Surrogate {
+	var out []domain.Surrogate
+	for _, rel := range s.RelationshipsOf(sur) {
+		for _, p := range s.ParticipantsOf(rel) {
+			if p != sur {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// PotentialConflicts cross-checks two access sets: every pair (a, b) with
+// a related to b is a potential conflict worth scheduling around.
+func PotentialConflicts(s *object.Store, setA, setB []domain.Surrogate) []PotentialConflict {
+	inB := make(map[domain.Surrogate]bool, len(setB))
+	for _, b := range setB {
+		inB[b] = true
+	}
+	var out []PotentialConflict
+	seen := make(map[[2]domain.Surrogate]bool)
+	for _, a := range setA {
+		if inB[a] {
+			key := [2]domain.Surrogate{a, a}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, PotentialConflict{A: a, B: a})
+			}
+		}
+		for _, r := range RelatedObjects(s, a) {
+			if inB[r] {
+				key := [2]domain.Surrogate{a, r}
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, PotentialConflict{A: a, B: r})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,84 @@
+package txn
+
+import (
+	"sort"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/inherit"
+)
+
+// ExpansionLock reports what LockExpansion acquired: the composite's own
+// subtree and the visible portions of each component, with the mode
+// actually granted after access-control capping.
+type ExpansionLock struct {
+	Root     domain.Surrogate
+	Own      []domain.Surrogate // root + subobjects, locked in the full mode
+	Portions []PortionLock
+}
+
+// PortionLock is one component portion with the effective lock mode.
+type PortionLock struct {
+	Object  domain.Surrogate
+	Rel     string
+	Members []string
+	Mode    Mode // requested mode after the access-control cap
+}
+
+// LockExpansion is the complex operation §6 describes: lock a composite
+// object together with its whole component hierarchy ("expansion"). The
+// composite's own subtree is locked in the requested mode; each
+// component's *visible portion* is locked in the requested mode capped by
+// the user's rights on that component — so heavily shared standard parts
+// come out read-locked even inside an update expansion.
+func (t *Txn) LockExpansion(root domain.Surrogate, mode Mode) (*ExpansionLock, error) {
+	if err := t.active(); err != nil {
+		return nil, err
+	}
+	out := &ExpansionLock{Root: root}
+
+	// 1. The composite and its own subobject tree.
+	exp, err := inherit.Expand(t.mgr.store, root)
+	if err != nil {
+		return nil, err
+	}
+	own := ownSubtree(exp)
+	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+	for _, sur := range own {
+		if err := t.lock(sur, mode, nil); err != nil {
+			return nil, err
+		}
+	}
+	out.Own = own
+
+	// 2. The visible portions of every component, transitively.
+	portions, err := inherit.VisibleComponents(t.mgr.store, root)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range portions {
+		capped := t.mgr.access.CapMode(t.user, p.Object, mode)
+		if err := t.lock(p.Object, capped, p.Members); err != nil {
+			return nil, err
+		}
+		out.Portions = append(out.Portions, PortionLock{
+			Object:  p.Object,
+			Rel:     p.Rel,
+			Members: p.Members,
+			Mode:    capped,
+		})
+	}
+	return out, nil
+}
+
+// ownSubtree collects the nodes of an expansion reachable without
+// crossing a binding edge: the composite object and its own subobjects,
+// recursively.
+func ownSubtree(e *inherit.Expansion) []domain.Surrogate {
+	out := []domain.Surrogate{e.Object}
+	for _, c := range e.Children {
+		if len(c.Rel) > 4 && c.Rel[:4] == "sub:" {
+			out = append(out, ownSubtree(c)...)
+		}
+	}
+	return out
+}

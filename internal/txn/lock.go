@@ -1,0 +1,334 @@
+// Package txn implements the transaction facilities §6 of the paper asks
+// of a CAD/CAM database:
+//
+//   - a lock manager with shared/exclusive and intention modes whose lock
+//     unit can be a *portion* of an object (a named attribute set), so
+//     that lock inheritance can protect exactly "the parts of the
+//     component which are visible in the composite object";
+//   - lock inheritance in the reverse direction of data inheritance:
+//     reading inherited data through a composite read-locks the visible
+//     portion of the transmitter;
+//   - complex operations that lock whole component hierarchies
+//     ("expansion" locking), consulting an access-control manager that
+//     caps implicitly acquired lock modes on heavily shared standard
+//     parts;
+//   - strict two-phase transactions with undo, deadlock detection, and
+//     long (design) transactions via checkout/checkin workspaces.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cadcam/internal/domain"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes. IS/IX are object-level intention modes used when locking
+// composites hierarchically; S/X may carry a portion (attribute set).
+const (
+	IS Mode = iota + 1
+	IX
+	S
+	X
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Errors returned by lock acquisition.
+var (
+	ErrDeadlock   = errors.New("txn: deadlock detected")
+	ErrTxnDone    = errors.New("txn: transaction is not active")
+	ErrLockAccess = errors.New("txn: access control denies the requested mode")
+)
+
+// portion is the locked part of an object: nil means the whole object.
+type portion map[string]bool
+
+func newPortion(members []string) portion {
+	if members == nil {
+		return nil
+	}
+	p := make(portion, len(members))
+	for _, m := range members {
+		p[m] = true
+	}
+	return p
+}
+
+func (p portion) whole() bool { return p == nil }
+
+func (p portion) overlaps(q portion) bool {
+	if p.whole() || q.whole() {
+		return true
+	}
+	for m := range p {
+		if q[m] {
+			return true
+		}
+	}
+	return false
+}
+
+func (p portion) String() string {
+	if p.whole() {
+		return "*"
+	}
+	names := make([]string, 0, len(p))
+	for m := range p {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return fmt.Sprint(names)
+}
+
+// request is one lock request, granted or queued.
+type request struct {
+	txn     *Txn
+	mode    Mode
+	portion portion
+	granted bool
+	ready   chan struct{}
+}
+
+// compatible reports whether two requests can be granted together.
+// Intention modes conflict only with whole-object S/X of other
+// transactions; S and X conflict when their portions overlap.
+func compatible(a, b *request) bool {
+	if a.txn == b.txn {
+		return true
+	}
+	x, y := a, b
+	if x.mode > y.mode {
+		x, y = y, x
+	}
+	switch {
+	case x.mode == IS && y.mode == IS, x.mode == IS && y.mode == IX, x.mode == IX && y.mode == IX:
+		return true
+	case x.mode == IS && y.mode == S:
+		return true
+	case x.mode == IS && y.mode == X:
+		return !y.portion.whole()
+	case x.mode == IX && y.mode == S, x.mode == IX && y.mode == X:
+		return !y.portion.whole()
+	case x.mode == S && y.mode == S:
+		return true
+	case x.mode == S && y.mode == X, x.mode == X && y.mode == X:
+		return !x.portion.overlaps(y.portion)
+	default:
+		return false
+	}
+}
+
+// covers reports whether an already granted request subsumes a new one,
+// so re-acquisition is a no-op.
+func covers(held, want *request) bool {
+	if held.mode == want.mode || (held.mode == X && want.mode == S) ||
+		(held.mode == X && want.mode == IX) || (held.mode == X && want.mode == IS) ||
+		(held.mode == S && want.mode == IS) || (held.mode == IX && want.mode == IS) {
+		if held.portion.whole() {
+			return true
+		}
+		if want.portion.whole() {
+			return false
+		}
+		for m := range want.portion {
+			if !held.portion[m] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// objLock is the lock table entry for one object.
+type objLock struct {
+	granted []*request
+	queue   []*request
+}
+
+// lockManager serializes access to objects for the transaction manager.
+type lockManager struct {
+	mu       sync.Mutex
+	objs     map[domain.Surrogate]*objLock
+	waitsFor map[uint64]map[uint64]bool // txn id -> ids it waits for
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{
+		objs:     make(map[domain.Surrogate]*objLock),
+		waitsFor: make(map[uint64]map[uint64]bool),
+	}
+}
+
+// acquire blocks until the lock is granted or a deadlock is detected (in
+// which case the requester is chosen as the victim).
+func (lm *lockManager) acquire(t *Txn, sur domain.Surrogate, mode Mode, members []string) error {
+	req := &request{txn: t, mode: mode, portion: newPortion(members), ready: make(chan struct{})}
+
+	lm.mu.Lock()
+	ol := lm.objs[sur]
+	if ol == nil {
+		ol = &objLock{}
+		lm.objs[sur] = ol
+	}
+	// Re-acquisition: an equal or stronger lock is already held.
+	for _, g := range ol.granted {
+		if g.txn == t && covers(g, req) {
+			lm.mu.Unlock()
+			return nil
+		}
+	}
+	if lm.grantableLocked(ol, req) {
+		req.granted = true
+		ol.granted = append(ol.granted, req)
+		t.addLock(sur, req)
+		lm.mu.Unlock()
+		return nil
+	}
+	// Queue and check for deadlock before waiting.
+	blockers := lm.blockersLocked(ol, req)
+	w := lm.waitsFor[t.id]
+	if w == nil {
+		w = make(map[uint64]bool)
+		lm.waitsFor[t.id] = w
+	}
+	for _, b := range blockers {
+		w[b] = true
+	}
+	if lm.cycleLocked(t.id, t.id, map[uint64]bool{}) {
+		delete(lm.waitsFor, t.id)
+		lm.mu.Unlock()
+		return fmt.Errorf("%w: %s %s on %s", ErrDeadlock, mode, req.portion, sur)
+	}
+	ol.queue = append(ol.queue, req)
+	lm.mu.Unlock()
+
+	<-req.ready
+	return nil
+}
+
+// grantableLocked checks compatibility against granted requests and, for
+// fairness, against earlier queued requests of other transactions.
+func (lm *lockManager) grantableLocked(ol *objLock, req *request) bool {
+	for _, g := range ol.granted {
+		if !compatible(g, req) {
+			return false
+		}
+	}
+	for _, q := range ol.queue {
+		if q.txn != req.txn && !compatible(q, req) {
+			return false
+		}
+	}
+	return true
+}
+
+func (lm *lockManager) blockersLocked(ol *objLock, req *request) []uint64 {
+	var out []uint64
+	for _, g := range ol.granted {
+		if !compatible(g, req) {
+			out = append(out, g.txn.id)
+		}
+	}
+	for _, q := range ol.queue {
+		if q.txn != req.txn && !compatible(q, req) {
+			out = append(out, q.txn.id)
+		}
+	}
+	return out
+}
+
+// cycleLocked reports whether `from` can reach `target` in the waits-for
+// graph.
+func (lm *lockManager) cycleLocked(from, target uint64, seen map[uint64]bool) bool {
+	for next := range lm.waitsFor[from] {
+		if next == target {
+			return true
+		}
+		if !seen[next] {
+			seen[next] = true
+			if lm.cycleLocked(next, target, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// releaseAll frees every lock of a transaction and promotes waiters.
+func (lm *lockManager) releaseAll(t *Txn) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.waitsFor, t.id)
+	for sur := range t.locked {
+		ol := lm.objs[sur]
+		if ol == nil {
+			continue
+		}
+		kept := ol.granted[:0]
+		for _, g := range ol.granted {
+			if g.txn != t {
+				kept = append(kept, g)
+			}
+		}
+		ol.granted = kept
+		lm.promoteLocked(sur, ol)
+		if len(ol.granted) == 0 && len(ol.queue) == 0 {
+			delete(lm.objs, sur)
+		}
+	}
+}
+
+// promoteLocked grants queued requests FIFO while they stay compatible.
+func (lm *lockManager) promoteLocked(sur domain.Surrogate, ol *objLock) {
+	var remaining []*request
+	for i, q := range ol.queue {
+		grantable := true
+		for _, g := range ol.granted {
+			if !compatible(g, q) {
+				grantable = false
+				break
+			}
+		}
+		// Preserve FIFO order: a request behind an ungrantable one of a
+		// different transaction stays queued unless compatible with it.
+		if grantable {
+			for _, earlier := range ol.queue[:i] {
+				if !earlier.granted && earlier.txn != q.txn && !compatible(earlier, q) {
+					grantable = false
+					break
+				}
+			}
+		}
+		if grantable {
+			q.granted = true
+			ol.granted = append(ol.granted, q)
+			q.txn.addLock(sur, q)
+			delete(lm.waitsFor, q.txn.id)
+			close(q.ready)
+		} else {
+			remaining = append(remaining, q)
+		}
+	}
+	ol.queue = remaining
+}

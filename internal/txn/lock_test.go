@@ -1,0 +1,286 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cadcam/internal/object"
+	"cadcam/internal/paperschema"
+)
+
+func gateManager(t *testing.T) *Manager {
+	t.Helper()
+	s, err := object.NewStore(paperschema.MustGates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(s)
+}
+
+func TestPortionOverlap(t *testing.T) {
+	whole := newPortion(nil)
+	ab := newPortion([]string{"A", "B"})
+	bc := newPortion([]string{"B", "C"})
+	cd := newPortion([]string{"C", "D"})
+	if !whole.overlaps(ab) || !ab.overlaps(whole) {
+		t.Error("whole overlaps everything")
+	}
+	if !ab.overlaps(bc) {
+		t.Error("AB overlaps BC")
+	}
+	if ab.overlaps(cd) {
+		t.Error("AB must not overlap CD")
+	}
+	if whole.String() != "*" {
+		t.Errorf("whole portion string = %q", whole.String())
+	}
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	t1 := &Txn{id: 1}
+	t2 := &Txn{id: 2}
+	mk := func(tx *Txn, m Mode, members []string) *request {
+		return &request{txn: tx, mode: m, portion: newPortion(members)}
+	}
+	cases := []struct {
+		name string
+		a, b *request
+		want bool
+	}{
+		{"same txn always", mk(t1, X, nil), mk(t1, X, nil), true},
+		{"S-S", mk(t1, S, nil), mk(t2, S, nil), true},
+		{"S-X whole", mk(t1, S, nil), mk(t2, X, nil), false},
+		{"X-X whole", mk(t1, X, nil), mk(t2, X, nil), false},
+		{"S(A)-X(B) disjoint", mk(t1, S, []string{"A"}), mk(t2, X, []string{"B"}), true},
+		{"S(A)-X(A) overlap", mk(t1, S, []string{"A"}), mk(t2, X, []string{"A"}), false},
+		{"X(A)-X(B) disjoint", mk(t1, X, []string{"A"}), mk(t2, X, []string{"B"}), true},
+		{"S(A)-X(whole)", mk(t1, S, []string{"A"}), mk(t2, X, nil), false},
+		{"IS-IS", mk(t1, IS, nil), mk(t2, IS, nil), true},
+		{"IS-IX", mk(t1, IS, nil), mk(t2, IX, nil), true},
+		{"IS-S", mk(t1, IS, nil), mk(t2, S, nil), true},
+		{"IS-X whole", mk(t1, IS, nil), mk(t2, X, nil), false},
+		{"IS-X portion", mk(t1, IS, nil), mk(t2, X, []string{"A"}), true},
+		{"IX-S whole", mk(t1, IX, nil), mk(t2, S, nil), false},
+		{"IX-S portion", mk(t1, IX, nil), mk(t2, S, []string{"A"}), true},
+		{"IX-X whole", mk(t1, IX, nil), mk(t2, X, nil), false},
+		{"IX-IX", mk(t1, IX, nil), mk(t2, IX, nil), true},
+	}
+	for _, c := range cases {
+		if got := compatible(c.a, c.b); got != c.want {
+			t.Errorf("%s: compatible = %v, want %v", c.name, got, c.want)
+		}
+		if got := compatible(c.b, c.a); got != c.want {
+			t.Errorf("%s (swapped): compatible = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	t1 := &Txn{id: 1}
+	mk := func(m Mode, members []string) *request {
+		return &request{txn: t1, mode: m, portion: newPortion(members)}
+	}
+	if !covers(mk(X, nil), mk(S, []string{"A"})) {
+		t.Error("whole X covers portion S")
+	}
+	if !covers(mk(S, []string{"A", "B"}), mk(S, []string{"A"})) {
+		t.Error("superset S covers subset S")
+	}
+	if covers(mk(S, []string{"A"}), mk(S, []string{"A", "B"})) {
+		t.Error("subset does not cover superset")
+	}
+	if covers(mk(S, []string{"A"}), mk(X, []string{"A"})) {
+		t.Error("S does not cover X")
+	}
+	if covers(mk(S, []string{"A"}), mk(S, nil)) {
+		t.Error("portion does not cover whole")
+	}
+}
+
+func TestConcurrentReadersSharedLock(t *testing.T) {
+	m := gateManager(t)
+	sur, err := m.store.NewObject(paperschema.TypePin, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := m.Begin("")
+			if _, err := tx.GetAttr(sur, "PinId"); err != nil {
+				errs <- err
+				return
+			}
+			errs <- tx.Commit()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("reader: %v", err)
+		}
+	}
+}
+
+func TestWriterBlocksReader(t *testing.T) {
+	m := gateManager(t)
+	sur, _ := m.store.NewObject(paperschema.TypePin, "")
+	writer := m.Begin("")
+	if err := writer.SetAttr(sur, "PinId", intVal(1)); err != nil {
+		t.Fatal(err)
+	}
+	readerDone := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		tx := m.Begin("")
+		close(started)
+		_, err := tx.GetAttr(sur, "PinId")
+		if err == nil {
+			err = tx.Commit()
+		}
+		readerDone <- err
+	}()
+	<-started
+	select {
+	case err := <-readerDone:
+		t.Fatalf("reader finished while writer holds X: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-readerDone:
+		if err != nil {
+			t.Errorf("reader after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never unblocked")
+	}
+}
+
+func TestDisjointPortionsDoNotConflict(t *testing.T) {
+	m := gateManager(t)
+	sur, _ := m.store.NewObject(paperschema.TypePin, "")
+	w1 := m.Begin("")
+	w2 := m.Begin("")
+	if err := w1.SetAttr(sur, "PinId", intVal(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A different attribute of the same object: disjoint portion, no block.
+	done := make(chan error, 1)
+	go func() { done <- w2.SetAttr(sur, "InOut", symVal("IN")) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("disjoint write: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("disjoint portion write blocked")
+	}
+	if err := w1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := gateManager(t)
+	a, _ := m.store.NewObject(paperschema.TypePin, "")
+	b, _ := m.store.NewObject(paperschema.TypePin, "")
+	t1 := m.Begin("")
+	t2 := m.Begin("")
+	if err := t1.SetAttr(a, "PinId", intVal(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.SetAttr(b, "PinId", intVal(2)); err != nil {
+		t.Fatal(err)
+	}
+	// t1 waits for b (held by t2) in the background...
+	t1done := make(chan error, 1)
+	go func() { t1done <- t1.SetAttr(b, "PinId", intVal(3)) }()
+	time.Sleep(50 * time.Millisecond)
+	// ...t2 requesting a closes the cycle and must be chosen as victim.
+	err := t2.SetAttr(a, "PinId", intVal(4))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// t1 proceeds after the victim aborts.
+	select {
+	case err := <-t1done:
+		if err != nil {
+			t.Errorf("survivor: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor never unblocked")
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOFairness(t *testing.T) {
+	// A queued X must not be starved by later S requests.
+	m := gateManager(t)
+	sur, _ := m.store.NewObject(paperschema.TypePin, "")
+	holder := m.Begin("")
+	if _, err := holder.GetAttr(sur, "PinId"); err != nil {
+		t.Fatal(err)
+	}
+	writer := m.Begin("")
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- writer.SetAttr(sur, "PinId", intVal(9)) }()
+	time.Sleep(50 * time.Millisecond)
+
+	// A later reader wanting the same portion queues behind the writer.
+	reader := m.Begin("")
+	readerDone := make(chan error, 1)
+	go func() {
+		_, err := reader.GetAttr(sur, "PinId")
+		readerDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-readerDone:
+		t.Fatal("late reader overtook the queued writer")
+	default:
+	}
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-readerDone; err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{IS, IX, S, X} {
+		if m.String() == "" {
+			t.Error("empty mode name")
+		}
+	}
+	if Mode(77).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}

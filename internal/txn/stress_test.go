@@ -1,0 +1,152 @@
+package txn
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/paperschema"
+)
+
+// TestConcurrentTransactionsStress runs many goroutines doing random
+// transactional work against a shared composite scene. Deadlocks must be
+// detected (never hang), aborted work must leave no trace, and the store
+// must stay internally consistent throughout.
+func TestConcurrentTransactionsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	m := gateManager(t)
+	s := m.store
+
+	// Shared scene: a few interfaces with implementations, plus a pool of
+	// free-standing pins the writers fight over.
+	var ifaces, impls, pins []domain.Surrogate
+	for i := 0; i < 4; i++ {
+		rootI, _ := s.NewObject(paperschema.TypeGateInterfaceI, "")
+		iface, _ := s.NewObject(paperschema.TypeGateInterface, "")
+		if _, err := s.Bind(paperschema.RelAllOfGateInterfaceI, iface, rootI); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetAttr(iface, "Length", domain.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		impl, _ := s.NewObject(paperschema.TypeGateImplementation, "")
+		if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+			t.Fatal(err)
+		}
+		ifaces = append(ifaces, iface)
+		impls = append(impls, impl)
+	}
+	for i := 0; i < 16; i++ {
+		pin, _ := s.NewObject(paperschema.TypePin, "")
+		pins = append(pins, pin)
+	}
+
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				tx := m.Begin("")
+				ok := true
+				for op := 0; op < 3 && ok; op++ {
+					var err error
+					switch rng.Intn(4) {
+					case 0: // write a random pin
+						err = tx.SetAttr(pins[rng.Intn(len(pins))], "PinId", domain.Int(rng.Int63n(100)))
+					case 1: // read through the inheritance chain
+						_, err = tx.GetAttr(impls[rng.Intn(len(impls))], "Length")
+					case 2: // write a random interface (visible portion)
+						err = tx.SetAttr(ifaces[rng.Intn(len(ifaces))], "Width", domain.Int(rng.Int63n(100)))
+					case 3: // read a subclass through the chain
+						_, err = tx.Members(impls[rng.Intn(len(impls))], "Pins")
+					}
+					if err != nil {
+						if !errors.Is(err, ErrDeadlock) && !errors.Is(err, ErrTxnDone) {
+							errs <- err
+						}
+						ok = false
+					}
+				}
+				if ok {
+					if rng.Intn(8) == 0 { // occasional voluntary abort
+						_ = tx.Abort()
+					} else if err := tx.Commit(); err != nil && !errors.Is(err, ErrTxnDone) {
+						errs <- err
+					}
+				} else {
+					_ = tx.Abort()
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("worker error: %v", err)
+	}
+	if bad := s.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("store inconsistent after stress: %v", bad)
+	}
+	// No locks may remain.
+	m.locks.mu.Lock()
+	remaining := len(m.locks.objs)
+	m.locks.mu.Unlock()
+	if remaining != 0 {
+		t.Errorf("%d lock table entries leaked", remaining)
+	}
+}
+
+// TestSerializability2Writers verifies no lost updates: two transactions
+// increment the same attribute under X locks; the final value reflects
+// both.
+func TestSerializability2Writers(t *testing.T) {
+	m := gateManager(t)
+	pin, _ := m.store.NewObject(paperschema.TypePin, "")
+	if err := m.store.SetAttr(pin, "PinId", domain.Int(0)); err != nil {
+		t.Fatal(err)
+	}
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for { // retry on deadlock
+					tx := m.Begin("")
+					v, err := tx.GetAttr(pin, "PinId")
+					if err == nil {
+						n, _ := domain.AsInt(v)
+						err = tx.SetAttr(pin, "PinId", domain.Int(n+1))
+					}
+					if err == nil {
+						if err = tx.Commit(); err == nil {
+							break
+						}
+					} else {
+						_ = tx.Abort()
+					}
+					if !errors.Is(err, ErrDeadlock) && err != nil {
+						panic(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := m.store.GetAttr(pin, "PinId")
+	if !v.Equal(domain.Int(2 * perWorker)) {
+		t.Errorf("lost updates: final = %s, want %d", v, 2*perWorker)
+	}
+}

@@ -1,0 +1,94 @@
+package version
+
+import (
+	"testing"
+
+	"cadcam/internal/domain"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	r := buildVRig(t)
+	if err := r.m.SetDefault("NAND", r.v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.SetStatus(r.v1, StatusReleased); err != nil {
+		t.Fatal(err)
+	}
+	st := r.m.Export()
+	if len(st.Designs) != 1 || len(st.Versions) != 3 {
+		t.Fatalf("export: %d designs, %d versions", len(st.Designs), len(st.Versions))
+	}
+
+	m2 := NewManager(r.s)
+	if err := m2.Import(st); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := m2.Versions("NAND")
+	if err != nil || len(vs) != 3 {
+		t.Fatalf("imported versions: %v, %v", vs, err)
+	}
+	if vs[0].Status != StatusReleased {
+		t.Errorf("imported status = %s", vs[0].Status)
+	}
+	if vs[1].No != 2 || len(vs[1].DerivedFrom) != 1 || vs[1].DerivedFrom[0] != r.v1 {
+		t.Errorf("imported derivation: %+v", vs[1])
+	}
+	d, err := m2.Default("NAND")
+	if err != nil || d != r.v2 {
+		t.Errorf("imported default = %v, %v", d, err)
+	}
+	if info, ok := m2.InfoOf(r.v3); !ok || info.Alternative != "lowpower" {
+		t.Error("imported alternative lost")
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	r := buildVRig(t)
+	st := r.m.Export()
+
+	// Import into a non-empty manager.
+	if err := r.m.Import(st); err == nil {
+		t.Error("import into non-empty manager accepted")
+	}
+	// Version referencing a missing object.
+	bad := *st
+	bad.Versions = append([]VersionRecord(nil), st.Versions...)
+	bad.Versions[0].Object = 9999
+	m2 := NewManager(r.s)
+	if err := m2.Import(&bad); err == nil {
+		t.Error("missing version object accepted")
+	}
+	// Version of an undeclared design.
+	bad2 := *st
+	bad2.Versions = append([]VersionRecord(nil), st.Versions...)
+	bad2.Versions[0].Design = "Ghost"
+	if err := NewManager(r.s).Import(&bad2); err == nil {
+		t.Error("undeclared design accepted")
+	}
+	// Duplicate version object.
+	bad3 := *st
+	bad3.Versions = append(append([]VersionRecord(nil), st.Versions...), st.Versions[0])
+	if err := NewManager(r.s).Import(&bad3); err == nil {
+		t.Error("duplicate version accepted")
+	}
+	// Invalid status.
+	bad4 := *st
+	bad4.Versions = append([]VersionRecord(nil), st.Versions...)
+	bad4.Versions[0].Status = "garbage"
+	if err := NewManager(r.s).Import(&bad4); err == nil {
+		t.Error("invalid status accepted")
+	}
+	// Default pointing at a non-version.
+	bad5 := *st
+	bad5.Designs = append([]DesignRecord(nil), st.Designs...)
+	bad5.Designs[0].Default = domain.Surrogate(9999)
+	if err := NewManager(r.s).Import(&bad5); err == nil {
+		t.Error("bad default accepted")
+	}
+	// Duplicate design.
+	bad6 := *st
+	bad6.Designs = append(append([]DesignRecord(nil), st.Designs...), st.Designs[0])
+	if err := NewManager(r.s).Import(&bad6); err == nil {
+		t.Error("duplicate design accepted")
+	}
+}

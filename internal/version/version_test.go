@@ -1,0 +1,397 @@
+package version
+
+import (
+	"errors"
+	"testing"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/expr"
+	"cadcam/internal/object"
+	"cadcam/internal/paperschema"
+)
+
+// vrig: a NAND design object with an interface and three implementation
+// versions (v1 -> v2 on main; v3 an alternative derived from v1).
+type vrig struct {
+	s          *object.Store
+	m          *Manager
+	rootI      domain.Surrogate
+	iface      domain.Surrogate
+	v1, v2, v3 domain.Surrogate
+}
+
+func buildVRig(t *testing.T) *vrig {
+	t.Helper()
+	s, err := object.NewStore(paperschema.MustGates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &vrig{s: s, m: NewManager(s)}
+	must := func(sur domain.Surrogate, err error) domain.Surrogate {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sur
+	}
+	r.rootI = must(s.NewObject(paperschema.TypeGateInterfaceI, ""))
+	r.iface = must(s.NewObject(paperschema.TypeGateInterface, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterfaceI, r.iface, r.rootI); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAttr(r.iface, "Length", domain.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	newImpl := func(tb int64) domain.Surrogate {
+		impl := must(s.NewObject(paperschema.TypeGateImplementation, ""))
+		if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, r.iface); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetAttr(impl, "TimeBehavior", domain.Int(tb)); err != nil {
+			t.Fatal(err)
+		}
+		return impl
+	}
+	if _, err := r.m.DefineDesign("NAND", r.iface); err != nil {
+		t.Fatal(err)
+	}
+	r.v1, r.v2, r.v3 = newImpl(12), newImpl(9), newImpl(15)
+	if _, err := r.m.AddVersion("NAND", r.v1, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.m.AddVersion("NAND", r.v2, []domain.Surrogate{r.v1}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.m.AddVersion("NAND", r.v3, []domain.Surrogate{r.v1}, "lowpower"); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDesignRegistration(t *testing.T) {
+	r := buildVRig(t)
+	if _, err := r.m.DefineDesign("NAND", 0); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate design: %v", err)
+	}
+	if _, err := r.m.DefineDesign("", 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := r.m.DefineDesign("X", 9999); err == nil {
+		t.Error("missing interface accepted")
+	}
+	if d, ok := r.m.Design("NAND"); !ok || d.Interface != r.iface {
+		t.Error("design lookup failed")
+	}
+	names := r.m.DesignNames()
+	if len(names) != 1 || names[0] != "NAND" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestVersionRegistration(t *testing.T) {
+	r := buildVRig(t)
+	vs, err := r.m.Versions("NAND")
+	if err != nil || len(vs) != 3 {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+	if vs[0].No != 1 || vs[1].No != 2 || vs[2].No != 3 {
+		t.Error("version numbers should follow registration order")
+	}
+	if vs[2].Alternative != "lowpower" {
+		t.Errorf("alternative = %q", vs[2].Alternative)
+	}
+	// Error paths.
+	if _, err := r.m.AddVersion("Ghost", r.v1, nil, ""); !errors.Is(err, ErrNoSuchDesign) {
+		t.Errorf("unknown design: %v", err)
+	}
+	if _, err := r.m.AddVersion("NAND", r.v1, nil, ""); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate version: %v", err)
+	}
+	if _, err := r.m.AddVersion("NAND", 9999, nil, ""); err == nil {
+		t.Error("missing object accepted")
+	}
+	if _, err := r.m.AddVersion("NAND", r.rootI, nil, ""); err == nil {
+		t.Error("object not bound to the interface accepted")
+	}
+	// Predecessor must be a version of the same design.
+	impl, _ := r.s.NewObject(paperschema.TypeGateImplementation, "")
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, impl, r.iface); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.m.AddVersion("NAND", impl, []domain.Surrogate{9999}, ""); !errors.Is(err, ErrNotAVersion) {
+		t.Errorf("bad predecessor: %v", err)
+	}
+	if _, err := r.m.Versions("Ghost"); !errors.Is(err, ErrNoSuchDesign) {
+		t.Errorf("versions of unknown design: %v", err)
+	}
+}
+
+func TestDerivationGraph(t *testing.T) {
+	r := buildVRig(t)
+	anc, err := r.m.DerivationAncestors(r.v2)
+	if err != nil || len(anc) != 1 || anc[0] != r.v1 {
+		t.Errorf("ancestors of v2 = %v, %v", anc, err)
+	}
+	succ, err := r.m.Successors(r.v1)
+	if err != nil || len(succ) != 2 {
+		t.Errorf("successors of v1 = %v, %v", succ, err)
+	}
+	if _, err := r.m.DerivationAncestors(9999); !errors.Is(err, ErrNotAVersion) {
+		t.Errorf("ancestors of non-version: %v", err)
+	}
+	if _, err := r.m.Successors(9999); !errors.Is(err, ErrNotAVersion) {
+		t.Errorf("successors of non-version: %v", err)
+	}
+	// Deeper chain: v4 derived from v2.
+	impl, _ := r.s.NewObject(paperschema.TypeGateImplementation, "")
+	if _, err := r.s.Bind(paperschema.RelAllOfGateInterface, impl, r.iface); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.m.AddVersion("NAND", impl, []domain.Surrogate{r.v2}, ""); err != nil {
+		t.Fatal(err)
+	}
+	anc, _ = r.m.DerivationAncestors(impl)
+	if len(anc) != 2 {
+		t.Errorf("transitive ancestors = %v", anc)
+	}
+}
+
+func TestAlternatives(t *testing.T) {
+	r := buildVRig(t)
+	alts, err := r.m.Alternatives("NAND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts[""]) != 2 || len(alts["lowpower"]) != 1 {
+		t.Errorf("alternatives = %v", alts)
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	r := buildVRig(t)
+	// Promote along the rank order.
+	for _, st := range []Status{StatusStable, StatusReleased, StatusFrozen} {
+		if err := r.m.SetStatus(r.v1, st); err != nil {
+			t.Fatalf("promote to %s: %v", st, err)
+		}
+	}
+	// Frozen is terminal.
+	if err := r.m.SetStatus(r.v1, StatusInWork); !errors.Is(err, ErrFrozen) {
+		t.Errorf("thaw: %v", err)
+	}
+	if !r.m.Frozen(r.v1) {
+		t.Error("v1 should be frozen")
+	}
+	if r.m.Frozen(r.v2) {
+		t.Error("v2 should not be frozen")
+	}
+	// stable -> in_work is the one allowed demotion.
+	if err := r.m.SetStatus(r.v2, StatusStable); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.SetStatus(r.v2, StatusInWork); err != nil {
+		t.Errorf("stable->in_work: %v", err)
+	}
+	// released cannot demote.
+	if err := r.m.SetStatus(r.v2, StatusReleased); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.SetStatus(r.v2, StatusInWork); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("released->in_work: %v", err)
+	}
+	if err := r.m.SetStatus(r.v2, "garbage"); !errors.Is(err, ErrBadTransition) {
+		t.Errorf("bad status: %v", err)
+	}
+	if err := r.m.SetStatus(9999, StatusStable); !errors.Is(err, ErrNotAVersion) {
+		t.Errorf("non-version: %v", err)
+	}
+}
+
+func TestBottomUpSelection(t *testing.T) {
+	r := buildVRig(t)
+	ref := GenericRef{Design: "NAND", Policy: SelectDefault}
+	if _, err := r.m.Resolve(ref, nil); !errors.Is(err, ErrNoDefault) {
+		t.Errorf("no default: %v", err)
+	}
+	if err := r.m.SetDefault("NAND", r.v2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.m.Resolve(ref, nil)
+	if err != nil || got != r.v2 {
+		t.Errorf("default selection = %v, %v", got, err)
+	}
+	if err := r.m.SetDefault("Ghost", r.v2); !errors.Is(err, ErrNoSuchDesign) {
+		t.Errorf("default on unknown design: %v", err)
+	}
+	if err := r.m.SetDefault("NAND", 9999); !errors.Is(err, ErrNotAVersion) {
+		t.Errorf("default to non-version: %v", err)
+	}
+}
+
+func TestTopDownSelection(t *testing.T) {
+	r := buildVRig(t)
+	if err := r.m.SetStatus(r.v1, StatusReleased); err != nil {
+		t.Fatal(err)
+	}
+	// Query mixing metadata and object data: released and fast enough.
+	q := expr.MustParse("Status = released and TimeBehavior <= 12")
+	got, err := r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectQuery, Query: q}, nil)
+	if err != nil || got != r.v1 {
+		t.Errorf("selection = %v, %v (want v1)", got, err)
+	}
+	// Releasing v2 makes it the latest match.
+	if err := r.m.SetStatus(r.v2, StatusReleased); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectQuery, Query: q}, nil)
+	if err != nil || got != r.v2 {
+		t.Errorf("selection = %v, %v (want v2, the latest match)", got, err)
+	}
+	// Inherited data participates in the query (Length comes from the
+	// interface).
+	q2 := expr.MustParse("Length = 4 and Alternative = \"lowpower\"")
+	got, err = r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectQuery, Query: q2}, nil)
+	if err != nil || got != r.v3 {
+		t.Errorf("selection = %v, %v (want v3)", got, err)
+	}
+	// No match.
+	q3 := expr.MustParse("TimeBehavior < 0")
+	if _, err := r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectQuery, Query: q3}, nil); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("no match: %v", err)
+	}
+	// Missing query.
+	if _, err := r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectQuery}, nil); err == nil {
+		t.Error("missing query accepted")
+	}
+	// Query evaluation errors surface.
+	q4 := expr.MustParse("count(Nowhere) = 1")
+	if _, err := r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectQuery, Query: q4}, nil); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestEnvironmentSelection(t *testing.T) {
+	r := buildVRig(t)
+	env := NewEnvironment("simulation")
+	env.Choose("NAND", r.v3)
+	got, err := r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectEnvironment}, env)
+	if err != nil || got != r.v3 {
+		t.Errorf("environment selection = %v, %v", got, err)
+	}
+	// Unchosen design.
+	if _, err := r.m.Resolve(GenericRef{Design: "OTHER", Policy: SelectEnvironment}, env); !errors.Is(err, ErrNotEnvironment) {
+		t.Errorf("unchosen: %v", err)
+	}
+	// Nil environment.
+	if _, err := r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectEnvironment}, nil); !errors.Is(err, ErrNotEnvironment) {
+		t.Errorf("nil env: %v", err)
+	}
+	// Environment pointing at a non-version.
+	env.Choose("NAND", 9999)
+	if _, err := r.m.Resolve(GenericRef{Design: "NAND", Policy: SelectEnvironment}, env); !errors.Is(err, ErrNotAVersion) {
+		t.Errorf("bad choice: %v", err)
+	}
+	if _, ok := env.Choice("NAND"); !ok {
+		t.Error("choice should be recorded")
+	}
+}
+
+func TestBindResolved(t *testing.T) {
+	// Generic component relationship materialized at assembly time: a
+	// TimedComposite binds to whichever implementation the policy picks.
+	r := buildVRig(t)
+	if err := r.m.SetDefault("NAND", r.v1); err != nil {
+		t.Fatal(err)
+	}
+	user, _ := r.s.NewObject(paperschema.TypeTimedComposite, "")
+	chosen, bsur, err := r.m.BindResolved(paperschema.RelSomeOfGate, user,
+		GenericRef{Design: "NAND", Policy: SelectDefault}, nil)
+	if err != nil || chosen != r.v1 {
+		t.Fatalf("BindResolved = %v, %v, %v", chosen, bsur, err)
+	}
+	// The user now reads through the selected version.
+	v, err := r.s.GetAttr(user, "TimeBehavior")
+	if err != nil || !v.Equal(domain.Int(12)) {
+		t.Errorf("TimeBehavior = %s, %v", v, err)
+	}
+	// A second resolution for the same rel type fails (already bound).
+	if _, _, err := r.m.BindResolved(paperschema.RelSomeOfGate, user,
+		GenericRef{Design: "NAND", Policy: SelectDefault}, nil); err == nil {
+		t.Error("double bind accepted")
+	}
+	// Unresolvable ref propagates.
+	user2, _ := r.s.NewObject(paperschema.TypeTimedComposite, "")
+	if _, _, err := r.m.BindResolved(paperschema.RelSomeOfGate, user2,
+		GenericRef{Design: "Ghost", Policy: SelectDefault}, nil); !errors.Is(err, ErrNoSuchDesign) {
+		t.Errorf("unknown design: %v", err)
+	}
+}
+
+func TestVersionedVersions(t *testing.T) {
+	// §6: "versioned versions" — versions of interfaces which themselves
+	// have versions (the implementations). Two design objects: one for
+	// the interface level, one per interface version.
+	s, err := object.NewStore(paperschema.MustGates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(s)
+	must := func(sur domain.Surrogate, err error) domain.Surrogate {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sur
+	}
+	rootI := must(s.NewObject(paperschema.TypeGateInterfaceI, ""))
+	if _, err := m.DefineDesign("NAND-interface", rootI); err != nil {
+		t.Fatal(err)
+	}
+	// Two interface versions bound to the super-interface.
+	makeIface := func() domain.Surrogate {
+		iface := must(s.NewObject(paperschema.TypeGateInterface, ""))
+		if _, err := s.Bind(paperschema.RelAllOfGateInterfaceI, iface, rootI); err != nil {
+			t.Fatal(err)
+		}
+		return iface
+	}
+	if1, if2 := makeIface(), makeIface()
+	if _, err := m.AddVersion("NAND-interface", if1, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddVersion("NAND-interface", if2, []domain.Surrogate{if1}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Each interface version is itself a design object whose versions are
+	// implementations.
+	if _, err := m.DefineDesign("NAND-v1-impls", if1); err != nil {
+		t.Fatal(err)
+	}
+	impl := must(s.NewObject(paperschema.TypeGateImplementation, ""))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, if1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddVersion("NAND-v1-impls", impl, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The hierarchy reads through both levels.
+	vs, _ := m.Versions("NAND-interface")
+	if len(vs) != 2 {
+		t.Errorf("interface versions = %d", len(vs))
+	}
+	vs, _ = m.Versions("NAND-v1-impls")
+	if len(vs) != 1 {
+		t.Errorf("implementation versions = %d", len(vs))
+	}
+	if info, ok := m.InfoOf(impl); !ok || info.Design != "NAND-v1-impls" {
+		t.Error("InfoOf failed")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range []Policy{SelectDefault, SelectQuery, SelectEnvironment, Policy(99)} {
+		if p.String() == "" {
+			t.Errorf("policy %d has empty string", p)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package wal
+
+import (
+	"fmt"
+
+	"cadcam/internal/codec"
+	"cadcam/internal/domain"
+	"cadcam/internal/object"
+	"cadcam/internal/version"
+)
+
+// Snapshot format: magic, format version, store state, version state.
+const (
+	snapMagic   = uint64(0xCADCA55E)
+	snapVersion = uint64(1)
+)
+
+// EncodeSnapshot serializes the full logical state of the store and
+// version manager from their exported states. Callers that need the
+// snapshot to be atomic with a log rotation export under
+// object.Store.WithExclusive.
+func EncodeSnapshot(st *object.StoreState, vs *version.ManagerState) []byte {
+	var e codec.Buf
+	e.Uvarint(snapMagic)
+	e.Uvarint(snapVersion)
+
+	e.Uvarint(uint64(len(st.Classes)))
+	for _, c := range st.Classes {
+		e.Str(c.Name)
+		e.Str(c.ElemType)
+	}
+	e.Uvarint(uint64(len(st.Objects)))
+	for _, o := range st.Objects {
+		e.Sur(o.Sur)
+		e.Str(o.TypeName)
+		e.Bool(o.IsRel)
+		e.Sur(o.Parent)
+		e.Str(o.ParentSub)
+		e.Str(o.OwnerClass)
+		e.Uvarint(o.ModSeq)
+		e.ValueMap(o.Attrs)
+		e.ValueMap(o.Participants)
+	}
+	e.Uvarint(uint64(len(st.Bindings)))
+	for _, b := range st.Bindings {
+		e.Sur(b.Sur)
+		e.Str(b.RelType)
+		e.Sur(b.Transmitter)
+		e.Sur(b.Inheritor)
+		e.ValueMap(b.Attrs)
+	}
+	e.Uvarint(st.NextSur)
+	e.Uvarint(st.Seq)
+
+	e.Uvarint(uint64(len(vs.Designs)))
+	for _, d := range vs.Designs {
+		e.Str(d.Name)
+		e.Sur(d.Interface)
+		e.Sur(d.Default)
+	}
+	e.Uvarint(uint64(len(vs.Versions)))
+	for _, v := range vs.Versions {
+		e.Sur(v.Object)
+		e.Str(v.Design)
+		e.Uvarint(uint64(v.No))
+		e.Str(v.Alternative)
+		e.Str(string(v.Status))
+		e.Surs(v.DerivedFrom)
+	}
+	return e.Bytes()
+}
+
+// DecodeSnapshot rebuilds the state into an empty store and version
+// manager.
+func DecodeSnapshot(b []byte, s *object.Store, vm *version.Manager) error {
+	r := codec.NewReader(b)
+	if r.Uvarint() != snapMagic {
+		return fmt.Errorf("wal: bad snapshot magic")
+	}
+	if v := r.Uvarint(); v != snapVersion {
+		return fmt.Errorf("wal: unsupported snapshot version %d", v)
+	}
+	st := &object.StoreState{}
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		st.Classes = append(st.Classes, object.ClassRecord{Name: r.Str(), ElemType: r.Str()})
+	}
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		st.Objects = append(st.Objects, object.ObjectRecord{
+			Sur:          r.Sur(),
+			TypeName:     r.Str(),
+			IsRel:        r.Bool(),
+			Parent:       r.Sur(),
+			ParentSub:    r.Str(),
+			OwnerClass:   r.Str(),
+			ModSeq:       r.Uvarint(),
+			Attrs:        r.ValueMap(),
+			Participants: r.ValueMap(),
+		})
+	}
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		st.Bindings = append(st.Bindings, object.BindingRecord{
+			Sur:         r.Sur(),
+			RelType:     r.Str(),
+			Transmitter: r.Sur(),
+			Inheritor:   r.Sur(),
+			Attrs:       r.ValueMap(),
+		})
+	}
+	st.NextSur = r.Uvarint()
+	st.Seq = r.Uvarint()
+
+	vs := &version.ManagerState{}
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		vs.Designs = append(vs.Designs, version.DesignRecord{
+			Name:      r.Str(),
+			Interface: r.Sur(),
+			Default:   r.Sur(),
+		})
+	}
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		vs.Versions = append(vs.Versions, version.VersionRecord{
+			Object:      r.Sur(),
+			Design:      r.Str(),
+			No:          int(r.Uvarint()),
+			Alternative: r.Str(),
+			Status:      version.Status(r.Str()),
+			DerivedFrom: r.Surs(),
+		})
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// Attrs maps in records may contain explicit nulls; normalize.
+	for _, o := range st.Objects {
+		normalizeNulls(o.Attrs)
+		normalizeNulls(o.Participants)
+	}
+	if err := s.Import(st); err != nil {
+		return err
+	}
+	return vm.Import(vs)
+}
+
+func normalizeNulls(m map[string]domain.Value) {
+	for k, v := range m {
+		if domain.IsNull(v) {
+			delete(m, k)
+		}
+	}
+}

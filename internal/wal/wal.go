@@ -1,0 +1,84 @@
+// Package wal applies journaled operations during recovery and
+// serializes full-state snapshots. The store's operations are
+// deterministic and journaled in execution order, so replaying the
+// journal against the snapshot state reproduces the exact pre-crash
+// state, including surrogates and binding bookkeeping; creation ops carry
+// the originally assigned surrogate and replay verifies it.
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/object"
+	"cadcam/internal/oplog"
+	"cadcam/internal/version"
+)
+
+// Apply executes the op against a store and version manager.
+//
+// In recover mode, version-manager ops referencing objects that no longer
+// exist are skipped: version registrations are journaled by the database
+// facade slightly after their execution, so a concurrent delete can
+// legitimately precede them in the journal.
+func Apply(op *oplog.Op, s *object.Store, vm *version.Manager, recover bool) error {
+	verify := func(got domain.Surrogate, err error) error {
+		if err != nil {
+			return err
+		}
+		if op.Out != 0 && got != op.Out {
+			return fmt.Errorf("wal: replay divergence: op %d produced %s, journal says %s", op.Kind, got, op.Out)
+		}
+		return nil
+	}
+	lenient := func(err error) error {
+		if err == nil || !recover {
+			return err
+		}
+		if errors.Is(err, version.ErrNotAVersion) || errors.Is(err, version.ErrDuplicate) ||
+			errors.Is(err, version.ErrNoSuchDesign) || errors.Is(err, object.ErrNoSuchObject) {
+			return nil
+		}
+		return err
+	}
+	switch op.Kind {
+	case oplog.KindDefineClass:
+		return s.DefineClass(op.Name, op.Name2)
+	case oplog.KindNewObject:
+		return verify(s.NewObject(op.Name, op.Name2))
+	case oplog.KindNewSubobject:
+		return verify(s.NewSubobject(op.Sur, op.Name))
+	case oplog.KindNewRelSubobject:
+		return verify(s.NewRelSubobject(op.Sur, op.Name))
+	case oplog.KindSetAttr:
+		return s.SetAttr(op.Sur, op.Name, op.Value)
+	case oplog.KindRelate:
+		return verify(s.Relate(op.Name, object.Participants(op.Parts)))
+	case oplog.KindRelateIn:
+		return verify(s.RelateIn(op.Sur, op.Name, object.Participants(op.Parts)))
+	case oplog.KindBind:
+		return verify(s.Bind(op.Name, op.Sur, op.Sur2))
+	case oplog.KindUnbind:
+		return s.Unbind(op.Name, op.Sur)
+	case oplog.KindAcknowledge:
+		return s.Acknowledge(op.Name, op.Sur)
+	case oplog.KindDelete:
+		return s.Delete(op.Sur)
+	case oplog.KindDeletePolicy:
+		s.SetDeletePolicy(object.DeletePolicy(op.Num))
+		return nil
+	case oplog.KindDefineDesign:
+		_, err := vm.DefineDesign(op.Name, op.Sur)
+		return lenient(err)
+	case oplog.KindAddVersion:
+		_, err := vm.AddVersion(op.Name, op.Sur, op.Surs, op.Name2)
+		return lenient(err)
+	case oplog.KindSetStatus:
+		return lenient(vm.SetStatus(op.Sur, version.Status(op.Name)))
+	case oplog.KindSetDefault:
+		return lenient(vm.SetDefault(op.Name, op.Sur))
+	default:
+		return fmt.Errorf("wal: unknown op kind %d", op.Kind)
+	}
+}
