@@ -67,6 +67,9 @@ func Bool(v bool) Value { return domain.Bool(v) }
 // Sym builds an enumeration symbol.
 func Sym(v string) Value { return domain.Sym(v) }
 
+// IsNull reports whether v is nil or the null value.
+func IsNull(v Value) bool { return domain.IsNull(v) }
+
 // NewRec builds a record value from name/value pairs.
 func NewRec(pairs ...any) Value { return domain.NewRec(pairs...) }
 
@@ -257,6 +260,14 @@ func (db *Database) BindingOf(inheritor Surrogate, relType string) (*Binding, bo
 func (db *Database) TransmitterOf(inheritor Surrogate, relType string) Surrogate {
 	return db.store.TransmitterOf(inheritor, relType)
 }
+
+// StoreStats reports the store's resolution-cache counters and structure
+// epoch.
+type StoreStats = object.StoreStats
+
+// Stats returns resolution-cache hit/miss/invalidation counters and the
+// current structure epoch.
+func (db *Database) Stats() StoreStats { return db.store.Stats() }
 
 // ---- inheritance utilities ----
 

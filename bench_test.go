@@ -96,6 +96,37 @@ func BenchmarkE2_InheritedRead(b *testing.B) {
 	})
 }
 
+// BenchmarkE2_InheritedReadParallel drives inherited reads from many
+// goroutines at once: after the first resolution the route is memoized
+// and the hit path takes no lock, so throughput should scale with
+// readers instead of serializing on the store mutex.
+func BenchmarkE2_InheritedReadParallel(b *testing.B) {
+	db := benchDB(b)
+	iface, err := bench.Interface(db, 2, 1, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the route cache so the measured loop is all hit path.
+	if _, err := db.GetAttr(impl, "Length"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := db.GetAttr(impl, "Length"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE2_TransmitterUpdate measures an interface update fanning out
 // to n bound implementations (binding bookkeeping + hooks).
 func BenchmarkE2_TransmitterUpdate(b *testing.B) {
@@ -194,6 +225,35 @@ func BenchmarkE5_Permeability(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkE5_PermeabilityParallel reads the tailored view concurrently;
+// like the E2 parallel variant this exercises the lock-free route-hit
+// path, here through a SomeOf (partial-permeability) binding.
+func BenchmarkE5_PermeabilityParallel(b *testing.B) {
+	db := benchDB(b)
+	ff, err := bench.BuildFlipFlop(db, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, err := db.NewObject(paperschema.TypeTimedComposite, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Bind(paperschema.RelSomeOfGate, user, ff.Impl); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.GetAttr(user, "TimeBehavior"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := db.GetAttr(user, "TimeBehavior"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkE6_SteelConstraints checks the ScrewingType constraint family

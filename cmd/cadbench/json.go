@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/bench"
+	"cadcam/internal/paperschema"
+)
+
+// The -json mode is the machine-readable smoke run used by CI and by the
+// BENCH_*.json perf-trajectory files: it executes every experiment with
+// human output suppressed, records pass/fail and wall time, and appends a
+// set of micro probes over the hot read paths so successive PRs can be
+// compared number-to-number.
+
+type jsonExperiment struct {
+	ID    string  `json:"id"`
+	Title string  `json:"title"`
+	OK    bool    `json:"ok"`
+	Ms    float64 `json:"ms"`
+	Error string  `json:"error,omitempty"`
+}
+
+type jsonReport struct {
+	Experiments []jsonExperiment   `json:"experiments"`
+	MicroNsPerOp map[string]float64 `json:"micro_ns_per_op"`
+	Cache       *cacheReport       `json:"cache,omitempty"`
+}
+
+// runJSON executes the experiments (optionally filtered) and prints one
+// JSON document on stdout. It returns an error if any experiment failed.
+func runJSON(expFilter string) error {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer devnull.Close()
+
+	report := jsonReport{MicroNsPerOp: map[string]float64{}}
+	failed := 0
+	old := os.Stdout
+	os.Stdout = devnull
+	for _, e := range experiments {
+		if expFilter != "" && e.id != expFilter {
+			continue
+		}
+		t0 := time.Now()
+		runErr := e.run()
+		row := jsonExperiment{
+			ID:    e.id,
+			Title: e.title,
+			OK:    runErr == nil,
+			Ms:    float64(time.Since(t0).Microseconds()) / 1000,
+		}
+		if runErr != nil {
+			row.Error = runErr.Error()
+			failed++
+		}
+		report.Experiments = append(report.Experiments, row)
+	}
+	os.Stdout = old
+	if expFilter != "" && len(report.Experiments) == 0 {
+		return fmt.Errorf("unknown experiment %q", expFilter)
+	}
+
+	if err := microProbes(&report); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}
+
+// probe times one read-path operation over n iterations.
+func probe(report *jsonReport, name string, n int, op func() error) error {
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if err := op(); err != nil {
+			return fmt.Errorf("probe %s: %w", name, err)
+		}
+	}
+	report.MicroNsPerOp[name] = float64(time.Since(t0).Nanoseconds()) / float64(n)
+	return nil
+}
+
+// microProbes measures the hot read paths the EXPERIMENTS.md perf rows
+// track: direct reads, one-hop inherited reads, deep-chain reads and the
+// inherited-subclass (Members) path.
+func microProbes(report *jsonReport) error {
+	db, err := bench.Gates()
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	iface, err := bench.Interface(db, 2, 1, 4, 2)
+	if err != nil {
+		return err
+	}
+	impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+	if err != nil {
+		return err
+	}
+	if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		return err
+	}
+	const n = 200000
+	if err := probe(report, "direct_read", n, func() error {
+		_, err := db.GetAttr(iface, "Length")
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := probe(report, "inherited_read_1hop", n, func() error {
+		_, err := db.GetAttr(impl, "Length")
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := probe(report, "inherited_members", n, func() error {
+		_, err := db.Members(impl, "Pins")
+		return err
+	}); err != nil {
+		return err
+	}
+
+	for _, depth := range []int{4, 16} {
+		cat, err := bench.ChainCatalog(depth)
+		if err != nil {
+			return err
+		}
+		cdb, err := cadcam.OpenMemory(cat)
+		if err != nil {
+			return err
+		}
+		chain, err := bench.BuildChain(cdb, depth)
+		if err != nil {
+			cdb.Close()
+			return err
+		}
+		leaf := chain[len(chain)-1]
+		if err := probe(report, fmt.Sprintf("chain_read_depth%d", depth), n/2, func() error {
+			_, err := cdb.GetAttr(leaf, "X")
+			return err
+		}); err != nil {
+			cdb.Close()
+			return err
+		}
+		cdb.Close()
+	}
+	fillCacheReport(report, db)
+	return nil
+}

@@ -8,6 +8,7 @@
 //	cadbench            # run all experiments
 //	cadbench -exp E7    # run one experiment
 //	cadbench -list      # list experiments
+//	cadbench -json      # machine-readable smoke run + read-path probes
 package main
 
 import (
@@ -41,8 +42,16 @@ var experiments = []experiment{
 func main() {
 	expFlag := flag.String("exp", "", "run a single experiment (e.g. E7)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "suppress experiment output, print a JSON report")
 	flag.Parse()
 
+	if *jsonOut {
+		if err := runJSON(*expFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "cadbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-4s %s\n", e.id, e.title)

@@ -127,6 +127,7 @@ func runE2() error {
 func runE3() error {
 	fmt.Println("claim: interfaces generalize to abstraction hierarchies of any depth")
 	row("depth", "leaf-read", "value-ok", "ancestors")
+	var stats cadcam.StoreStats
 	for _, depth := range []int{1, 2, 4, 8, 16, 32, 64} {
 		cat, err := bench.ChainCatalog(depth)
 		if err != nil {
@@ -151,8 +152,11 @@ func runE3() error {
 		if !v.Equal(cadcam.Int(42)) || len(anc) != depth {
 			return fmt.Errorf("depth %d: value=%s ancestors=%d", depth, v, len(anc))
 		}
+		stats = db.Stats()
 		db.Close()
 	}
+	fmt.Printf("route cache at depth 64: hits=%d misses=%d invalidations=%d epoch=%d\n",
+		stats.Hits, stats.Misses, stats.Invalidations, stats.Epoch)
 	return nil
 }
 

@@ -137,3 +137,191 @@ func TestConcurrentReadersAndJournaledWriters(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// TestConcurrentReadsDuringRebinding races lock-free route-cached reads
+// against Bind/Unbind structure changes. Every read must observe either
+// the bound state (the transmitter's value / membership) or the unbound
+// state (Null / empty) — never an error and never a route left over from
+// a previous binding epoch.
+func TestConcurrentReadsDuringRebinding(t *testing.T) {
+	db, err := cadcam.OpenMemory(paperschema.MustGates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rootI, err := db.NewObject(paperschema.TypeGateInterfaceI, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nPins = 3
+	for i := 0; i < nPins; i++ {
+		if _, err := db.NewSubobject(rootI, "Pins"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	iface, err := db.NewObject(paperschema.TypeGateInterface, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Bind(paperschema.RelAllOfGateInterfaceI, iface, rootI); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetAttr(iface, "Length", cadcam.Int(9)); err != nil {
+		t.Fatal(err)
+	}
+	impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := db.GetAttr(impl, "Length")
+				if err != nil {
+					t.Errorf("GetAttr: %v", err)
+					return
+				}
+				if !cadcam.IsNull(v) && !v.Equal(cadcam.Int(9)) {
+					t.Errorf("stale inherited read: %v", v)
+					return
+				}
+				pins, err := db.Members(impl, "Pins")
+				if err != nil {
+					t.Errorf("Members: %v", err)
+					return
+				}
+				if len(pins) != 0 && len(pins) != nPins {
+					t.Errorf("torn membership read: %d pins", len(pins))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+				t.Errorf("bind: %v", err)
+				return
+			}
+			if err := db.Unbind(paperschema.RelAllOfGateInterface, impl); err != nil {
+				t.Errorf("unbind: %v", err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	// Quiesced final state: rebind, warm the route, then mutate the
+	// transmitter — the update must be visible through the cached route
+	// (routes memoize the resolution path, never the value).
+	if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GetAttr(impl, "Length"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetAttr(iface, "Length", cadcam.Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.GetAttr(impl, "Length")
+	if err != nil || !v.Equal(cadcam.Int(42)) {
+		t.Fatalf("update invisible through cached route: %v (%v)", v, err)
+	}
+	pins, err := db.Members(impl, "Pins")
+	if err != nil || len(pins) != nPins {
+		t.Fatalf("membership after rebinding: %d pins (%v)", len(pins), err)
+	}
+	if err := db.Unbind(paperschema.RelAllOfGateInterface, impl); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.GetAttr(impl, "Length"); !cadcam.IsNull(v) {
+		t.Fatalf("route survived unbind: %v", v)
+	}
+}
+
+// TestConcurrentReadsDuringTransmitterDelete races inherited reads
+// against the deletion of the transmitter itself (DeleteUnbind policy:
+// the inheritor is detached). Reads must see the live value or Null,
+// and after the delete the route must be gone for good.
+func TestConcurrentReadsDuringTransmitterDelete(t *testing.T) {
+	db, err := cadcam.Open(paperschema.MustGates(),
+		cadcam.Options{DeletePolicy: cadcam.DeleteUnbind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	impl, err := db.NewObject(paperschema.TypeGateImplementation, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := db.GetAttr(impl, "Length")
+				if err != nil {
+					t.Errorf("GetAttr: %v", err)
+					return
+				}
+				if !cadcam.IsNull(v) && !v.Equal(cadcam.Int(7)) {
+					t.Errorf("read through deleted transmitter: %v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			iface, err := db.NewObject(paperschema.TypeGateInterface, "")
+			if err != nil {
+				t.Errorf("new transmitter: %v", err)
+				return
+			}
+			if err := db.SetAttr(iface, "Length", cadcam.Int(7)); err != nil {
+				t.Errorf("set: %v", err)
+				return
+			}
+			if _, err := db.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+				t.Errorf("bind: %v", err)
+				return
+			}
+			if err := db.Delete(iface); err != nil {
+				t.Errorf("delete transmitter: %v", err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	if v, err := db.GetAttr(impl, "Length"); err != nil || !cadcam.IsNull(v) {
+		t.Fatalf("after transmitter delete: %v (%v)", v, err)
+	}
+	if bad := db.Store().CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("store inconsistent: %v", bad)
+	}
+}

@@ -61,11 +61,6 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 		sur:      domain.Surrogate(s.nextSur),
 		typeName: relType,
 		isRel:    true,
-		attrs: map[string]domain.Value{
-			AttrTransmitterUpdates: domain.Int(0),
-			AttrLastUpdateSeq:      domain.Int(0),
-			AttrAcknowledgedSeq:    domain.Int(0),
-		},
 		participants: map[string]domain.Value{
 			"Transmitter": domain.Ref(transmitter),
 			"Inheritor":   domain.Ref(inheritor),
@@ -73,6 +68,11 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 		subclasses: make(map[string]*Class),
 		subrels:    make(map[string]*Class),
 	}
+	obj.initAttrs(map[string]domain.Value{
+		AttrTransmitterUpdates: domain.Int(0),
+		AttrLastUpdateSeq:      domain.Int(0),
+		AttrAcknowledgedSeq:    domain.Int(0),
+	})
 	s.objects[obj.sur] = obj
 	b := &Binding{Obj: obj, Rel: rel, Transmitter: transmitter, Inheritor: inheritor}
 	m := s.byInheritor[inheritor]
@@ -83,6 +83,9 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 	m[relType] = b
 	s.byTransmitter[transmitter] = append(s.byTransmitter[transmitter], b)
 	s.seq++
+	// Binding changes every route through the inheritor: null routes
+	// memoized while unbound must revalidate.
+	s.bumpEpochLocked()
 	s.emit(&oplog.Op{Kind: oplog.KindBind, Name: relType, Sur: inheritor, Sur2: transmitter, Out: obj.sur})
 	return obj.sur, nil
 }
@@ -142,6 +145,8 @@ func (s *Store) removeBindingLocked(b *Binding) {
 		delete(s.byTransmitter, b.Transmitter)
 	}
 	delete(s.objects, b.Obj.sur)
+	// Every route resolved through this binding is now wrong.
+	s.bumpEpochLocked()
 }
 
 // BindingOf returns the inheritor's binding under a relationship type.
@@ -192,7 +197,7 @@ func (s *Store) Acknowledge(relType string, inheritor domain.Surrogate) error {
 	if b == nil {
 		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
 	}
-	b.Obj.attrs[AttrAcknowledgedSeq] = b.Obj.attrs[AttrLastUpdateSeq]
+	b.Obj.setAttr(AttrAcknowledgedSeq, b.Obj.attrMap()[AttrLastUpdateSeq])
 	s.emit(&oplog.Op{Kind: oplog.KindAcknowledge, Name: relType, Sur: inheritor})
 	return nil
 }

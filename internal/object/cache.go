@@ -1,0 +1,200 @@
+package object
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cadcam/internal/domain"
+)
+
+// Resolution cache.
+//
+// Reading an inherited member walks the binding chain from the inheritor
+// to the object that owns the member (§4: view semantics — the value is
+// never copied). The chain itself only changes on *structural* operations
+// (bind, unbind, delete, class materialization), so the store memoizes the
+// route — never the value — keyed by (surrogate, member name) and stamped
+// with the structure epoch current at resolution time. A cache hit reads
+// the owner's live attribute map, so a transmitter update made after the
+// route was memoized is visible immediately; plain attribute writes do not
+// touch the epoch, which keeps routes hot under update-heavy workloads.
+//
+// Concurrency: routes live in sync.Maps and attribute maps are immutable
+// once published (writers replace them copy-on-write under the store
+// mutex), so the GetAttr/Members hit path runs without taking any lock.
+// Structural writers bump the epoch while holding the write lock; a
+// concurrent lock-free reader either observes the new epoch (and falls
+// back to the locked slow path) or serializes before the structural
+// operation, which is a legal linearization.
+
+// routeKey addresses one memoized resolution.
+type routeKey struct {
+	sur  domain.Surrogate
+	name string
+}
+
+// route is one memoized resolution. For attribute routes, owner is the
+// object whose own attribute map holds the value (nil: the chain ended
+// unbound, the read is null). For members routes, cls is the owner's
+// materialized subclass (nil: unbound or not yet materialized, the read is
+// empty). chain lists every surrogate visited from the inheritor to the
+// owner, in order — transactions lock it for lock inheritance (§6).
+type route struct {
+	epoch uint64
+	owner *Object
+	cls   *Class
+	chain []domain.Surrogate
+}
+
+// routeCacheResetThreshold bounds dead-key accumulation: when an epoch
+// bump finds more stored routes than this, the maps are swapped out whole
+// instead of being left to revalidate lazily.
+const routeCacheResetThreshold = 1 << 16
+
+// routeCache holds the attribute and members route maps. The maps are
+// swappable so invalidation can drop a bloated cache in O(1).
+type routeCache struct {
+	attrs   atomic.Pointer[sync.Map]
+	members atomic.Pointer[sync.Map]
+	stored  atomic.Uint64
+}
+
+func (rc *routeCache) init() {
+	rc.attrs.Store(new(sync.Map))
+	rc.members.Store(new(sync.Map))
+}
+
+func (rc *routeCache) reset() {
+	rc.attrs.Store(new(sync.Map))
+	rc.members.Store(new(sync.Map))
+	rc.stored.Store(0)
+}
+
+func loadRoute(m *atomic.Pointer[sync.Map], sur domain.Surrogate, name string) (*route, bool) {
+	v, ok := m.Load().Load(routeKey{sur, name})
+	if !ok {
+		return nil, false
+	}
+	return v.(*route), true
+}
+
+// loadAttrRoute returns a memoized attribute route if it is still valid
+// against the current epoch.
+func (s *Store) loadAttrRoute(sur domain.Surrogate, name string) (*route, bool) {
+	r, ok := loadRoute(&s.routes.attrs, sur, name)
+	if !ok || r.epoch != s.epoch.Load() {
+		return nil, false
+	}
+	return r, true
+}
+
+// loadMembersRoute is loadAttrRoute for subclass resolution.
+func (s *Store) loadMembersRoute(sur domain.Surrogate, name string) (*route, bool) {
+	r, ok := loadRoute(&s.routes.members, sur, name)
+	if !ok || r.epoch != s.epoch.Load() {
+		return nil, false
+	}
+	return r, true
+}
+
+// memoAttr stores an attribute route resolved under the store lock (the
+// epoch cannot move while any lock is held, so the stamp is exact).
+func (s *Store) memoAttr(sur domain.Surrogate, name string, owner *Object, chain []domain.Surrogate) *route {
+	r := &route{epoch: s.epoch.Load(), owner: owner, chain: chain}
+	s.routes.attrs.Load().Store(routeKey{sur, name}, r)
+	s.routes.stored.Add(1)
+	s.misses.Add(1)
+	return r
+}
+
+// memoMembers stores a members route resolved under the store lock.
+func (s *Store) memoMembers(sur domain.Surrogate, name string, cls *Class, chain []domain.Surrogate) *route {
+	r := &route{epoch: s.epoch.Load(), cls: cls, chain: chain}
+	s.routes.members.Load().Store(routeKey{sur, name}, r)
+	s.routes.stored.Add(1)
+	s.misses.Add(1)
+	return r
+}
+
+// bumpEpochLocked invalidates every memoized route. Callers hold the write
+// lock; lock-free readers racing the bump either see the new epoch (slow
+// path) or serialize before the structural change.
+func (s *Store) bumpEpochLocked() {
+	s.epoch.Add(1)
+	s.invalidations.Add(1)
+	if s.routes.stored.Load() > routeCacheResetThreshold {
+		s.routes.reset()
+	}
+}
+
+// StoreStats reports the resolution-cache counters and structure epoch.
+type StoreStats struct {
+	Hits          uint64 // reads served from a memoized route, lock-free
+	Misses        uint64 // cacheable resolutions that had to walk the chain
+	Invalidations uint64 // structure-epoch bumps
+	Epoch         uint64 // current structure epoch
+	Routes        uint64 // approximate number of stored routes
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Invalidations: s.invalidations.Load(),
+		Epoch:         s.epoch.Load(),
+		Routes:        s.routes.stored.Load(),
+	}
+}
+
+// ResolveChain returns the surrogates visited when resolving member on
+// sur: the object itself followed by each transmitter along the
+// inheritance chain, ending at the member's owner. Transactions lock the
+// chain (lock inheritance runs in the reverse direction of data
+// inheritance, §6). Names that are not inherited — own members, unknown
+// names, relationship objects — resolve to just the object itself.
+func (s *Store) ResolveChain(sur domain.Surrogate, member string) ([]domain.Surrogate, error) {
+	if r, ok := s.loadAttrRoute(sur, member); ok {
+		s.hits.Add(1)
+		return r.chain, nil
+	}
+	if r, ok := s.loadMembersRoute(sur, member); ok {
+		s.hits.Add(1)
+		return r.chain, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[sur]
+	if !ok {
+		return nil, noObject(sur)
+	}
+	self := []domain.Surrogate{sur}
+	if o.isRel {
+		return self, nil
+	}
+	eff, err := s.effectiveLocked(o)
+	if err != nil {
+		return self, nil
+	}
+	if a, ok := eff.Attr(member); ok {
+		if !a.Inherited() {
+			return self, nil
+		}
+		_, r, err := s.resolveAttrLocked(o, member)
+		if err != nil {
+			return nil, err
+		}
+		return r.chain, nil
+	}
+	if sd, ok := eff.SubclassByName(member); ok {
+		if !sd.Inherited() {
+			return self, nil
+		}
+		r, err := s.resolveMembersLocked(o, member)
+		if err != nil || r == nil {
+			return self, err
+		}
+		return r.chain, nil
+	}
+	return self, nil
+}

@@ -1,0 +1,132 @@
+package object
+
+import (
+	"testing"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/paperschema"
+)
+
+// TestRouteCacheHitsAndLiveness pins down the cache contract: the second
+// read of an inherited attribute is a route hit, and a plain transmitter
+// write neither invalidates the cache nor goes stale through it.
+func TestRouteCacheHitsAndLiveness(t *testing.T) {
+	s := gateStore(t)
+	iface := mustSur(t)(s.NewObject(paperschema.TypeGateInterface, ""))
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	set(t, s, iface, "Length", domain.Int(9))
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+
+	get(t, s, impl, "Length") // miss: memoizes the route
+	base := s.Stats()
+	if base.Misses == 0 {
+		t.Fatal("first inherited read should be a cache miss")
+	}
+
+	if v := get(t, s, impl, "Length"); !v.Equal(domain.Int(9)) {
+		t.Fatalf("inherited read: %v", v)
+	}
+	after := s.Stats()
+	if after.Hits != base.Hits+1 {
+		t.Fatalf("second read should hit: hits %d -> %d", base.Hits, after.Hits)
+	}
+	if after.Epoch != base.Epoch {
+		t.Fatalf("read bumped the epoch: %d -> %d", base.Epoch, after.Epoch)
+	}
+
+	// A plain write must not invalidate, and must be visible through the
+	// already-memoized route (routes cache the path, never the value).
+	set(t, s, iface, "Length", domain.Int(11))
+	if ep := s.Stats().Epoch; ep != after.Epoch {
+		t.Fatalf("SetAttr bumped the epoch: %d -> %d", after.Epoch, ep)
+	}
+	if v := get(t, s, impl, "Length"); !v.Equal(domain.Int(11)) {
+		t.Fatalf("cached route served a stale value: %v", v)
+	}
+}
+
+// TestRouteCacheInvalidation walks the structural operations that must
+// bump the epoch, checking each actually changes what a cached read
+// resolves to.
+func TestRouteCacheInvalidation(t *testing.T) {
+	s := gateStore(t)
+	a := mustSur(t)(s.NewObject(paperschema.TypeGateInterface, ""))
+	b := mustSur(t)(s.NewObject(paperschema.TypeGateInterface, ""))
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	set(t, s, a, "Length", domain.Int(1))
+	set(t, s, b, "Length", domain.Int(2))
+
+	// Null route while unbound.
+	if v := get(t, s, impl, "Length"); !domain.IsNull(v) {
+		t.Fatalf("unbound read: %v", v)
+	}
+	ep0 := s.Stats().Epoch
+
+	// Bind invalidates the memoized null route.
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, a); err != nil {
+		t.Fatal(err)
+	}
+	if ep := s.Stats().Epoch; ep == ep0 {
+		t.Fatal("Bind did not bump the epoch")
+	}
+	if v := get(t, s, impl, "Length"); !v.Equal(domain.Int(1)) {
+		t.Fatalf("after bind: %v", v)
+	}
+
+	// Rebinding to a different transmitter redirects the route.
+	if err := s.Unbind(paperschema.RelAllOfGateInterface, impl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, b); err != nil {
+		t.Fatal(err)
+	}
+	if v := get(t, s, impl, "Length"); !v.Equal(domain.Int(2)) {
+		t.Fatalf("after rebind: %v", v)
+	}
+
+	// Deleting the transmitter (DeleteUnbind) kills the route.
+	s.SetDeletePolicy(DeleteUnbind)
+	epDel := s.Stats().Epoch
+	if err := s.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	if ep := s.Stats().Epoch; ep == epDel {
+		t.Fatal("Delete did not bump the epoch")
+	}
+	if v := get(t, s, impl, "Length"); !domain.IsNull(v) {
+		t.Fatalf("route survived transmitter delete: %v", v)
+	}
+}
+
+// TestRouteCacheMembersInvalidation covers the subclass-route cache: a
+// memoized membership route must follow rebinds and reflect live adds.
+func TestRouteCacheMembersInvalidation(t *testing.T) {
+	s := gateStore(t)
+	rootI := mustSur(t)(s.NewObject(paperschema.TypeGateInterfaceI, ""))
+	iface := mustSur(t)(s.NewObject(paperschema.TypeGateInterface, ""))
+	impl := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, ""))
+	addPin(t, s, rootI, "IN", 1)
+	if _, err := s.Bind(paperschema.RelAllOfGateInterfaceI, iface, rootI); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, impl, iface); err != nil {
+		t.Fatal(err)
+	}
+	if pins, err := s.Members(impl, "Pins"); err != nil || len(pins) != 1 {
+		t.Fatalf("members: %v (%v)", pins, err)
+	}
+	// Adding a pin is a membership change on the live class — visible
+	// through the cached two-hop route without any epoch bump.
+	addPin(t, s, rootI, "IN", 2)
+	if pins, err := s.Members(impl, "Pins"); err != nil || len(pins) != 2 {
+		t.Fatalf("after add: %v (%v)", pins, err)
+	}
+	if err := s.Unbind(paperschema.RelAllOfGateInterface, impl); err != nil {
+		t.Fatal(err)
+	}
+	if pins, err := s.Members(impl, "Pins"); err != nil || len(pins) != 0 {
+		t.Fatalf("route survived unbind: %v (%v)", pins, err)
+	}
+}

@@ -178,6 +178,8 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate) {
 		}
 	}
 	delete(s.objects, sur)
+	// Routes from or through the dead object must not be served again.
+	s.bumpEpochLocked()
 }
 
 func (s *Store) unindexParticipantLocked(rel domain.Surrogate, v domain.Value) {

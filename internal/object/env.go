@@ -149,8 +149,9 @@ func (e *classEnv) Collection(name string) ([]domain.Value, bool) {
 	if !ok {
 		return nil, false
 	}
-	out := make([]domain.Value, cls.Len())
-	for i, m := range cls.members {
+	items := cls.items()
+	out := make([]domain.Value, len(items))
+	for i, m := range items {
 		out[i] = domain.Ref(m)
 	}
 	return out, true

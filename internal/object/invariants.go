@@ -34,7 +34,7 @@ func (s *Store) CheckInvariants() []string {
 
 	// 1. database classes <-> ownerClass.
 	for name, cls := range s.classes {
-		for _, m := range cls.members {
+		for _, m := range cls.items() {
 			o, ok := s.objects[m]
 			if !ok {
 				report("class %q holds dead member %s", name, m)
@@ -74,7 +74,7 @@ func (s *Store) CheckInvariants() []string {
 			}
 		}
 		for name, cls := range o.subclasses {
-			for _, m := range cls.members {
+			for _, m := range cls.items() {
 				mo, ok := s.objects[m]
 				if !ok {
 					report("%s subclass %q holds dead member %s", sur, name, m)
@@ -86,7 +86,7 @@ func (s *Store) CheckInvariants() []string {
 			}
 		}
 		for name, cls := range o.subrels {
-			for _, m := range cls.members {
+			for _, m := range cls.items() {
 				mo, ok := s.objects[m]
 				if !ok {
 					report("%s subrel %q holds dead member %s", sur, name, m)

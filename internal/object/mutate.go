@@ -5,7 +5,6 @@ import (
 
 	"cadcam/internal/domain"
 	"cadcam/internal/oplog"
-	"cadcam/internal/schema"
 )
 
 // SetAttr sets an attribute on an object or relationship object.
@@ -48,11 +47,7 @@ func (s *Store) SetAttr(sur domain.Surrogate, name string, v domain.Value) error
 	if err := s.checkRefValueLocked(a.Domain, v); err != nil {
 		return err
 	}
-	if domain.IsNull(v) {
-		delete(o.attrs, name)
-	} else {
-		o.attrs[name] = v
-	}
+	o.setAttr(name, v)
 	s.seq++
 	o.modSeq = s.seq
 	s.notifyLocked(sur, name, map[domain.Surrogate]bool{})
@@ -67,43 +62,33 @@ func (s *Store) SetAttr(sur domain.Surrogate, name string, v domain.Value) error
 
 // setRelAttrLocked updates a user-declared attribute of a relationship
 // object. Participant roles and the binding bookkeeping attributes are not
-// assignable.
+// assignable. Declaration lookups use the catalog's precomputed per-type
+// indexes rather than scanning the declaration slices.
 func (s *Store) setRelAttrLocked(o *Object, name string, v domain.Value) error {
-	var attrs []schema.Attribute
-	if rt, ok := s.cat.RelType(o.typeName); ok {
-		for _, p := range rt.Participants {
-			if p.Name == name {
-				return fmt.Errorf("%w: participant role %q is fixed at creation", ErrTypeMismatch, name)
-			}
+	if _, ok := s.cat.RelType(o.typeName); ok {
+		if s.cat.RelRole(o.typeName, name) {
+			return fmt.Errorf("%w: participant role %q is fixed at creation", ErrTypeMismatch, name)
 		}
-		attrs = rt.Attributes
-	} else if it, ok := s.cat.InherRelType(o.typeName); ok {
+	} else if _, ok := s.cat.InherRelType(o.typeName); ok {
 		switch name {
 		case AttrTransmitterUpdates, AttrLastUpdateSeq, AttrAcknowledgedSeq:
 			return fmt.Errorf("%w: %q is maintained by the system", ErrTypeMismatch, name)
 		}
-		attrs = it.Attributes
 	} else {
 		return fmt.Errorf("%w: %q", ErrNoSuchType, o.typeName)
 	}
-	for _, a := range attrs {
-		if a.Name != name {
-			continue
-		}
-		if err := a.Domain.Validate(v); err != nil {
-			return fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
-		}
-		if domain.IsNull(v) {
-			delete(o.attrs, name)
-		} else {
-			o.attrs[name] = v
-		}
-		s.seq++
-		o.modSeq = s.seq
-		s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: o.sur, Name: name, Value: v})
-		return nil
+	a, ok := s.cat.RelAttr(o.typeName, name)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
 	}
-	return fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
+	if err := a.Domain.Validate(v); err != nil {
+		return fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
+	}
+	o.setAttr(name, v)
+	s.seq++
+	o.modSeq = s.seq
+	s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: o.sur, Name: name, Value: v})
+	return nil
 }
 
 // checkRefValueLocked verifies that object references inside v point to
@@ -145,7 +130,23 @@ func (s *Store) checkRefValueLocked(d *domain.Domain, v domain.Value) error {
 // attributes come from the object itself; inherited attributes are read
 // through the binding from the live transmitter (view semantics — never a
 // copy), or read as null while unbound (type-level inheritance only).
+//
+// The hot path is lock-free: a memoized route valid against the current
+// structure epoch names the object whose own attribute map holds the
+// value, and that map is read live — so transmitter updates are visible
+// immediately after a hit, while any structural change forces the locked
+// slow path via the epoch check.
 func (s *Store) GetAttr(sur domain.Surrogate, name string) (domain.Value, error) {
+	if r, ok := s.loadAttrRoute(sur, name); ok {
+		s.hits.Add(1)
+		if r.owner == nil {
+			return domain.NullValue, nil
+		}
+		if v, ok := r.owner.attrMap()[name]; ok {
+			return v, nil
+		}
+		return domain.NullValue, nil
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	o, ok := s.objects[sur]
@@ -162,51 +163,62 @@ func (s *Store) getAttrLocked(o *Object, name string) (domain.Value, error) {
 	if o.isRel {
 		return s.getRelAttrLocked(o, name)
 	}
-	eff, err := s.effectiveLocked(o)
-	if err != nil {
-		return nil, err
-	}
-	a, ok := eff.Attr(name)
-	if !ok {
-		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
-	}
-	if !a.Inherited() {
-		if v, ok := o.attrs[name]; ok {
-			return v, nil
+	v, _, err := s.resolveAttrLocked(o, name)
+	return v, err
+}
+
+// resolveAttrLocked walks the inheritance chain iteratively, memoizing the
+// route taken: either the chain ends at the object owning the attribute
+// (the value is read from its live attribute map) or it ends unbound (the
+// read is null until a Bind — which bumps the epoch — changes that).
+// Unknown attributes are not memoized and keep their error semantics.
+func (s *Store) resolveAttrLocked(o *Object, name string) (domain.Value, *route, error) {
+	chain := []domain.Surrogate{o.sur}
+	cur := o
+	for {
+		eff, err := s.effectiveLocked(cur)
+		if err != nil {
+			return nil, nil, err
 		}
-		return domain.NullValue, nil
+		a, ok := eff.Attr(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, cur.typeName, name)
+		}
+		if !a.Inherited() {
+			r := s.memoAttr(o.sur, name, cur, chain)
+			if v, ok := cur.attrMap()[name]; ok {
+				return v, r, nil
+			}
+			return domain.NullValue, r, nil
+		}
+		b := s.bindingLocked(cur.sur, a.Via)
+		if b == nil {
+			r := s.memoAttr(o.sur, name, nil, chain)
+			return domain.NullValue, r, nil
+		}
+		t, ok := s.objects[b.Transmitter]
+		if !ok {
+			r := s.memoAttr(o.sur, name, nil, chain)
+			return domain.NullValue, r, nil
+		}
+		chain = append(chain, t.sur)
+		cur = t
 	}
-	b := s.bindingLocked(o.sur, a.Via)
-	if b == nil {
-		return domain.NullValue, nil
-	}
-	t, ok := s.objects[b.Transmitter]
-	if !ok {
-		return domain.NullValue, nil
-	}
-	return s.getAttrLocked(t, name)
 }
 
 func (s *Store) getRelAttrLocked(o *Object, name string) (domain.Value, error) {
 	if v, ok := o.participants[name]; ok {
 		return v, nil
 	}
-	if v, ok := o.attrs[name]; ok {
+	if v, ok := o.attrMap()[name]; ok {
 		return v, nil
 	}
-	// Verify the name is declared before returning null.
-	if rt, ok := s.cat.RelType(o.typeName); ok {
-		for _, a := range rt.Attributes {
-			if a.Name == name {
-				return domain.NullValue, nil
-			}
-		}
-	} else if it, ok := s.cat.InherRelType(o.typeName); ok {
-		for _, a := range it.Attributes {
-			if a.Name == name {
-				return domain.NullValue, nil
-			}
-		}
+	// Verify the name is declared before returning null (O(1) via the
+	// catalog's precomputed attribute index).
+	if _, ok := s.cat.RelAttr(o.typeName, name); ok {
+		return domain.NullValue, nil
+	}
+	if _, ok := s.cat.InherRelType(o.typeName); ok {
 		switch name {
 		case AttrTransmitterUpdates, AttrLastUpdateSeq, AttrAcknowledgedSeq:
 			return domain.Int(0), nil
@@ -218,7 +230,20 @@ func (s *Store) getRelAttrLocked(o *Object, name string) (domain.Value, error) {
 // Members returns the member surrogates of a local subclass or
 // relationship subclass, following inheritance for subclasses the object's
 // type inherits (the interface's Pins seen from the implementation).
+//
+// Like GetAttr, the hot path is lock-free: a valid members route points at
+// the owner's materialized class, whose membership slice is published
+// atomically. Routes exist only for names that resolve as (possibly
+// inherited) subclasses; sub-relationship and relationship-object reads
+// always take the locked slow path, so the route can never shadow them.
 func (s *Store) Members(sur domain.Surrogate, name string) ([]domain.Surrogate, error) {
+	if r, ok := s.loadMembersRoute(sur, name); ok {
+		s.hits.Add(1)
+		if r.cls == nil {
+			return nil, nil
+		}
+		return r.cls.Members(), nil
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	o, ok := s.objects[sur]
@@ -236,49 +261,58 @@ func (s *Store) membersLocked(o *Object, name string) ([]domain.Surrogate, error
 		if cls, ok := o.subclasses[name]; ok {
 			return cls.Members(), nil
 		}
-		if rt, ok := s.cat.RelType(o.typeName); ok {
-			for _, sc := range rt.Subclasses {
-				if sc.Name == name {
-					return nil, nil // declared but empty
-				}
-			}
-			for _, sr := range rt.SubRels {
-				if sr.Name == name {
-					return nil, nil
-				}
-			}
+		if s.cat.RelMemberName(o.typeName, name) {
+			return nil, nil // declared but empty
 		}
 		return nil, fmt.Errorf("%w: %s has no subclass %q", ErrNoSuchClass, o.typeName, name)
 	}
-	eff, err := s.effectiveLocked(o)
+	r, err := s.resolveMembersLocked(o, name)
 	if err != nil {
 		return nil, err
 	}
-	if sd, ok := eff.SubclassByName(name); ok {
-		if !sd.Inherited() {
-			if cls, ok := o.subclasses[name]; ok {
-				return cls.Members(), nil
-			}
-			return nil, nil
+	if r == nil || r.cls == nil {
+		return nil, nil
+	}
+	return r.cls.Members(), nil
+}
+
+// resolveMembersLocked walks the inheritance chain for a subclass name,
+// memoizing the route to the owner's materialized class. A nil route (with
+// nil error) marks a declared sub-relationship with no members yet — not
+// memoized, because materializing it does not bump the epoch.
+func (s *Store) resolveMembersLocked(o *Object, name string) (*route, error) {
+	chain := []domain.Surrogate{o.sur}
+	cur := o
+	for {
+		eff, err := s.effectiveLocked(cur)
+		if err != nil {
+			return nil, err
 		}
-		b := s.bindingLocked(o.sur, sd.Via)
+		sd, ok := eff.SubclassByName(name)
+		if !ok {
+			for _, sr := range eff.Type.SubRels {
+				if sr.Name == name {
+					return nil, nil // declared but no members yet
+				}
+			}
+			return nil, fmt.Errorf("%w: %s has no subclass %q", ErrNoSuchClass, cur.typeName, name)
+		}
+		if !sd.Inherited() {
+			// cur.subclasses[name] may be nil (not materialized yet);
+			// materialization bumps the epoch, invalidating this route.
+			return s.memoMembers(o.sur, name, cur.subclasses[name], chain), nil
+		}
+		b := s.bindingLocked(cur.sur, sd.Via)
 		if b == nil {
-			return nil, nil // unbound: structure without members
+			return s.memoMembers(o.sur, name, nil, chain), nil // unbound: structure without members
 		}
 		t, ok := s.objects[b.Transmitter]
 		if !ok {
-			return nil, nil
+			return s.memoMembers(o.sur, name, nil, chain), nil
 		}
-		return s.membersLocked(t, name)
+		chain = append(chain, t.sur)
+		cur = t
 	}
-	if eff.Type.SubRels != nil {
-		for _, sr := range eff.Type.SubRels {
-			if sr.Name == name {
-				return nil, nil // declared but no members yet
-			}
-		}
-	}
-	return nil, fmt.Errorf("%w: %s has no subclass %q", ErrNoSuchClass, o.typeName, name)
 }
 
 // notifyLocked walks the inheritance fan-out from a changed transmitter,
@@ -313,7 +347,13 @@ func (s *Store) notifyLocked(transmitter domain.Surrogate, member string, visite
 }
 
 func (s *Store) bumpBindingLocked(b *Binding) {
-	n, _ := domain.AsInt(b.Obj.attrs[AttrTransmitterUpdates])
-	b.Obj.attrs[AttrTransmitterUpdates] = domain.Int(n + 1)
-	b.Obj.attrs[AttrLastUpdateSeq] = domain.Int(int64(s.seq))
+	old := b.Obj.attrMap()
+	n, _ := domain.AsInt(old[AttrTransmitterUpdates])
+	m := make(map[string]domain.Value, len(old)+2)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[AttrTransmitterUpdates] = domain.Int(n + 1)
+	m[AttrLastUpdateSeq] = domain.Int(int64(s.seq))
+	b.Obj.initAttrs(m)
 }

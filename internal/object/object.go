@@ -12,6 +12,7 @@ package object
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"cadcam/internal/domain"
 	"cadcam/internal/schema"
@@ -26,7 +27,11 @@ type Object struct {
 	typeName string
 	isRel    bool // relationship object (including inheritance bindings)
 
-	attrs        map[string]domain.Value
+	// attrs points at the current attribute map. Published maps are
+	// immutable: writers replace the whole map copy-on-write under the
+	// store mutex, so the lock-free resolution-cache hit path can read the
+	// owner's attributes without synchronization.
+	attrs        atomic.Pointer[map[string]domain.Value]
 	participants map[string]domain.Value // rel objects: role -> Ref or *Set
 	subclasses   map[string]*Class
 	subrels      map[string]*Class
@@ -38,6 +43,40 @@ type Object struct {
 	// modSeq is the store sequence of the last direct mutation (attribute
 	// write, subclass membership change); used for optimistic checkin.
 	modSeq uint64
+}
+
+// attrMap returns the current attribute map; callers must treat it as
+// immutable.
+func (o *Object) attrMap() map[string]domain.Value {
+	if p := o.attrs.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// initAttrs publishes the initial attribute map of a new object.
+func (o *Object) initAttrs(m map[string]domain.Value) {
+	if m == nil {
+		m = make(map[string]domain.Value)
+	}
+	o.attrs.Store(&m)
+}
+
+// setAttr publishes a copy of the attribute map with name set (or removed
+// when v is null). Callers hold the store write lock; readers see either
+// the old or the new map, never a partial write.
+func (o *Object) setAttr(name string, v domain.Value) {
+	old := o.attrMap()
+	m := make(map[string]domain.Value, len(old)+1)
+	for k, x := range old {
+		m[k] = x
+	}
+	if domain.IsNull(v) {
+		delete(m, name)
+	} else {
+		m[name] = v
+	}
+	o.attrs.Store(&m)
 }
 
 // Surrogate returns the system-wide identifier.
@@ -60,8 +99,12 @@ func (o *Object) ParentSubclass() string { return o.parentSub }
 type Class struct {
 	name     string
 	elemType string
-	members  []domain.Surrogate
-	index    map[domain.Surrogate]int
+	// members points at the current membership slice. Published slices are
+	// immutable: add/remove build a new slice and swap the pointer, so the
+	// lock-free Members hit path can read membership without locking. The
+	// index map is only touched by writers holding the store write lock.
+	members atomic.Pointer[[]domain.Surrogate]
+	index   map[domain.Surrogate]int
 }
 
 func newClass(name, elemType string) *Class {
@@ -74,15 +117,24 @@ func (c *Class) Name() string { return c.name }
 // ElemType returns the member object type ("" for unrestricted classes).
 func (c *Class) ElemType() string { return c.elemType }
 
+// items returns the current membership slice; callers must not mutate it.
+func (c *Class) items() []domain.Surrogate {
+	if p := c.members.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Len reports the member count.
-func (c *Class) Len() int { return len(c.members) }
+func (c *Class) Len() int { return len(c.items()) }
 
 // Members returns the member surrogates in insertion order (a copy).
 func (c *Class) Members() []domain.Surrogate {
-	return append([]domain.Surrogate(nil), c.members...)
+	return append([]domain.Surrogate(nil), c.items()...)
 }
 
-// Contains reports membership.
+// Contains reports membership. Only valid under the store lock (the index
+// is writer-maintained).
 func (c *Class) Contains(sur domain.Surrogate) bool {
 	_, ok := c.index[sur]
 	return ok
@@ -92,8 +144,12 @@ func (c *Class) add(sur domain.Surrogate) {
 	if _, dup := c.index[sur]; dup {
 		return
 	}
-	c.index[sur] = len(c.members)
-	c.members = append(c.members, sur)
+	cur := c.items()
+	next := make([]domain.Surrogate, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = sur
+	c.index[sur] = len(cur)
+	c.members.Store(&next)
 }
 
 func (c *Class) remove(sur domain.Surrogate) {
@@ -101,12 +157,15 @@ func (c *Class) remove(sur domain.Surrogate) {
 	if !ok {
 		return
 	}
-	copy(c.members[i:], c.members[i+1:])
-	c.members = c.members[:len(c.members)-1]
+	cur := c.items()
+	next := make([]domain.Surrogate, 0, len(cur)-1)
+	next = append(next, cur[:i]...)
+	next = append(next, cur[i+1:]...)
 	delete(c.index, sur)
-	for j := i; j < len(c.members); j++ {
-		c.index[c.members[j]] = j
+	for j := i; j < len(next); j++ {
+		c.index[next[j]] = j
 	}
+	c.members.Store(&next)
 }
 
 // Binding is one inheritance relationship object: it relates an inheritor
@@ -139,8 +198,9 @@ const (
 // inheritor last acknowledged (the consistency-control reading of the
 // binding attributes).
 func (b *Binding) NeedsAdaptation() bool {
-	last, _ := domain.AsInt(b.Obj.attrs[AttrLastUpdateSeq])
-	ack, _ := domain.AsInt(b.Obj.attrs[AttrAcknowledgedSeq])
+	attrs := b.Obj.attrMap()
+	last, _ := domain.AsInt(attrs[AttrLastUpdateSeq])
+	ack, _ := domain.AsInt(attrs[AttrAcknowledgedSeq])
 	return last > ack
 }
 

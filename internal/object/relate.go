@@ -117,11 +117,11 @@ func (s *Store) relateLocked(relType string, parts Participants, owner domain.Su
 		sur:          domain.Surrogate(s.nextSur),
 		typeName:     relType,
 		isRel:        true,
-		attrs:        make(map[string]domain.Value),
 		participants: assigned,
 		subclasses:   make(map[string]*Class),
 		subrels:      make(map[string]*Class),
 	}
+	o.initAttrs(nil)
 	s.objects[o.sur] = o
 	for _, v := range assigned {
 		s.indexParticipantLocked(o.sur, v)

@@ -87,7 +87,7 @@ func (s *Store) exportLocked() *StoreState {
 				RelType:     b.Rel.Name,
 				Transmitter: b.Transmitter,
 				Inheritor:   b.Inheritor,
-				Attrs:       copyAttrs(b.Obj.attrs),
+				Attrs:       copyAttrs(b.Obj.attrMap()),
 			})
 			continue
 		}
@@ -100,7 +100,7 @@ func (s *Store) exportLocked() *StoreState {
 			ParentSub:    o.parentSub,
 			OwnerClass:   o.ownerClass,
 			ModSeq:       o.modSeq,
-			Attrs:        copyAttrs(o.attrs),
+			Attrs:        copyAttrs(o.attrMap()),
 			Participants: copyAttrs(o.participants),
 		})
 	}
@@ -155,14 +155,11 @@ func (s *Store) Import(st *StoreState) error {
 			parentSub:    r.ParentSub,
 			ownerClass:   r.OwnerClass,
 			modSeq:       r.ModSeq,
-			attrs:        copyAttrs(r.Attrs),
 			participants: copyAttrs(r.Participants),
 			subclasses:   make(map[string]*Class),
 			subrels:      make(map[string]*Class),
 		}
-		if o.attrs == nil {
-			o.attrs = make(map[string]domain.Value)
-		}
+		o.initAttrs(copyAttrs(r.Attrs))
 		s.objects[r.Sur] = o
 	}
 	// Second pass: class membership and participant index.
@@ -206,7 +203,6 @@ func (s *Store) Import(st *StoreState) error {
 			sur:      r.Sur,
 			typeName: r.RelType,
 			isRel:    true,
-			attrs:    copyAttrs(r.Attrs),
 			participants: map[string]domain.Value{
 				"Transmitter": domain.Ref(r.Transmitter),
 				"Inheritor":   domain.Ref(r.Inheritor),
@@ -214,9 +210,7 @@ func (s *Store) Import(st *StoreState) error {
 			subclasses: make(map[string]*Class),
 			subrels:    make(map[string]*Class),
 		}
-		if obj.attrs == nil {
-			obj.attrs = make(map[string]domain.Value)
-		}
+		obj.initAttrs(copyAttrs(r.Attrs))
 		if _, dup := s.objects[r.Sur]; dup {
 			return fmt.Errorf("object: duplicate surrogate %s in snapshot", r.Sur)
 		}
@@ -235,6 +229,7 @@ func (s *Store) Import(st *StoreState) error {
 	}
 	s.nextSur = st.NextSur
 	s.seq = st.Seq
+	s.bumpEpochLocked()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cadcam/internal/domain"
 	"cadcam/internal/oplog"
@@ -72,6 +73,15 @@ type Store struct {
 	// non-nil result vetoes the mutation. The database facade uses it to
 	// write-protect frozen versions.
 	guard func(sur domain.Surrogate) error
+
+	// epoch is the structure epoch: bumped under the write lock by every
+	// operation that can change a resolution route (bind, unbind, delete,
+	// class materialization, definitions). Plain attribute writes never
+	// bump it. See cache.go.
+	epoch  atomic.Uint64
+	routes routeCache
+
+	hits, misses, invalidations atomic.Uint64
 }
 
 // NewStore creates an empty store over a validated catalog.
@@ -79,13 +89,15 @@ func NewStore(cat *schema.Catalog) (*Store, error) {
 	if !cat.Validated() {
 		return nil, fmt.Errorf("object: catalog must be validated")
 	}
-	return &Store{
+	s := &Store{
 		cat:           cat,
 		objects:       make(map[domain.Surrogate]*Object),
 		classes:       make(map[string]*Class),
 		byInheritor:   make(map[domain.Surrogate]map[string]*Binding),
 		byTransmitter: make(map[domain.Surrogate][]*Binding),
-	}, nil
+	}
+	s.routes.init()
+	return s, nil
 }
 
 // Catalog returns the schema catalog.
@@ -176,6 +188,7 @@ func (s *Store) DefineClass(name, elemType string) error {
 		}
 	}
 	s.classes[name] = newClass(name, elemType)
+	s.bumpEpochLocked()
 	s.emit(&oplog.Op{Kind: oplog.KindDefineClass, Name: name, Name2: elemType})
 	return nil
 }
@@ -283,6 +296,9 @@ func (s *Store) subclassOf(o *Object, name string) (*schema.EffSubclass, *Class,
 	if !ok {
 		cls = newClass(name, sd.ElemType)
 		o.subclasses[name] = cls
+		// Materializing a subclass changes what members routes must point
+		// at: a route memoized before the class existed records "empty".
+		s.bumpEpochLocked()
 	}
 	return sd, cls, nil
 }
@@ -304,11 +320,11 @@ func (s *Store) newObjectLocked(t *schema.ObjectType, isRel bool) *Object {
 		sur:          domain.Surrogate(s.nextSur),
 		typeName:     t.Name,
 		isRel:        isRel,
-		attrs:        make(map[string]domain.Value),
 		subclasses:   make(map[string]*Class),
 		subrels:      make(map[string]*Class),
 		participants: nil,
 	}
+	o.initAttrs(nil)
 	s.objects[o.sur] = o
 	return o
 }

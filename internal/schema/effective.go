@@ -117,6 +117,7 @@ func (c *Catalog) Validate() error {
 			}
 		}
 	}
+	c.buildRelIndexes()
 	c.validated = true
 	return nil
 }

@@ -196,40 +196,32 @@ func (t *Txn) Members(sur domain.Surrogate, name string) ([]domain.Surrogate, er
 	return t.mgr.store.Members(sur, name)
 }
 
-// lockResolutionChain locks (sur, {member}) and follows inheritance
-// bindings: if the member is inherited and bound, the transmitter's
-// portion is locked too, recursively.
+// lockResolutionChain locks (sur, {member}) and every transmitter the
+// resolution visits. The chain comes from the store's route cache; because
+// a rebind can slip in between resolving and acquiring the locks, the
+// chain is re-resolved after each round of new locks until a round adds
+// nothing (the locked set only grows, so the loop terminates).
 func (t *Txn) lockResolutionChain(sur domain.Surrogate, member string, mode Mode) error {
-	cur := sur
+	locked := make(map[domain.Surrogate]bool, 4)
 	for {
-		if err := t.lock(cur, mode, []string{member}); err != nil {
-			return err
-		}
-		o, err := t.mgr.store.Get(cur)
+		chain, err := t.mgr.store.ResolveChain(sur, member)
 		if err != nil {
 			return err
 		}
-		if o.IsRelationship() {
+		grew := false
+		for _, cs := range chain {
+			if locked[cs] {
+				continue
+			}
+			if err := t.lock(cs, mode, []string{member}); err != nil {
+				return err
+			}
+			locked[cs] = true
+			grew = true
+		}
+		if !grew {
 			return nil
 		}
-		eff, ok := t.mgr.store.Catalog().Effective(o.TypeName())
-		if !ok {
-			return nil
-		}
-		via := ""
-		if a, ok := eff.Attr(member); ok && a.Inherited() {
-			via = a.Via
-		} else if sc, ok := eff.SubclassByName(member); ok && sc.Inherited() {
-			via = sc.Via
-		}
-		if via == "" {
-			return nil
-		}
-		next := t.mgr.store.TransmitterOf(cur, via)
-		if next == 0 {
-			return nil
-		}
-		cur = next
 	}
 }
 
