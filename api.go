@@ -7,6 +7,7 @@ import (
 	"cadcam/internal/object"
 	"cadcam/internal/oplog"
 	"cadcam/internal/schema"
+	"cadcam/internal/storage"
 	"cadcam/internal/txn"
 	"cadcam/internal/version"
 )
@@ -132,40 +133,54 @@ func (db *Database) Begin(user string) *Txn { return db.txns.Begin(user) }
 func (db *Database) NewWorkspace(user string) *Workspace { return db.txns.NewWorkspace(user) }
 
 // ---- object operations (journaled via the store) ----
+//
+// Every mutating method follows the same protocol: fail fast if the
+// journal pipeline is poisoned (durability is already lost — see Err),
+// mutate the store (which enqueues the journal record under its own
+// lock, fixing the replay order), then wait outside all locks for the
+// group-commit batch carrying the record to reach disk.
 
 // DefineClass creates a database-level class.
 func (db *Database) DefineClass(name, elemType string) error {
-	err := db.store.DefineClass(name, elemType)
-	db.maybeCheckpoint()
-	return err
+	if err := db.Err(); err != nil {
+		return err
+	}
+	return db.afterWrite(db.store.DefineClass(name, elemType))
 }
 
 // NewObject creates a top-level object, optionally in a class.
 func (db *Database) NewObject(typeName, className string) (Surrogate, error) {
+	if err := db.Err(); err != nil {
+		return 0, err
+	}
 	sur, err := db.store.NewObject(typeName, className)
-	db.maybeCheckpoint()
-	return sur, err
+	return sur, db.afterWrite(err)
 }
 
 // NewSubobject creates a subobject in a local subclass.
 func (db *Database) NewSubobject(parent Surrogate, subclass string) (Surrogate, error) {
+	if err := db.Err(); err != nil {
+		return 0, err
+	}
 	sur, err := db.store.NewSubobject(parent, subclass)
-	db.maybeCheckpoint()
-	return sur, err
+	return sur, db.afterWrite(err)
 }
 
 // NewRelSubobject creates a subobject of a relationship object.
 func (db *Database) NewRelSubobject(rel Surrogate, subclass string) (Surrogate, error) {
+	if err := db.Err(); err != nil {
+		return 0, err
+	}
 	sur, err := db.store.NewRelSubobject(rel, subclass)
-	db.maybeCheckpoint()
-	return sur, err
+	return sur, db.afterWrite(err)
 }
 
 // SetAttr writes an attribute (write-protected if inherited or frozen).
 func (db *Database) SetAttr(sur Surrogate, name string, v Value) error {
-	err := db.store.SetAttr(sur, name, v)
-	db.maybeCheckpoint()
-	return err
+	if err := db.Err(); err != nil {
+		return err
+	}
+	return db.afterWrite(db.store.SetAttr(sur, name, v))
 }
 
 // GetAttr reads an attribute with view-semantics inheritance resolution.
@@ -180,17 +195,21 @@ func (db *Database) Members(sur Surrogate, name string) ([]Surrogate, error) {
 
 // Relate creates a top-level relationship object.
 func (db *Database) Relate(relType string, parts Participants) (Surrogate, error) {
+	if err := db.Err(); err != nil {
+		return 0, err
+	}
 	sur, err := db.store.Relate(relType, parts)
-	db.maybeCheckpoint()
-	return sur, err
+	return sur, db.afterWrite(err)
 }
 
 // RelateIn creates a relationship in a local relationship subclass,
 // checking its where restriction.
 func (db *Database) RelateIn(owner Surrogate, subrel string, parts Participants) (Surrogate, error) {
+	if err := db.Err(); err != nil {
+		return 0, err
+	}
 	sur, err := db.store.RelateIn(owner, subrel, parts)
-	db.maybeCheckpoint()
-	return sur, err
+	return sur, db.afterWrite(err)
 }
 
 // Participant reads a relationship role.
@@ -201,31 +220,36 @@ func (db *Database) Participant(rel Surrogate, role string) (Value, error) {
 // Bind makes inheritor inherit (values of) the transmitter's permeable
 // members under the named inheritance relationship type.
 func (db *Database) Bind(relType string, inheritor, transmitter Surrogate) (Surrogate, error) {
+	if err := db.Err(); err != nil {
+		return 0, err
+	}
 	sur, err := db.store.Bind(relType, inheritor, transmitter)
-	db.maybeCheckpoint()
-	return sur, err
+	return sur, db.afterWrite(err)
 }
 
 // Unbind removes the inheritor's binding (type-level inheritance stays).
 func (db *Database) Unbind(relType string, inheritor Surrogate) error {
-	err := db.store.Unbind(relType, inheritor)
-	db.maybeCheckpoint()
-	return err
+	if err := db.Err(); err != nil {
+		return err
+	}
+	return db.afterWrite(db.store.Unbind(relType, inheritor))
 }
 
 // Acknowledge marks the inheritor as adapted to the latest transmitter
 // change.
 func (db *Database) Acknowledge(relType string, inheritor Surrogate) error {
-	err := db.store.Acknowledge(relType, inheritor)
-	db.maybeCheckpoint()
-	return err
+	if err := db.Err(); err != nil {
+		return err
+	}
+	return db.afterWrite(db.store.Acknowledge(relType, inheritor))
 }
 
 // Delete removes an object with full cascade semantics.
 func (db *Database) Delete(sur Surrogate) error {
-	err := db.store.Delete(sur)
-	db.maybeCheckpoint()
-	return err
+	if err := db.Err(); err != nil {
+		return err
+	}
+	return db.afterWrite(db.store.Delete(sur))
 }
 
 // Exists reports whether a surrogate is live.
@@ -265,9 +289,27 @@ func (db *Database) TransmitterOf(inheritor Surrogate, relType string) Surrogate
 // epoch.
 type StoreStats = object.StoreStats
 
-// Stats returns resolution-cache hit/miss/invalidation counters and the
-// current structure epoch.
-func (db *Database) Stats() StoreStats { return db.store.Stats() }
+// WALStats reports the group-commit journal pipeline's counters: batch
+// size histogram, fsyncs, queued records and durability stall time. All
+// zero for an in-memory database.
+type WALStats = storage.GroupStats
+
+// DBStats combines the store's resolution-cache counters with the WAL
+// pipeline counters.
+type DBStats struct {
+	StoreStats
+	WAL WALStats `json:"wal"`
+}
+
+// Stats returns resolution-cache hit/miss/invalidation counters, the
+// current structure epoch, and the WAL group-commit counters.
+func (db *Database) Stats() DBStats {
+	st := DBStats{StoreStats: db.store.Stats()}
+	if db.committer != nil {
+		st.WAL = db.committer.Stats()
+	}
+	return st
+}
 
 // ---- inheritance utilities ----
 
@@ -321,51 +363,71 @@ func (db *Database) EvalClass(src string) (Value, error) {
 }
 
 // ---- version operations (journaled under db.mu) ----
+//
+// Version ops enqueue their record under db.mu (their serialization
+// lock) and wait for durability after releasing it, like facade store
+// mutations do with the store lock.
 
 // DefineDesign registers a design object, optionally anchored to an
 // interface object.
 func (db *Database) DefineDesign(name string, iface Surrogate) error {
+	if err := db.Err(); err != nil {
+		return err
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, err := db.versions.DefineDesign(name, iface); err != nil {
+		db.mu.Unlock()
 		return err
 	}
 	db.appendOp(&oplog.Op{Kind: oplog.KindDefineDesign, Name: name, Sur: iface})
-	return nil
+	db.mu.Unlock()
+	return db.afterWrite(nil)
 }
 
 // AddVersion registers obj as a version of a design.
 func (db *Database) AddVersion(design string, obj Surrogate, derivedFrom []Surrogate, alternative string) (*VersionInfo, error) {
+	if err := db.Err(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	info, err := db.versions.AddVersion(design, obj, derivedFrom, alternative)
 	if err != nil {
+		db.mu.Unlock()
 		return nil, err
 	}
 	db.appendOp(&oplog.Op{Kind: oplog.KindAddVersion, Name: design, Sur: obj, Surs: derivedFrom, Name2: alternative})
-	return info, nil
+	db.mu.Unlock()
+	return info, db.afterWrite(nil)
 }
 
 // SetStatus reclassifies a version; freezing makes the object read-only.
 func (db *Database) SetStatus(obj Surrogate, st version.Status) error {
+	if err := db.Err(); err != nil {
+		return err
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if err := db.versions.SetStatus(obj, st); err != nil {
+		db.mu.Unlock()
 		return err
 	}
 	db.appendOp(&oplog.Op{Kind: oplog.KindSetStatus, Sur: obj, Name: string(st)})
-	return nil
+	db.mu.Unlock()
+	return db.afterWrite(nil)
 }
 
 // SetDefault selects a design's default version (bottom-up selection).
 func (db *Database) SetDefault(design string, obj Surrogate) error {
+	if err := db.Err(); err != nil {
+		return err
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if err := db.versions.SetDefault(design, obj); err != nil {
+		db.mu.Unlock()
 		return err
 	}
 	db.appendOp(&oplog.Op{Kind: oplog.KindSetDefault, Name: design, Sur: obj})
-	return nil
+	db.mu.Unlock()
+	return db.afterWrite(nil)
 }
 
 // Resolve selects a concrete version for a generic reference.
@@ -376,7 +438,9 @@ func (db *Database) Resolve(ref GenericRef, env *Environment) (Surrogate, error)
 // BindResolved resolves a generic component reference and binds the
 // inheritor to the chosen version.
 func (db *Database) BindResolved(relType string, inheritor Surrogate, ref GenericRef, env *Environment) (Surrogate, Surrogate, error) {
+	if err := db.Err(); err != nil {
+		return 0, 0, err
+	}
 	chosen, bsur, err := db.versions.BindResolved(relType, inheritor, ref, env)
-	db.maybeCheckpoint()
-	return chosen, bsur, err
+	return chosen, bsur, db.afterWrite(err)
 }

@@ -9,6 +9,7 @@ package cadcam_test
 import (
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 
 	"cadcam"
@@ -497,6 +498,61 @@ func BenchmarkJournalAppend(b *testing.B) {
 	}
 }
 
+// benchDurableWrite measures durable (fsync-acknowledged) write
+// throughput with the given number of concurrent writers, each mutating
+// its own object so writers contend only on the journal, not on data.
+func benchDurableWrite(b *testing.B, writers int) {
+	dir, err := os.MkdirTemp("", "cadcam-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	pins := make([]cadcam.Surrogate, writers)
+	for i := range pins {
+		pin, err := db.NewObject(paperschema.TypePin, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pins[i] = pin
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		n := b.N / writers
+		if w < b.N%writers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := db.SetAttr(pins[w], "PinId", cadcam.Int(int64(i))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	reportWALMetrics(b, db)
+}
+
+// BenchmarkDurableWrite1Writers is the single-writer durable latency floor.
+func BenchmarkDurableWrite1Writers(b *testing.B) { benchDurableWrite(b, 1) }
+
+// BenchmarkDurableWrite8Writers measures group-commit coalescing at
+// moderate concurrency.
+func BenchmarkDurableWrite8Writers(b *testing.B) { benchDurableWrite(b, 8) }
+
+// BenchmarkDurableWrite64Writers measures coalescing under heavy fan-in.
+func BenchmarkDurableWrite64Writers(b *testing.B) { benchDurableWrite(b, 64) }
+
 // BenchmarkE13_Simulate compiles and fully evaluates a half-adder circuit
 // per iteration (the E13 extension workload).
 func BenchmarkE13_Simulate(b *testing.B) {
@@ -580,4 +636,11 @@ func BenchmarkE13_Simulate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// reportWALMetrics attaches journal-pipeline counters to a benchmark.
+// (No-op before the group-commit pipeline existed; see git history.)
+func reportWALMetrics(b *testing.B, db *cadcam.Database) {
+	b.Helper()
+	reportWALStats(b, db)
 }

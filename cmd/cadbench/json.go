@@ -29,6 +29,9 @@ type jsonReport struct {
 	Experiments []jsonExperiment   `json:"experiments"`
 	MicroNsPerOp map[string]float64 `json:"micro_ns_per_op"`
 	Cache       *cacheReport       `json:"cache,omitempty"`
+	// WAL is the group-commit pipeline's counters from the durable-write
+	// probe run (batch histogram, fsyncs, stall time).
+	WAL *cadcam.WALStats `json:"wal,omitempty"`
 }
 
 // runJSON executes the experiments (optionally filtered) and prints one
@@ -68,6 +71,9 @@ func runJSON(expFilter string) error {
 	}
 
 	if err := microProbes(&report); err != nil {
+		return err
+	}
+	if err := durableWriteProbes(&report); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -158,5 +164,65 @@ func microProbes(report *jsonReport) error {
 		cdb.Close()
 	}
 	fillCacheReport(report, db)
+	return nil
+}
+
+// durableWriteProbes measures the fsync-acknowledged write path on a real
+// on-disk database: single-writer latency (the group-commit floor) and
+// 8-writer throughput (the coalescing win), then snapshots the WAL
+// pipeline counters into the report.
+func durableWriteProbes(report *jsonReport) error {
+	dir, err := os.MkdirTemp("", "cadbench-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: 1})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	measure := func(writers, opsEach int) (float64, error) {
+		pins := make([]cadcam.Surrogate, writers)
+		for i := range pins {
+			if pins[i], err = db.NewObject(paperschema.TypePin, ""); err != nil {
+				return 0, err
+			}
+		}
+		errs := make(chan error, writers)
+		t0 := time.Now()
+		for w := 0; w < writers; w++ {
+			go func(w int) {
+				for i := 0; i < opsEach; i++ {
+					if err := db.SetAttr(pins[w], "PinId", cadcam.Int(int64(i))); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(w)
+		}
+		for w := 0; w < writers; w++ {
+			if err := <-errs; err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(writers*opsEach), nil
+	}
+
+	oneW, err := measure(1, 300)
+	if err != nil {
+		return fmt.Errorf("probe durable_write_1w: %w", err)
+	}
+	report.MicroNsPerOp["durable_write_1w_ns_per_op"] = oneW
+	eightW, err := measure(8, 300)
+	if err != nil {
+		return fmt.Errorf("probe durable_write: %w", err)
+	}
+	report.MicroNsPerOp["durable_write_ns_per_op"] = eightW
+
+	w := db.Stats().WAL
+	report.WAL = &w
 	return nil
 }

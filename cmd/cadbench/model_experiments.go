@@ -127,7 +127,7 @@ func runE2() error {
 func runE3() error {
 	fmt.Println("claim: interfaces generalize to abstraction hierarchies of any depth")
 	row("depth", "leaf-read", "value-ok", "ancestors")
-	var stats cadcam.StoreStats
+	var stats cadcam.DBStats
 	for _, depth := range []int{1, 2, 4, 8, 16, 32, 64} {
 		cat, err := bench.ChainCatalog(depth)
 		if err != nil {

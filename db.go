@@ -54,20 +54,68 @@ import (
 // manager.
 var ErrFrozenVersion = errors.New("cadcam: version is frozen")
 
+// Durability selects when a mutation is acknowledged relative to journal
+// I/O.
+type Durability int
+
+const (
+	// DurabilityAuto derives the mode from SyncEvery: sync when the
+	// effective cadence is 1 (the durable default), async otherwise.
+	DurabilityAuto Durability = iota
+	// DurabilitySync acknowledges a mutation only after the group-commit
+	// batch carrying its journal record is written and fsynced.
+	DurabilitySync
+	// DurabilityAsync acknowledges a mutation once its record is queued;
+	// the committer writes and fsyncs in the background per SyncEvery.
+	DurabilityAsync
+)
+
 // Options configures Open.
 type Options struct {
 	// Dir is the persistence directory; "" opens an in-memory database.
 	Dir string
-	// SyncEvery controls journal fsync frequency: 1 (default) syncs every
-	// operation; larger values batch; <0 disables (Close/Checkpoint still
-	// sync).
+	// SyncEvery controls the journal fsync cadence. One rule, applied
+	// identically at Open, at every checkpoint epoch swap, and inside the
+	// group-commit pipeline:
+	//
+	//	 0  (default) → cadence 1: every commit batch is fsynced
+	//	 n ≥ 1        → fsync after at least n journaled records
+	//	 n < 0        → never fsync on append (Close/Checkpoint still sync)
 	SyncEvery int
+	// Durability selects sync-per-batch (durable) vs async
+	// acknowledgment; the default derives it from SyncEvery.
+	Durability Durability
 	// CheckpointEvery, when > 0, triggers an automatic checkpoint after
 	// that many journaled operations.
 	CheckpointEvery int
 	// DeletePolicy is the transmitter delete policy (default
 	// DeleteRestrict).
 	DeletePolicy object.DeletePolicy
+}
+
+// syncCadence normalizes SyncEvery to the pipeline's fsync cadence:
+// records per fsync, 0 meaning "never on append".
+func (o Options) syncCadence() int {
+	switch {
+	case o.SyncEvery == 0:
+		return 1
+	case o.SyncEvery < 0:
+		return 0
+	default:
+		return o.SyncEvery
+	}
+}
+
+// durable reports whether mutations wait for their group-commit batch.
+func (o Options) durable() bool {
+	switch o.Durability {
+	case DurabilitySync:
+		return true
+	case DurabilityAsync:
+		return false
+	default:
+		return o.syncCadence() == 1
+	}
 }
 
 // Database is one open CAD/CAM database.
@@ -84,12 +132,14 @@ type Database struct {
 
 	dir   string
 	epoch uint64
-	logMu sync.Mutex // guards log swaps and appends
-	log   *storage.Log
 	opts  Options
 
+	// committer is the group-commit journal pipeline (nil in-memory).
+	// Mutations enqueue their op under the store mutex — fixing the
+	// deterministic replay order — and wait for durability outside it.
+	committer *storage.Group
+
 	opsSinceCheckpoint atomic.Int64
-	journalErr         atomic.Value // error
 	closed             bool
 }
 
@@ -113,9 +163,14 @@ func Open(cat *schema.Catalog, opts Options) (*Database, error) {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("cadcam: %w", err)
 		}
-		if err := db.recover(); err != nil {
+		log, err := db.recover()
+		if err != nil {
 			return nil, err
 		}
+		db.committer = storage.NewGroup(log, storage.GroupConfig{
+			SyncCadence: opts.syncCadence(),
+			WaitSync:    opts.durable(),
+		})
 	}
 	// A non-default option overrides whatever recovery replayed; applied
 	// before the journal attaches so the override itself (an Open-time
@@ -123,7 +178,7 @@ func Open(cat *schema.Catalog, opts Options) (*Database, error) {
 	if opts.DeletePolicy != object.DeleteRestrict {
 		db.store.SetDeletePolicy(opts.DeletePolicy)
 	}
-	if opts.Dir != "" {
+	if db.committer != nil {
 		db.store.SetJournal(db.appendOp)
 	}
 	db.store.SetWriteGuard(func(sur domain.Surrogate) error {
@@ -133,6 +188,12 @@ func Open(cat *schema.Catalog, opts Options) (*Database, error) {
 		return nil
 	})
 	db.txns = txn.NewManager(store)
+	if db.committer != nil {
+		// Transaction statements mutate the store directly; the barrier
+		// gives them the same per-statement group-commit durability (and
+		// fail-fast on a poisoned journal) as facade mutations.
+		db.txns.SetDurabilityBarrier(db.waitDurable)
+	}
 	return db, nil
 }
 
@@ -150,11 +211,12 @@ func (db *Database) walPath(epoch uint64) string {
 }
 
 // recover finds the newest valid snapshot epoch, loads it, replays its
-// journal, and removes stale files from older epochs.
-func (db *Database) recover() error {
+// journal, and removes stale files from older epochs. It returns the
+// opened journal, which the caller hands to the group committer.
+func (db *Database) recover() (*storage.Log, error) {
 	entries, err := os.ReadDir(db.dir)
 	if err != nil {
-		return fmt.Errorf("cadcam: %w", err)
+		return nil, fmt.Errorf("cadcam: %w", err)
 	}
 	var epochs []uint64
 	for _, e := range entries {
@@ -171,29 +233,18 @@ func (db *Database) recover() error {
 			continue // corrupt or vanished snapshot: fall back
 		}
 		if err := wal.DecodeSnapshot(blob, db.store, db.versions); err != nil {
-			return fmt.Errorf("cadcam: snapshot epoch %d: %w", e, err)
+			return nil, fmt.Errorf("cadcam: snapshot epoch %d: %w", e, err)
 		}
 		db.epoch = e
 		break
 	}
 	log, records, err := storage.OpenLog(db.walPath(db.epoch))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if db.opts.SyncEvery != 0 {
-		log.SetSync(db.opts.SyncEvery)
-	}
-	db.log = log
-	for i, rec := range records {
-		op, err := oplog.Decode(rec)
-		if err != nil {
-			log.Close()
-			return fmt.Errorf("cadcam: journal record %d: %w", i, err)
-		}
-		if err := wal.Apply(op, db.store, db.versions, true); err != nil {
-			log.Close()
-			return fmt.Errorf("cadcam: replaying record %d: %w", i, err)
-		}
+	if err := wal.Replay(records, db.store, db.versions); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("cadcam: %w", err)
 	}
 	// Remove files from other epochs (old, or half-written newer ones).
 	for _, e := range entries {
@@ -205,30 +256,52 @@ func (db *Database) recover() error {
 			_ = os.Remove(filepath.Join(db.dir, name))
 		}
 	}
-	return nil
+	return log, nil
 }
 
-// appendOp is the store's journal hook; it runs under the store mutex.
+// appendOp is the store's journal hook; it runs under the store mutex
+// (or db.mu for version ops), so it only clones the op and enqueues it:
+// the sequence number is assigned here — preserving the deterministic
+// replay order — while encoding and I/O happen on the committing
+// goroutine, outside every store critical section.
 func (db *Database) appendOp(op *oplog.Op) {
-	db.logMu.Lock()
-	defer db.logMu.Unlock()
-	if db.log == nil {
+	if db.committer == nil {
 		return
 	}
-	if err := db.log.Append(op.Encode()); err != nil {
-		db.journalErr.CompareAndSwap(nil, err)
-		return
-	}
+	db.committer.Enqueue(op.Clone())
 	db.opsSinceCheckpoint.Add(1)
 }
 
-// Err reports the first journaling error, if any. A non-nil result means
-// durability is compromised and the database should be closed.
-func (db *Database) Err() error {
-	if v := db.journalErr.Load(); v != nil {
-		return v.(error)
+// waitDurable blocks until every journal record enqueued so far is
+// durable per the configured durability mode, surfacing the sticky
+// journal error. Mutating facade methods call it after the store call
+// returns (no store lock held), so concurrent mutations coalesce into
+// one batch and one fsync.
+func (db *Database) waitDurable() error {
+	if db.committer == nil {
+		return nil
 	}
-	return nil
+	return db.committer.CommitTail()
+}
+
+// afterWrite completes a facade mutation: on success it waits for
+// group-commit durability, then applies the auto-checkpoint policy.
+func (db *Database) afterWrite(err error) error {
+	if err == nil {
+		err = db.waitDurable()
+	}
+	db.maybeCheckpoint()
+	return err
+}
+
+// Err reports the first journaling error, if any. A non-nil result means
+// durability is compromised and the database should be closed; mutating
+// facade methods fail fast with this error once it is set.
+func (db *Database) Err() error {
+	if db.committer == nil {
+		return nil
+	}
+	return db.committer.Err()
 }
 
 // Checkpoint atomically writes a snapshot of the full state and starts a
@@ -248,7 +321,16 @@ func (db *Database) checkpointLocked() error {
 	}
 	return db.store.WithExclusive(func(st *object.StoreState) error {
 		// Version mutations go through db.mu (held) and store mutations
-		// are excluded, so both exports are mutually consistent.
+		// are excluded, so both exports are mutually consistent — and no
+		// Enqueue can race the pipeline drain below.
+		//
+		// Drain the pipeline first: every record enqueued before this
+		// exclusive section must land in the outgoing epoch's log, never
+		// the new one (replayed against the new snapshot it would apply
+		// twice).
+		if err := db.committer.Flush(); err != nil {
+			return err
+		}
 		blob := wal.EncodeSnapshot(st, db.versions.Export())
 		next := db.epoch + 1
 		if err := storage.WriteSnapshot(db.snapPath(next), blob); err != nil {
@@ -265,17 +347,13 @@ func (db *Database) checkpointLocked() error {
 				return err
 			}
 		}
-		if db.opts.SyncEvery != 0 {
-			newLog.SetSync(db.opts.SyncEvery)
+		old, err := db.committer.SwapLog(newLog)
+		if err != nil {
+			newLog.Close()
+			return err
 		}
-		db.logMu.Lock()
-		old := db.log
-		db.log = newLog
-		db.logMu.Unlock()
-		if old != nil {
-			_ = old.Close()
-			_ = os.Remove(db.walPath(db.epoch))
-		}
+		_ = old.Close()
+		_ = os.Remove(db.walPath(db.epoch))
 		_ = os.Remove(db.snapPath(db.epoch))
 		db.epoch = next
 		db.opsSinceCheckpoint.Store(0)
@@ -300,12 +378,10 @@ func (db *Database) Close() error {
 	}
 	db.closed = true
 	db.store.SetJournal(nil)
-	db.logMu.Lock()
-	defer db.logMu.Unlock()
-	if db.log != nil {
-		err := db.log.Close()
-		db.log = nil
-		return err
+	if db.committer != nil {
+		// Close drains and fsyncs the queue before closing the log, so
+		// every acknowledged (and every queued async) mutation is on disk.
+		return db.committer.Close()
 	}
 	return nil
 }

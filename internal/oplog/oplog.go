@@ -49,6 +49,25 @@ type Op struct {
 	Num   int64
 }
 
+// Clone returns a copy of the op that shares no mutable containers with
+// the original. The group-commit pipeline encodes ops after the emitting
+// store call has returned, so the journaled op must not alias the Parts
+// map or Surs slice the caller may go on to reuse. domain.Values are
+// immutable by convention, so a shallow copy of the containers suffices.
+func (op *Op) Clone() *Op {
+	c := *op
+	if op.Parts != nil {
+		c.Parts = make(map[string]domain.Value, len(op.Parts))
+		for k, v := range op.Parts {
+			c.Parts[k] = v
+		}
+	}
+	if op.Surs != nil {
+		c.Surs = append([]domain.Surrogate(nil), op.Surs...)
+	}
+	return &c
+}
+
 // Encode serializes the op.
 func (op *Op) Encode() []byte {
 	var e codec.Buf

@@ -21,6 +21,13 @@ var ErrCorrupt = errors.New("storage: corrupt log record")
 
 const headerSize = 8 // 4 bytes length + 4 bytes CRC32
 
+// BatchMarker is the first payload byte of a batch frame: one CRC frame
+// whose payload packs several logical records (group commit writes one
+// frame per batch). Logical records written by the database start with an
+// oplog kind byte, which must stay below this value; scan treats any
+// payload starting with BatchMarker as a batch frame and expands it.
+const BatchMarker byte = 0xF5
+
 // Log is an append-only record log. Appends are atomic at the record
 // level: a crash mid-write leaves a torn tail that Open truncates.
 type Log struct {
@@ -89,14 +96,64 @@ func scan(f *os.File) ([][]byte, int64, error) {
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
 			if offset+headerSize+int64(length) >= total {
-				break // torn final record
+				break // torn final record (or torn batch: dropped whole)
 			}
 			return nil, 0, fmt.Errorf("%w at offset %d", ErrCorrupt, offset)
 		}
-		records = append(records, payload)
+		if len(payload) > 0 && payload[0] == BatchMarker {
+			// A CRC-valid batch frame is atomic: either the whole batch
+			// replays or (torn, handled above) none of it does.
+			sub, err := expandBatch(payload)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w at offset %d: %v", ErrCorrupt, offset, err)
+			}
+			records = append(records, sub...)
+		} else {
+			records = append(records, payload)
+		}
 		offset += headerSize + int64(length)
 	}
 	return records, offset, nil
+}
+
+// frameBatch packs payloads into one batch-frame payload:
+// [BatchMarker][uvarint count]([uvarint len][bytes])*.
+func frameBatch(payloads [][]byte) []byte {
+	size := 1 + binary.MaxVarintLen64
+	for _, p := range payloads {
+		size += binary.MaxVarintLen64 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, BatchMarker)
+	buf = binary.AppendUvarint(buf, uint64(len(payloads)))
+	for _, p := range payloads {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// expandBatch unpacks a batch-frame payload back into its records.
+func expandBatch(payload []byte) ([][]byte, error) {
+	b := payload[1:] // skip marker
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, errors.New("bad batch count")
+	}
+	b = b[n:]
+	records := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		length, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < length {
+			return nil, fmt.Errorf("bad batch record %d", i)
+		}
+		records = append(records, b[n:n+int(length)])
+		b = b[n+int(length):]
+	}
+	if len(b) != 0 {
+		return nil, errors.New("trailing bytes in batch frame")
+	}
+	return records, nil
 }
 
 // SetSync configures fsync frequency: n = fsync every n appends
@@ -122,6 +179,44 @@ func (l *Log) Append(payload []byte) error {
 			return fmt.Errorf("storage: sync: %w", err)
 		}
 	}
+	return nil
+}
+
+// AppendBatch writes payloads as one frame with a single write syscall —
+// a legacy single-record frame for one payload, a batch frame otherwise —
+// and fsyncs when sync is true, independent of the SetSync policy. A
+// crash mid-write tears the whole frame: scan drops the entire batch, so
+// a batch is committed atomically or not at all.
+func (l *Log) AppendBatch(payloads [][]byte, sync bool) error {
+	if len(payloads) == 0 {
+		if sync {
+			return l.Sync()
+		}
+		return nil
+	}
+	payload := payloads[0]
+	if len(payloads) > 1 || (len(payload) > 0 && payload[0] == BatchMarker) {
+		// Multi-record batches get a batch frame; so does a single record
+		// that happens to start with the marker byte, so scan can never
+		// misread a plain record as a frame.
+		payload = frameBatch(payloads)
+	}
+	buf := make([]byte, headerSize, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("storage: append batch: %w", err)
+	}
+	l.size += int64(len(buf))
+	if sync {
+		l.pending = 0
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sync: %w", err)
+		}
+		return nil
+	}
+	l.pending += len(payloads)
 	return nil
 }
 

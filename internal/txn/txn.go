@@ -15,6 +15,13 @@ type Manager struct {
 	locks  *lockManager
 	access *AccessControl
 	nextID atomic.Uint64
+
+	// barrier, when set, blocks until every journal record enqueued so
+	// far is durable (the database's group-commit tail wait) and surfaces
+	// the sticky journal error. Statements call it after mutating the
+	// store, outside all store locks, so transactional writes get the
+	// same per-statement durability as facade mutations.
+	barrier func() error
 }
 
 // NewManager creates a transaction manager. Access control defaults to
@@ -29,6 +36,18 @@ func NewManager(s *object.Store) *Manager {
 
 // Store exposes the underlying object store (for read-only inspection).
 func (m *Manager) Store() *object.Store { return m.store }
+
+// SetDurabilityBarrier installs the per-statement durability wait. Must
+// be called before any transaction begins.
+func (m *Manager) SetDurabilityBarrier(f func() error) { m.barrier = f }
+
+// syncJournal waits for the durability barrier, if one is installed.
+func (m *Manager) syncJournal() error {
+	if m.barrier == nil {
+		return nil
+	}
+	return m.barrier()
+}
 
 // Access exposes the access-control manager.
 func (m *Manager) Access() *AccessControl { return m.access }
@@ -146,7 +165,9 @@ func (t *Txn) Commit() error {
 	t.state = StateCommitted
 	t.undo = nil
 	t.mgr.locks.releaseAll(t)
-	return nil
+	// The deferred deletes above were journaled; a committed transaction
+	// is only acknowledged once they are durable.
+	return t.mgr.syncJournal()
 }
 
 // Abort rolls back every change and releases all locks.
@@ -159,7 +180,9 @@ func (t *Txn) Abort() error {
 	t.state = StateAborted
 	t.undoAllLocked()
 	t.mgr.locks.releaseAll(t)
-	return nil
+	// Compensating operations are journal records too: an acknowledged
+	// abort means the compensation is on disk.
+	return t.mgr.syncJournal()
 }
 
 func (t *Txn) undoAllLocked() {
@@ -248,7 +271,7 @@ func (t *Txn) SetAttr(sur domain.Surrogate, name string, v domain.Value) error {
 	t.mu.Lock()
 	t.undo = append(t.undo, func() error { return t.mgr.store.SetAttr(sur, name, before) })
 	t.mu.Unlock()
-	return nil
+	return t.mgr.syncJournal()
 }
 
 // NewObject creates an object; creation is undone on abort.
@@ -266,7 +289,7 @@ func (t *Txn) NewObject(typeName, className string) (domain.Surrogate, error) {
 	t.mu.Lock()
 	t.undo = append(t.undo, func() error { return t.mgr.store.Delete(sur) })
 	t.mu.Unlock()
-	return sur, nil
+	return sur, t.mgr.syncJournal()
 }
 
 // NewSubobject creates a subobject under an IX lock on the parent and an
@@ -294,7 +317,7 @@ func (t *Txn) NewSubobject(parent domain.Surrogate, subclass string) (domain.Sur
 	t.mu.Lock()
 	t.undo = append(t.undo, func() error { return t.mgr.store.Delete(sur) })
 	t.mu.Unlock()
-	return sur, nil
+	return sur, t.mgr.syncJournal()
 }
 
 // Bind creates an inheritance binding; undone on abort.
@@ -319,7 +342,7 @@ func (t *Txn) Bind(relType string, inheritor, transmitter domain.Surrogate) (dom
 	t.mu.Lock()
 	t.undo = append(t.undo, func() error { return t.mgr.store.Unbind(relType, inheritor) })
 	t.mu.Unlock()
-	return bsur, nil
+	return bsur, t.mgr.syncJournal()
 }
 
 // Relate creates a top-level relationship object; undone on abort.
@@ -340,7 +363,7 @@ func (t *Txn) Relate(relType string, parts object.Participants) (domain.Surrogat
 	t.mu.Lock()
 	t.undo = append(t.undo, func() error { return t.mgr.store.Delete(sur) })
 	t.mu.Unlock()
-	return sur, nil
+	return sur, t.mgr.syncJournal()
 }
 
 // RelateIn creates a relationship in a subclass of a complex object.
@@ -370,7 +393,7 @@ func (t *Txn) RelateIn(owner domain.Surrogate, subrel string, parts object.Parti
 	t.mu.Lock()
 	t.undo = append(t.undo, func() error { return t.mgr.store.Delete(sur) })
 	t.mu.Unlock()
-	return sur, nil
+	return sur, t.mgr.syncJournal()
 }
 
 func (t *Txn) lockParticipants(parts object.Participants) error {

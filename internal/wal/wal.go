@@ -16,6 +16,22 @@ import (
 	"cadcam/internal/version"
 )
 
+// Replay decodes and applies journal records in order (recover mode).
+// The storage layer has already expanded batch frames, so each record is
+// one encoded op.
+func Replay(records [][]byte, s *object.Store, vm *version.Manager) error {
+	for i, rec := range records {
+		op, err := oplog.Decode(rec)
+		if err != nil {
+			return fmt.Errorf("wal: record %d: %w", i, err)
+		}
+		if err := Apply(op, s, vm, true); err != nil {
+			return fmt.Errorf("wal: record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Apply executes the op against a store and version manager.
 //
 // In recover mode, version-manager ops referencing objects that no longer

@@ -1,0 +1,21 @@
+package cadcam_test
+
+import (
+	"testing"
+
+	"cadcam"
+)
+
+// reportWALStats attaches the group-commit pipeline counters to a
+// benchmark run: fsyncs per journaled record (the coalescing headline —
+// < 1 means group commit amortized the disk), mean batch size, and the
+// largest batch observed.
+func reportWALStats(b *testing.B, db *cadcam.Database) {
+	w := db.Stats().WAL
+	if w.Records == 0 {
+		return
+	}
+	b.ReportMetric(float64(w.Syncs)/float64(w.Records), "fsyncs/op")
+	b.ReportMetric(float64(w.Records)/float64(w.Batches), "recs/batch")
+	b.ReportMetric(float64(w.MaxBatch), "max-batch")
+}
