@@ -553,6 +553,68 @@ func BenchmarkDurableWrite8Writers(b *testing.B) { benchDurableWrite(b, 8) }
 // BenchmarkDurableWrite64Writers measures coalescing under heavy fan-in.
 func BenchmarkDurableWrite64Writers(b *testing.B) { benchDurableWrite(b, 64) }
 
+// benchConcurrentSetAttr measures in-memory SetAttr throughput with the
+// given number of concurrent writers on a store with the given shard
+// count, each writer mutating its own object so the contention measured
+// is shard-lock contention, not data conflicts.
+func benchConcurrentSetAttr(b *testing.B, writers, shards int) {
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	pins := make([]cadcam.Surrogate, writers)
+	for i := range pins {
+		pin, err := db.NewObject(paperschema.TypePin, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pins[i] = pin
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		n := b.N / writers
+		if w < b.N%writers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := db.SetAttr(pins[w], "PinId", cadcam.Int(int64(i))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkConcurrentSetAttr1Writers is the uncontended single-writer
+// floor on the default shard count.
+func BenchmarkConcurrentSetAttr1Writers(b *testing.B) { benchConcurrentSetAttr(b, 1, 0) }
+
+// BenchmarkConcurrentSetAttr8Writers measures moderate multi-writer
+// contention on the default shard count.
+func BenchmarkConcurrentSetAttr8Writers(b *testing.B) { benchConcurrentSetAttr(b, 8, 0) }
+
+// BenchmarkConcurrentSetAttr64Writers measures heavy fan-in on the
+// default shard count.
+func BenchmarkConcurrentSetAttr64Writers(b *testing.B) { benchConcurrentSetAttr(b, 64, 0) }
+
+// BenchmarkConcurrentSetAttrShards sweeps the shard count at fixed
+// 8-writer concurrency; shards=1 approximates the pre-shard store with
+// one global lock.
+func BenchmarkConcurrentSetAttrShards(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchConcurrentSetAttr(b, 8, shards)
+		})
+	}
+}
+
 // BenchmarkE13_Simulate compiles and fully evaluates a half-adder circuit
 // per iteration (the E13 extension workload).
 func BenchmarkE13_Simulate(b *testing.B) {

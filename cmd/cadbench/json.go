@@ -32,6 +32,26 @@ type jsonReport struct {
 	// WAL is the group-commit pipeline's counters from the durable-write
 	// probe run (batch histogram, fsyncs, stall time).
 	WAL *cadcam.WALStats `json:"wal,omitempty"`
+	// Shards is the sharded-store probe: in-memory multi-writer SetAttr
+	// latency at the default shard count versus a single shard (the
+	// pre-shard store's global lock, approximately).
+	Shards *shardsReport `json:"shards,omitempty"`
+}
+
+// shardsReport is the `shards` section of the JSON report.
+type shardsReport struct {
+	DefaultShards     int     `json:"default_shards"`
+	SetAttr1wNsPerOp  float64 `json:"setattr_1w_ns_per_op"`
+	SetAttr8wNsPerOp  float64 `json:"setattr_8w_ns_per_op"`
+	SetAttr8w1ShardNs float64 `json:"setattr_8w_1shard_ns_per_op"`
+	// MultiWriterSpeedup is per-op durable-write latency with one writer
+	// over per-op latency with eight: the end-to-end multi-writer win from
+	// writers acquiring only their own shard and coalescing into one
+	// group-commit batch. Defined on the durable path because the
+	// in-memory shard comparison above is meaningless on a single-CPU
+	// machine (no lock is ever contended), while fsync amortization shows
+	// the concurrency win on any hardware.
+	MultiWriterSpeedup float64 `json:"multi_writer_speedup"`
 }
 
 // runJSON executes the experiments (optionally filtered) and prints one
@@ -74,6 +94,9 @@ func runJSON(expFilter string) error {
 		return err
 	}
 	if err := durableWriteProbes(&report); err != nil {
+		return err
+	}
+	if err := shardProbes(&report); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -224,5 +247,99 @@ func durableWriteProbes(report *jsonReport) error {
 
 	w := db.Stats().WAL
 	report.WAL = &w
+	return nil
+}
+
+// shardProbes measures in-memory multi-writer SetAttr on the sharded
+// store. Each configuration gets its own database with per-writer
+// objects; rounds alternate between the 1-shard and default-shard stores
+// and each side keeps its best round, so transient machine load cannot
+// fake (or hide) a speedup.
+func shardProbes(report *jsonReport) error {
+	setAttrRound := func(db *cadcam.Database, pins []cadcam.Surrogate, opsEach int) (float64, error) {
+		writers := len(pins)
+		errs := make(chan error, writers)
+		t0 := time.Now()
+		for w := 0; w < writers; w++ {
+			go func(w int) {
+				for i := 0; i < opsEach; i++ {
+					if err := db.SetAttr(pins[w], "PinId", cadcam.Int(int64(i))); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(w)
+		}
+		for w := 0; w < writers; w++ {
+			if err := <-errs; err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(writers*opsEach), nil
+	}
+	open := func(shards, writers int) (*cadcam.Database, []cadcam.Surrogate, error) {
+		db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Shards: shards})
+		if err != nil {
+			return nil, nil, err
+		}
+		pins := make([]cadcam.Surrogate, writers)
+		for i := range pins {
+			if pins[i], err = db.NewObject(paperschema.TypePin, ""); err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+		}
+		return db, pins, nil
+	}
+
+	const opsEach = 8000
+	const rounds = 5
+	sharded, shardedPins, err := open(0, 8)
+	if err != nil {
+		return err
+	}
+	defer sharded.Close()
+	single, singlePins, err := open(1, 8)
+	if err != nil {
+		return err
+	}
+	defer single.Close()
+
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	var best8w, best1shard float64
+	for r := 0; r < rounds; r++ {
+		v, err := setAttrRound(single, singlePins, opsEach)
+		if err != nil {
+			return fmt.Errorf("probe shards=1: %w", err)
+		}
+		best1shard = best(best1shard, v)
+		v, err = setAttrRound(sharded, shardedPins, opsEach)
+		if err != nil {
+			return fmt.Errorf("probe shards=default: %w", err)
+		}
+		best8w = best(best8w, v)
+	}
+	oneW, err := setAttrRound(sharded, shardedPins[:1], opsEach)
+	if err != nil {
+		return fmt.Errorf("probe shards 1w: %w", err)
+	}
+
+	speedup := 0.0
+	if d8 := report.MicroNsPerOp["durable_write_ns_per_op"]; d8 > 0 {
+		speedup = report.MicroNsPerOp["durable_write_1w_ns_per_op"] / d8
+	}
+	report.Shards = &shardsReport{
+		DefaultShards:      sharded.Stats().Shards,
+		SetAttr1wNsPerOp:   oneW,
+		SetAttr8wNsPerOp:   best8w,
+		SetAttr8w1ShardNs:  best1shard,
+		MultiWriterSpeedup: speedup,
+	}
 	return nil
 }

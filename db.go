@@ -91,6 +91,11 @@ type Options struct {
 	// DeletePolicy is the transmitter delete policy (default
 	// DeleteRestrict).
 	DeletePolicy object.DeletePolicy
+	// Shards is the object-store shard count (0 = default, currently 16).
+	// Operations on objects in different shards take different locks;
+	// snapshots are shard-agnostic, so a database written with one count
+	// reopens cleanly with another.
+	Shards int
 }
 
 // syncCadence normalizes SyncEvery to the pipeline's fsync cadence:
@@ -148,7 +153,7 @@ func Open(cat *schema.Catalog, opts Options) (*Database, error) {
 	if err := cat.Validate(); err != nil {
 		return nil, err
 	}
-	store, err := object.NewStore(cat)
+	store, err := object.NewStoreShards(cat, opts.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -259,11 +264,14 @@ func (db *Database) recover() (*storage.Log, error) {
 	return log, nil
 }
 
-// appendOp is the store's journal hook; it runs under the store mutex
-// (or db.mu for version ops), so it only clones the op and enqueues it:
-// the sequence number is assigned here — preserving the deterministic
-// replay order — while encoding and I/O happen on the committing
-// goroutine, outside every store critical section.
+// appendOp is the store's journal hook; it runs inside the emitting
+// shard's critical section (or under db.mu for version ops), so it only
+// clones the op and enqueues it — encoding and I/O happen on the
+// committing goroutine, outside every store lock. With sharded writers
+// the journal's append order is arrival order, which can differ from
+// store-sequence order across shards; each op carries the sequence it
+// consumed (op.Seq), and replay re-primes the counter per op, so recovery
+// is deterministic regardless of the interleaving (see wal.Replay).
 func (db *Database) appendOp(op *oplog.Op) {
 	if db.committer == nil {
 		return

@@ -20,21 +20,24 @@ import (
 //   - the inheritor is not already bound under this relationship type
 //     (one transmitter per relationship);
 //   - the binding keeps value inheritance acyclic at the object level.
+//
+// Bind mutates binding indexes on up to three shards (inheritor,
+// transmitter, binding object), so it runs store-wide exclusive.
 func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (domain.Surrogate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	rel, ok := s.cat.InherRelType(relType)
 	if !ok {
 		return 0, fmt.Errorf("%w: inheritance relationship %q", ErrNoSuchType, relType)
 	}
-	io, ok := s.objects[inheritor]
+	io, ok := s.obj(inheritor)
 	if !ok {
 		return 0, noObject(inheritor)
 	}
 	if err := s.guardLocked(inheritor); err != nil {
 		return 0, err
 	}
-	to, ok := s.objects[transmitter]
+	to, ok := s.obj(transmitter)
 	if !ok {
 		return 0, noObject(transmitter)
 	}
@@ -56,9 +59,9 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 		return 0, fmt.Errorf("%w: %s -> %s via %s", ErrInheritanceCycle, inheritor, transmitter, relType)
 	}
 
-	s.nextSur++
+	sur := domain.Surrogate(s.nextSur.Add(1))
 	obj := &Object{
-		sur:      domain.Surrogate(s.nextSur),
+		sur:      sur,
 		typeName: relType,
 		isRel:    true,
 		participants: map[string]domain.Value{
@@ -67,26 +70,26 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 		},
 		subclasses: make(map[string]*Class),
 		subrels:    make(map[string]*Class),
+		book:       &bindingBook{},
 	}
-	obj.initAttrs(map[string]domain.Value{
-		AttrTransmitterUpdates: domain.Int(0),
-		AttrLastUpdateSeq:      domain.Int(0),
-		AttrAcknowledgedSeq:    domain.Int(0),
-	})
-	s.objects[obj.sur] = obj
+	obj.initAttrs(nil)
+	s.shardOf(sur).objects[sur] = obj
 	b := &Binding{Obj: obj, Rel: rel, Transmitter: transmitter, Inheritor: inheritor}
-	m := s.byInheritor[inheritor]
+	ish := s.shardOf(inheritor)
+	m := ish.byInheritor[inheritor]
 	if m == nil {
 		m = make(map[string]*Binding)
-		s.byInheritor[inheritor] = m
+		ish.byInheritor[inheritor] = m
 	}
 	m[relType] = b
-	s.byTransmitter[transmitter] = append(s.byTransmitter[transmitter], b)
-	s.seq++
+	tsh := s.shardOf(transmitter)
+	tsh.byTransmitter[transmitter] = append(tsh.byTransmitter[transmitter], b)
+	seq := s.seq.Add(1)
 	// Binding changes every route through the inheritor: null routes
-	// memoized while unbound must revalidate.
-	s.bumpEpochLocked()
-	s.emit(&oplog.Op{Kind: oplog.KindBind, Name: relType, Sur: inheritor, Sur2: transmitter, Out: obj.sur})
+	// memoized while unbound must revalidate. All such routes carry the
+	// inheritor in their chain, so its shard epoch covers them.
+	s.bumpEpoch(ish)
+	s.emit(&oplog.Op{Kind: oplog.KindBind, Name: relType, Sur: inheritor, Sur2: transmitter, Out: obj.sur, Seq: seq})
 	return obj.sur, nil
 }
 
@@ -100,9 +103,10 @@ func declaresInheritorIn(list []string, relType string) bool {
 }
 
 // reachesLocked reports whether `to` is reachable from `from` by walking
-// transmitter edges upward (from inheritor to transmitter).
+// transmitter edges upward (from inheritor to transmitter). The walk
+// crosses shards; any held shard lock freezes the binding indexes.
 func (s *Store) reachesLocked(from, to domain.Surrogate) bool {
-	for _, b := range s.byInheritor[from] {
+	for _, b := range s.shardOf(from).byInheritor[from] {
 		if b.Transmitter == to || s.reachesLocked(b.Transmitter, to) {
 			return true
 		}
@@ -114,8 +118,8 @@ func (s *Store) reachesLocked(from, to domain.Surrogate) bool {
 // type. The inheritor keeps its type-level inheritance (structure) but
 // loses the transmitter's values.
 func (s *Store) Unbind(relType string, inheritor domain.Surrogate) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	b := s.bindingLocked(inheritor, relType)
 	if b == nil {
 		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
@@ -124,35 +128,41 @@ func (s *Store) Unbind(relType string, inheritor domain.Surrogate) error {
 		return err
 	}
 	s.removeBindingLocked(b)
-	s.seq++
-	s.emit(&oplog.Op{Kind: oplog.KindUnbind, Name: relType, Sur: inheritor})
+	seq := s.seq.Add(1)
+	s.emit(&oplog.Op{Kind: oplog.KindUnbind, Name: relType, Sur: inheritor, Seq: seq})
 	return nil
 }
 
+// removeBindingLocked dissolves a binding from both indexes and drops its
+// relationship object. Callers hold all shard write locks.
 func (s *Store) removeBindingLocked(b *Binding) {
-	delete(s.byInheritor[b.Inheritor], b.Rel.Name)
-	if len(s.byInheritor[b.Inheritor]) == 0 {
-		delete(s.byInheritor, b.Inheritor)
+	ish := s.shardOf(b.Inheritor)
+	delete(ish.byInheritor[b.Inheritor], b.Rel.Name)
+	if len(ish.byInheritor[b.Inheritor]) == 0 {
+		delete(ish.byInheritor, b.Inheritor)
 	}
-	list := s.byTransmitter[b.Transmitter]
+	tsh := s.shardOf(b.Transmitter)
+	list := tsh.byTransmitter[b.Transmitter]
 	for i, x := range list {
 		if x == b {
-			s.byTransmitter[b.Transmitter] = append(list[:i], list[i+1:]...)
+			tsh.byTransmitter[b.Transmitter] = append(list[:i], list[i+1:]...)
 			break
 		}
 	}
-	if len(s.byTransmitter[b.Transmitter]) == 0 {
-		delete(s.byTransmitter, b.Transmitter)
+	if len(tsh.byTransmitter[b.Transmitter]) == 0 {
+		delete(tsh.byTransmitter, b.Transmitter)
 	}
-	delete(s.objects, b.Obj.sur)
-	// Every route resolved through this binding is now wrong.
-	s.bumpEpochLocked()
+	delete(s.shardOf(b.Obj.sur).objects, b.Obj.sur)
+	// Every route resolved through this binding carries the inheritor in
+	// its chain; bump that shard's epoch.
+	s.bumpEpoch(ish)
 }
 
 // BindingOf returns the inheritor's binding under a relationship type.
 func (s *Store) BindingOf(inheritor domain.Surrogate, relType string) (*Binding, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.shardOf(inheritor)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	b := s.bindingLocked(inheritor, relType)
 	if b == nil {
 		return nil, false
@@ -163,25 +173,29 @@ func (s *Store) BindingOf(inheritor domain.Surrogate, relType string) (*Binding,
 // BindingsOfTransmitter returns all bindings in which the object is the
 // transmitter (its inheritors).
 func (s *Store) BindingsOfTransmitter(transmitter domain.Surrogate) []*Binding {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]*Binding(nil), s.byTransmitter[transmitter]...)
+	sh := s.shardOf(transmitter)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]*Binding(nil), sh.byTransmitter[transmitter]...)
 }
 
 // BindingsOfInheritor returns all bindings in which the object is the
 // inheritor, keyed by relationship type name.
 func (s *Store) BindingsOfInheritor(inheritor domain.Surrogate) map[string]*Binding {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]*Binding, len(s.byInheritor[inheritor]))
-	for k, v := range s.byInheritor[inheritor] {
+	sh := s.shardOf(inheritor)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make(map[string]*Binding, len(sh.byInheritor[inheritor]))
+	for k, v := range sh.byInheritor[inheritor] {
 		out[k] = v
 	}
 	return out
 }
 
+// bindingLocked finds the inheritor's binding; callers hold at least one
+// shard lock.
 func (s *Store) bindingLocked(inheritor domain.Surrogate, relType string) *Binding {
-	if m, ok := s.byInheritor[inheritor]; ok {
+	if m, ok := s.shardOf(inheritor).byInheritor[inheritor]; ok {
 		return m[relType]
 	}
 	return nil
@@ -189,23 +203,44 @@ func (s *Store) bindingLocked(inheritor domain.Surrogate, relType string) *Bindi
 
 // Acknowledge records that the inheritor side has adapted to the latest
 // transmitter change: AcknowledgedSeq catches up with LastUpdateSeq on
-// the binding object.
+// the binding object. It locks only the inheritor's shard; the resolved
+// sequence value is journaled explicitly (op.Num), so replay reproduces
+// the same acknowledgement even if a concurrent transmitter update lands
+// next to it in the journal in either order.
 func (s *Store) Acknowledge(relType string, inheritor domain.Surrogate) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardOf(inheritor)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	b := s.bindingLocked(inheritor, relType)
 	if b == nil {
 		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
 	}
-	b.Obj.setAttr(AttrAcknowledgedSeq, b.Obj.attrMap()[AttrLastUpdateSeq])
-	s.emit(&oplog.Op{Kind: oplog.KindAcknowledge, Name: relType, Sur: inheritor})
+	ack := b.Obj.book.lastSeq.Load()
+	casMax(&b.Obj.book.ackSeq, ack)
+	s.emit(&oplog.Op{Kind: oplog.KindAcknowledge, Name: relType, Sur: inheritor, Num: ack})
+	return nil
+}
+
+// AcknowledgeAt applies a journaled acknowledgement: AcknowledgedSeq is
+// raised to at least seq. Recovery uses it to replay Acknowledge ops with
+// the value they resolved to live.
+func (s *Store) AcknowledgeAt(relType string, inheritor domain.Surrogate, seq int64) error {
+	sh := s.shardOf(inheritor)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := s.bindingLocked(inheritor, relType)
+	if b == nil {
+		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
+	}
+	casMax(&b.Obj.book.ackSeq, seq)
 	return nil
 }
 
 // TransmitterOf resolves the transmitter an inheritor is bound to, or 0.
 func (s *Store) TransmitterOf(inheritor domain.Surrogate, relType string) domain.Surrogate {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.shardOf(inheritor)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	if b := s.bindingLocked(inheritor, relType); b != nil {
 		return b.Transmitter
 	}

@@ -13,19 +13,26 @@ import (
 // to the object that owns the member (§4: view semantics — the value is
 // never copied). The chain itself only changes on *structural* operations
 // (bind, unbind, delete, class materialization), so the store memoizes the
-// route — never the value — keyed by (surrogate, member name) and stamped
-// with the structure epoch current at resolution time. A cache hit reads
-// the owner's live attribute map, so a transmitter update made after the
-// route was memoized is visible immediately; plain attribute writes do not
-// touch the epoch, which keeps routes hot under update-heavy workloads.
+// route — never the value — keyed by (surrogate, member name). A cache hit
+// reads the owner's live attribute slot, so a transmitter update made
+// after the route was memoized is visible immediately; plain attribute
+// writes never invalidate, which keeps routes hot under update-heavy
+// workloads.
 //
-// Concurrency: routes live in sync.Maps and attribute maps are immutable
-// once published (writers replace them copy-on-write under the store
-// mutex), so the GetAttr/Members hit path runs without taking any lock.
-// Structural writers bump the epoch while holding the write lock; a
-// concurrent lock-free reader either observes the new epoch (and falls
-// back to the locked slow path) or serializes before the structural
-// operation, which is a legal linearization.
+// Sharding: each route lives in the cache of the shard owning its root
+// surrogate and is stamped with the structure epoch of every shard its
+// chain passes through. Structural operations bump only the epochs of the
+// shards they affect, so a Bind in one partition does not evict routes
+// confined to another. The hit path validates all stamps lock-free;
+// resolution runs under a shard lock, which freezes topology store-wide
+// (see the shard type), so the recorded stamps are exact.
+//
+// Concurrency: routes live in sync.Maps and attribute slots publish
+// atomically, so the GetAttr/Members hit path takes no lock. Structural
+// writers bump epochs while holding all shard write locks; a concurrent
+// lock-free reader either observes a new epoch (and falls back to the
+// locked slow path) or serializes before the structural operation, which
+// is a legal linearization.
 
 // routeKey addresses one memoized resolution.
 type routeKey struct {
@@ -33,26 +40,34 @@ type routeKey struct {
 	name string
 }
 
+// shardStamp records the structure epoch one shard had when a route was
+// resolved.
+type shardStamp struct {
+	shard int
+	epoch uint64
+}
+
 // route is one memoized resolution. For attribute routes, owner is the
-// object whose own attribute map holds the value (nil: the chain ended
+// object whose own attribute slot holds the value (nil: the chain ended
 // unbound, the read is null). For members routes, cls is the owner's
 // materialized subclass (nil: unbound or not yet materialized, the read is
 // empty). chain lists every surrogate visited from the inheritor to the
 // owner, in order — transactions lock it for lock inheritance (§6).
+// stamps holds one entry per distinct shard along the chain.
 type route struct {
-	epoch uint64
-	owner *Object
-	cls   *Class
-	chain []domain.Surrogate
+	stamps []shardStamp
+	owner  *Object
+	cls    *Class
+	chain  []domain.Surrogate
 }
 
-// routeCacheResetThreshold bounds dead-key accumulation: when an epoch
-// bump finds more stored routes than this, the maps are swapped out whole
-// instead of being left to revalidate lazily.
-const routeCacheResetThreshold = 1 << 16
+// routeCacheResetThreshold bounds dead-key accumulation per shard: when an
+// epoch bump finds more stored routes than this, the maps are swapped out
+// whole instead of being left to revalidate lazily.
+const routeCacheResetThreshold = 1 << 14
 
-// routeCache holds the attribute and members route maps. The maps are
-// swappable so invalidation can drop a bloated cache in O(1).
+// routeCache holds one shard's attribute and members route maps. The maps
+// are swappable so invalidation can drop a bloated cache in O(1).
 type routeCache struct {
 	attrs   atomic.Pointer[sync.Map]
 	members atomic.Pointer[sync.Map]
@@ -78,11 +93,42 @@ func loadRoute(m *atomic.Pointer[sync.Map], sur domain.Surrogate, name string) (
 	return v.(*route), true
 }
 
+// valid reports whether every shard the route's chain crosses still has
+// the epoch recorded at resolution time.
+func (s *Store) valid(r *route) bool {
+	for _, st := range r.stamps {
+		if s.shards[st.shard].epoch.Load() != st.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// stampChain collects the current epochs of the distinct shards along a
+// chain. Callers hold at least one shard lock, so the epochs cannot move.
+func (s *Store) stampChain(chain []domain.Surrogate) []shardStamp {
+	stamps := make([]shardStamp, 0, 2)
+	for _, sur := range chain {
+		idx := s.shardIndex(sur)
+		seen := false
+		for _, st := range stamps {
+			if st.shard == idx {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			stamps = append(stamps, shardStamp{shard: idx, epoch: s.shards[idx].epoch.Load()})
+		}
+	}
+	return stamps
+}
+
 // loadAttrRoute returns a memoized attribute route if it is still valid
-// against the current epoch.
+// against the epochs of every shard it crosses.
 func (s *Store) loadAttrRoute(sur domain.Surrogate, name string) (*route, bool) {
-	r, ok := loadRoute(&s.routes.attrs, sur, name)
-	if !ok || r.epoch != s.epoch.Load() {
+	r, ok := loadRoute(&s.shardOf(sur).routes.attrs, sur, name)
+	if !ok || !s.valid(r) {
 		return nil, false
 	}
 	return r, true
@@ -90,61 +136,122 @@ func (s *Store) loadAttrRoute(sur domain.Surrogate, name string) (*route, bool) 
 
 // loadMembersRoute is loadAttrRoute for subclass resolution.
 func (s *Store) loadMembersRoute(sur domain.Surrogate, name string) (*route, bool) {
-	r, ok := loadRoute(&s.routes.members, sur, name)
-	if !ok || r.epoch != s.epoch.Load() {
+	r, ok := loadRoute(&s.shardOf(sur).routes.members, sur, name)
+	if !ok || !s.valid(r) {
 		return nil, false
 	}
 	return r, true
 }
 
-// memoAttr stores an attribute route resolved under the store lock (the
-// epoch cannot move while any lock is held, so the stamp is exact).
+// memoAttr stores an attribute route resolved under a shard lock (no
+// epoch can move while any shard lock is held, so the stamps are exact).
 func (s *Store) memoAttr(sur domain.Surrogate, name string, owner *Object, chain []domain.Surrogate) *route {
-	r := &route{epoch: s.epoch.Load(), owner: owner, chain: chain}
-	s.routes.attrs.Load().Store(routeKey{sur, name}, r)
-	s.routes.stored.Add(1)
-	s.misses.Add(1)
+	r := &route{stamps: s.stampChain(chain), owner: owner, chain: chain}
+	sh := s.shardOf(sur)
+	sh.routes.attrs.Load().Store(routeKey{sur, name}, r)
+	sh.routes.stored.Add(1)
+	sh.misses.Add(1)
 	return r
 }
 
-// memoMembers stores a members route resolved under the store lock.
+// memoMembers stores a members route resolved under a shard lock.
 func (s *Store) memoMembers(sur domain.Surrogate, name string, cls *Class, chain []domain.Surrogate) *route {
-	r := &route{epoch: s.epoch.Load(), cls: cls, chain: chain}
-	s.routes.members.Load().Store(routeKey{sur, name}, r)
-	s.routes.stored.Add(1)
-	s.misses.Add(1)
+	r := &route{stamps: s.stampChain(chain), cls: cls, chain: chain}
+	sh := s.shardOf(sur)
+	sh.routes.members.Load().Store(routeKey{sur, name}, r)
+	sh.routes.stored.Add(1)
+	sh.misses.Add(1)
 	return r
 }
 
-// bumpEpochLocked invalidates every memoized route. Callers hold the write
-// lock; lock-free readers racing the bump either see the new epoch (slow
-// path) or serialize before the structural change.
-func (s *Store) bumpEpochLocked() {
-	s.epoch.Add(1)
-	s.invalidations.Add(1)
-	if s.routes.stored.Load() > routeCacheResetThreshold {
-		s.routes.reset()
+// bumpEpoch invalidates every memoized route that crosses the shard.
+// Callers hold all shard write locks; lock-free readers racing the bump
+// either see the new epoch (slow path) or serialize before the structural
+// change.
+func (s *Store) bumpEpoch(sh *shard) {
+	sh.epoch.Add(1)
+	sh.invalidations.Add(1)
+	if sh.routes.stored.Load() > routeCacheResetThreshold {
+		sh.routes.reset()
 	}
 }
 
-// StoreStats reports the resolution-cache counters and structure epoch.
+// bumpAllEpochs invalidates every route in the store (snapshot import).
+func (s *Store) bumpAllEpochs() {
+	for i := range s.shards {
+		s.bumpEpoch(&s.shards[i])
+	}
+}
+
+// ShardStats reports one shard's counters, snapshotted under its lock.
+type ShardStats struct {
+	Shard         int    `json:"shard"`
+	Objects       int    `json:"objects"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Epoch         uint64 `json:"epoch"`
+	Routes        uint64 `json:"routes"`
+}
+
+// StoreStats aggregates the resolution-cache counters across shards.
+// Epoch is the sum of the per-shard structure epochs (total structural
+// changes observed); PerShard carries the per-shard breakdown.
 type StoreStats struct {
 	Hits          uint64 // reads served from a memoized route, lock-free
 	Misses        uint64 // cacheable resolutions that had to walk the chain
 	Invalidations uint64 // structure-epoch bumps
-	Epoch         uint64 // current structure epoch
+	Epoch         uint64 // sum of per-shard structure epochs
 	Routes        uint64 // approximate number of stored routes
+	Shards        int    // shard count
+	PerShard      []ShardStats
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats snapshots the cache counters. Each shard's tuple is read under
+// that shard's read lock, so the per-shard numbers are mutually
+// consistent (the aggregate is a sum of per-shard snapshots, not a single
+// store-wide freeze).
 func (s *Store) Stats() StoreStats {
-	return StoreStats{
-		Hits:          s.hits.Load(),
-		Misses:        s.misses.Load(),
-		Invalidations: s.invalidations.Load(),
-		Epoch:         s.epoch.Load(),
-		Routes:        s.routes.stored.Load(),
+	st := StoreStats{Shards: len(s.shards), PerShard: make([]ShardStats, len(s.shards))}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		p := ShardStats{
+			Shard:         i,
+			Objects:       len(sh.objects),
+			Hits:          sh.hits.Load(),
+			Misses:        sh.misses.Load(),
+			Invalidations: sh.invalidations.Load(),
+			Epoch:         sh.epoch.Load(),
+			Routes:        sh.routes.stored.Load(),
+		}
+		sh.mu.RUnlock()
+		st.PerShard[i] = p
+		st.Hits += p.Hits
+		st.Misses += p.Misses
+		st.Invalidations += p.Invalidations
+		st.Epoch += p.Epoch
+		st.Routes += p.Routes
 	}
+	return st
+}
+
+// ChainStamp captures the shard epochs a resolved chain depended on.
+// Transactions use it to detect a rebind between resolving a chain and
+// locking it (see ResolveChainStamped).
+type ChainStamp struct {
+	stamps []shardStamp
+}
+
+// StampValid reports whether the chain the stamp was taken from is still
+// current: no shard it crossed has seen a structural change since.
+func (s *Store) StampValid(st ChainStamp) bool {
+	for _, x := range st.stamps {
+		if s.shards[x.shard].epoch.Load() != x.epoch {
+			return false
+		}
+	}
+	return true
 }
 
 // ResolveChain returns the surrogates visited when resolving member on
@@ -154,47 +261,58 @@ func (s *Store) Stats() StoreStats {
 // inheritance, §6). Names that are not inherited — own members, unknown
 // names, relationship objects — resolve to just the object itself.
 func (s *Store) ResolveChain(sur domain.Surrogate, member string) ([]domain.Surrogate, error) {
+	chain, _, err := s.ResolveChainStamped(sur, member)
+	return chain, err
+}
+
+// ResolveChainStamped is ResolveChain plus a ChainStamp recording the
+// structure epochs of every shard the chain crosses, so the caller can
+// cheaply re-check (StampValid) that the chain is still current after
+// acquiring locks on it.
+func (s *Store) ResolveChainStamped(sur domain.Surrogate, member string) ([]domain.Surrogate, ChainStamp, error) {
 	if r, ok := s.loadAttrRoute(sur, member); ok {
-		s.hits.Add(1)
-		return r.chain, nil
+		s.shardOf(sur).hits.Add(1)
+		return r.chain, ChainStamp{stamps: r.stamps}, nil
 	}
 	if r, ok := s.loadMembersRoute(sur, member); ok {
-		s.hits.Add(1)
-		return r.chain, nil
+		s.shardOf(sur).hits.Add(1)
+		return r.chain, ChainStamp{stamps: r.stamps}, nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[sur]
 	if !ok {
-		return nil, noObject(sur)
+		return nil, ChainStamp{}, noObject(sur)
 	}
 	self := []domain.Surrogate{sur}
+	selfStamp := func() ChainStamp { return ChainStamp{stamps: s.stampChain(self)} }
 	if o.isRel {
-		return self, nil
+		return self, selfStamp(), nil
 	}
 	eff, err := s.effectiveLocked(o)
 	if err != nil {
-		return self, nil
+		return self, selfStamp(), nil
 	}
 	if a, ok := eff.Attr(member); ok {
 		if !a.Inherited() {
-			return self, nil
+			return self, selfStamp(), nil
 		}
 		_, r, err := s.resolveAttrLocked(o, member)
 		if err != nil {
-			return nil, err
+			return nil, ChainStamp{}, err
 		}
-		return r.chain, nil
+		return r.chain, ChainStamp{stamps: r.stamps}, nil
 	}
 	if sd, ok := eff.SubclassByName(member); ok {
 		if !sd.Inherited() {
-			return self, nil
+			return self, selfStamp(), nil
 		}
 		r, err := s.resolveMembersLocked(o, member)
 		if err != nil || r == nil {
-			return self, err
+			return self, selfStamp(), err
 		}
-		return r.chain, nil
+		return r.chain, ChainStamp{stamps: r.stamps}, nil
 	}
-	return self, nil
+	return self, selfStamp(), nil
 }

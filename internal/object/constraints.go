@@ -29,9 +29,10 @@ func (v *ConstraintViolation) String() string {
 // objects, of the relationship type. It returns all violations, or an
 // error if the object does not exist.
 func (s *Store) CheckConstraints(sur domain.Surrogate) ([]ConstraintViolation, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[sur]
 	if !ok {
 		return nil, noObject(sur)
 	}
@@ -96,19 +97,29 @@ func (s *Store) checkConstraintsLocked(o *Object) []ConstraintViolation {
 // CheckAll checks every live object and returns all violations, sorted by
 // surrogate. Intended for tests, tools and checkpoint validation.
 func (s *Store) CheckAll() []ConstraintViolation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	var out []ConstraintViolation
 	for _, sur := range s.surrogatesLocked() {
-		out = append(out, s.checkConstraintsLocked(s.objects[sur])...)
+		o, _ := s.obj(sur)
+		out = append(out, s.checkConstraintsLocked(o)...)
 	}
 	return out
 }
 
+// surrogatesLocked returns every live surrogate across all shards in
+// ascending order. Callers hold at least one shard lock (all of them for
+// a consistent store-wide view).
 func (s *Store) surrogatesLocked() []domain.Surrogate {
-	out := make([]domain.Surrogate, 0, len(s.objects))
-	for sur := range s.objects {
-		out = append(out, sur)
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].objects)
+	}
+	out := make([]domain.Surrogate, 0, n)
+	for i := range s.shards {
+		for sur := range s.shards[i].objects {
+			out = append(out, sur)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

@@ -20,78 +20,84 @@ import (
 // outside the cascade, the delete policy decides: DeleteRestrict (default)
 // refuses the whole delete; DeleteUnbind detaches those inheritors and
 // fires an Unbound update event for each.
+//
+// The whole cascade runs store-wide exclusive and consumes one sequence
+// number, so replaying the journaled op reproduces the same final state
+// regardless of what was interleaved with it live.
 func (s *Store) Delete(sur domain.Surrogate) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	root, ok := s.objects[sur]
-	if !ok {
-		return noObject(sur)
-	}
-	if err := s.guardLocked(sur); err != nil {
-		return err
-	}
+	s.lockAll()
+	dispatch, err := func() (bool, error) {
+		root, ok := s.obj(sur)
+		if !ok {
+			return false, noObject(sur)
+		}
+		if err := s.guardLocked(sur); err != nil {
+			return false, err
+		}
 
-	// Phase 1: collect the cascade set.
-	cascade := make(map[domain.Surrogate]bool)
-	s.collectCascadeLocked(root, cascade)
+		// Phase 1: collect the cascade set.
+		cascade := make(map[domain.Surrogate]bool)
+		s.collectCascadeLocked(root, cascade)
 
-	// Phase 2: policy check for transmitters with external inheritors.
-	var detach []*Binding
-	for member := range cascade {
-		for _, b := range s.byTransmitter[member] {
-			if cascade[b.Inheritor] {
-				continue // inheritor dies with the cascade anyway
+		// Phase 2: policy check for transmitters with external inheritors.
+		var detach []*Binding
+		for member := range cascade {
+			for _, b := range s.shardOf(member).byTransmitter[member] {
+				if cascade[b.Inheritor] {
+					continue // inheritor dies with the cascade anyway
+				}
+				if s.deletePolicy == DeleteRestrict {
+					return false, fmt.Errorf("%w: %s has inheritor %s via %s",
+						ErrHasInheritors, member, b.Inheritor, b.Rel.Name)
+				}
+				detach = append(detach, b)
 			}
-			if s.deletePolicy == DeleteRestrict {
-				return fmt.Errorf("%w: %s has inheritor %s via %s",
-					ErrHasInheritors, member, b.Inheritor, b.Rel.Name)
-			}
-			detach = append(detach, b)
 		}
-	}
 
-	// Phase 3: apply. Detach external inheritors first so the events see
-	// a consistent store.
-	for _, b := range detach {
-		s.removeBindingLocked(b)
-		s.seq++
-		ev := UpdateEvent{
-			Rel:         b.Rel.Name,
-			Binding:     b.Obj.sur,
-			Transmitter: b.Transmitter,
-			Inheritor:   b.Inheritor,
-			Seq:         s.seq,
-			Unbound:     true,
+		// Phase 3: apply under one sequence number. Detach external
+		// inheritors first so the events see a consistent store.
+		seq := s.seq.Add(1)
+		n := notifier{s: s, seq: seq}
+		for _, b := range detach {
+			s.removeBindingLocked(b)
+			n.events = append(n.events, UpdateEvent{
+				Rel:         b.Rel.Name,
+				Binding:     b.Obj.sur,
+				Transmitter: b.Transmitter,
+				Inheritor:   b.Inheritor,
+				Seq:         seq,
+				Unbound:     true,
+			})
 		}
-		for _, h := range s.hooks {
-			h(ev)
+		// Subclass changes visible outside the cascade are notified after
+		// the removal, like any other permeable update.
+		type parentSub struct {
+			parent domain.Surrogate
+			sub    string
 		}
-	}
-	// Subclass changes visible outside the cascade are notified after the
-	// removal, like any other permeable update.
-	type parentSub struct {
-		parent domain.Surrogate
-		sub    string
-	}
-	var touched []parentSub
-	for member := range cascade {
-		o := s.objects[member]
-		if o != nil && o.parent != 0 && !cascade[o.parent] {
-			touched = append(touched, parentSub{o.parent, o.parentSub})
+		var touched []parentSub
+		for member := range cascade {
+			if o, ok := s.obj(member); ok && o.parent != 0 && !cascade[o.parent] {
+				touched = append(touched, parentSub{o.parent, o.parentSub})
+			}
 		}
-	}
-	for member := range cascade {
-		s.removeObjectLocked(member)
-	}
-	s.seq++
-	for _, ps := range touched {
-		if po, ok := s.objects[ps.parent]; ok {
-			po.modSeq = s.seq
+		for member := range cascade {
+			s.removeObjectLocked(member)
 		}
-		s.notifyLocked(ps.parent, ps.sub, map[domain.Surrogate]bool{})
+		for _, ps := range touched {
+			if po, ok := s.obj(ps.parent); ok {
+				po.modSeq = seq
+			}
+			n.notify(ps.parent, ps.sub)
+		}
+		s.emit(&oplog.Op{Kind: oplog.KindDelete, Sur: sur, Seq: seq})
+		return n.queue(), nil
+	}()
+	s.unlockAll()
+	if dispatch {
+		s.dispatchEvents()
 	}
-	s.emit(&oplog.Op{Kind: oplog.KindDelete, Sur: sur})
-	return nil
+	return err
 }
 
 // collectCascadeLocked gathers the object, its subobject tree, its local
@@ -104,21 +110,21 @@ func (s *Store) collectCascadeLocked(o *Object, acc map[domain.Surrogate]bool) {
 	acc[o.sur] = true
 	for _, cls := range o.subclasses {
 		for _, m := range cls.Members() {
-			if mo, ok := s.objects[m]; ok {
+			if mo, ok := s.obj(m); ok {
 				s.collectCascadeLocked(mo, acc)
 			}
 		}
 	}
 	for _, cls := range o.subrels {
 		for _, m := range cls.Members() {
-			if mo, ok := s.objects[m]; ok {
+			if mo, ok := s.obj(m); ok {
 				s.collectCascadeLocked(mo, acc)
 			}
 		}
 	}
 	// Relationships referencing this object die with it.
-	for rel := range s.relsByParticipant[o.sur] {
-		if ro, ok := s.objects[rel]; ok {
+	for rel := range s.shardOf(o.sur).relsByParticipant[o.sur] {
+		if ro, ok := s.obj(rel); ok {
 			s.collectCascadeLocked(ro, acc)
 		}
 	}
@@ -127,9 +133,11 @@ func (s *Store) collectCascadeLocked(o *Object, acc map[domain.Surrogate]bool) {
 }
 
 // removeObjectLocked unlinks one object from every index. Bindings are
-// dissolved; classes and parents forget the member.
+// dissolved; classes and parents forget the member. Callers hold all
+// shard and stripe write locks.
 func (s *Store) removeObjectLocked(sur domain.Surrogate) {
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	o, ok := sh.objects[sur]
 	if !ok {
 		return
 	}
@@ -145,17 +153,17 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate) {
 		}
 	}
 	// Dissolve bindings in both roles.
-	if m, ok := s.byInheritor[sur]; ok {
+	if m, ok := sh.byInheritor[sur]; ok {
 		for _, b := range copyBindings(m) {
 			s.removeBindingLocked(b)
 		}
 	}
-	for _, b := range append([]*Binding(nil), s.byTransmitter[sur]...) {
+	for _, b := range append([]*Binding(nil), sh.byTransmitter[sur]...) {
 		s.removeBindingLocked(b)
 	}
 	// Forget participant index entries for this object, and the reverse
 	// edges its own participants hold.
-	delete(s.relsByParticipant, sur)
+	delete(sh.relsByParticipant, sur)
 	if o.isRel {
 		for _, v := range o.participants {
 			s.unindexParticipantLocked(sur, v)
@@ -163,12 +171,12 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate) {
 	}
 	// Unlink from the owning class or parent.
 	if o.ownerClass != "" {
-		if cls, ok := s.classes[o.ownerClass]; ok {
+		if cls, ok := s.lookupClass(o.ownerClass); ok {
 			cls.remove(sur)
 		}
 	}
 	if o.parent != 0 {
-		if po, ok := s.objects[o.parent]; ok {
+		if po, ok := s.obj(o.parent); ok {
 			if cls, ok := po.subclasses[o.parentSub]; ok {
 				cls.remove(sur)
 			}
@@ -177,18 +185,21 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate) {
 			}
 		}
 	}
-	delete(s.objects, sur)
-	// Routes from or through the dead object must not be served again.
-	s.bumpEpochLocked()
+	delete(sh.objects, sur)
+	// Routes from or through the dead object must not be served again;
+	// every such route carries sur in its chain, so its shard's epoch
+	// covers them all.
+	s.bumpEpoch(sh)
 }
 
 func (s *Store) unindexParticipantLocked(rel domain.Surrogate, v domain.Value) {
 	switch x := v.(type) {
 	case domain.Ref:
-		if m, ok := s.relsByParticipant[domain.Surrogate(x)]; ok {
+		psh := s.shardOf(domain.Surrogate(x))
+		if m, ok := psh.relsByParticipant[domain.Surrogate(x)]; ok {
 			delete(m, rel)
 			if len(m) == 0 {
-				delete(s.relsByParticipant, domain.Surrogate(x))
+				delete(psh.relsByParticipant, domain.Surrogate(x))
 			}
 		}
 	case *domain.Set:

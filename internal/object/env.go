@@ -5,8 +5,10 @@ import (
 	"cadcam/internal/expr"
 )
 
-// lockedEnv implements expr.Env for one object, assuming the store lock is
-// already held. It backs constraint checking inside store operations.
+// lockedEnv implements expr.Env for one object, assuming a shard lock is
+// already held (any shard lock freezes topology store-wide, and attribute
+// slots publish atomically, so chain walks may cross shards). It backs
+// constraint checking inside store operations.
 type lockedEnv struct {
 	s *Store
 	o *Object
@@ -25,7 +27,7 @@ func (e *lockedEnv) Collection(name string) ([]domain.Value, bool) {
 }
 
 func (e *lockedEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
-	o, ok := e.s.objects[domain.Surrogate(ref)]
+	o, ok := e.s.obj(domain.Surrogate(ref))
 	if !ok {
 		return nil, false
 	}
@@ -37,7 +39,7 @@ func (e *lockedEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
 }
 
 func (e *lockedEnv) CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool) {
-	o, ok := e.s.objects[domain.Surrogate(ref)]
+	o, ok := e.s.obj(domain.Surrogate(ref))
 	if !ok {
 		return nil, false
 	}
@@ -74,8 +76,11 @@ func (s *Store) collectionLocked(o *Object, name string) ([]domain.Value, bool) 
 	return nil, false
 }
 
-// storeEnv is the exported Env: every call takes the store's read lock, so
-// it must not be used from inside store operations (use lockedEnv there).
+// storeEnv is the exported Env: every call takes the object's shard read
+// lock (which freezes topology store-wide, see shard), so it must not be
+// used from inside store operations (use lockedEnv there). Attribute
+// values read through other shards are loaded atomically per value; the
+// view is not a store-wide snapshot.
 type storeEnv struct {
 	s   *Store
 	sur domain.Surrogate
@@ -89,15 +94,11 @@ func (s *Store) Env(sur domain.Surrogate) expr.Env {
 	return &storeEnv{s: s, sur: sur}
 }
 
-func (e *storeEnv) object() (*Object, bool) {
-	o, ok := e.s.objects[e.sur]
-	return o, ok
-}
-
 func (e *storeEnv) Lookup(name string) (domain.Value, bool) {
-	e.s.mu.RLock()
-	defer e.s.mu.RUnlock()
-	o, ok := e.object()
+	sh := e.s.shardOf(e.sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[e.sur]
 	if !ok {
 		return nil, false
 	}
@@ -105,9 +106,10 @@ func (e *storeEnv) Lookup(name string) (domain.Value, bool) {
 }
 
 func (e *storeEnv) Collection(name string) ([]domain.Value, bool) {
-	e.s.mu.RLock()
-	defer e.s.mu.RUnlock()
-	o, ok := e.object()
+	sh := e.s.shardOf(e.sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[e.sur]
 	if !ok {
 		return nil, false
 	}
@@ -115,9 +117,10 @@ func (e *storeEnv) Collection(name string) ([]domain.Value, bool) {
 }
 
 func (e *storeEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
-	e.s.mu.RLock()
-	defer e.s.mu.RUnlock()
-	o, ok := e.object()
+	sh := e.s.shardOf(e.sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[e.sur]
 	if !ok {
 		return nil, false
 	}
@@ -125,9 +128,10 @@ func (e *storeEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
 }
 
 func (e *storeEnv) CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool) {
-	e.s.mu.RLock()
-	defer e.s.mu.RUnlock()
-	o, ok := e.object()
+	sh := e.s.shardOf(e.sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[e.sur]
 	if !ok {
 		return nil, false
 	}
@@ -143,9 +147,10 @@ type classEnv struct{ s *Store }
 func (e *classEnv) Lookup(string) (domain.Value, bool) { return nil, false }
 
 func (e *classEnv) Collection(name string) ([]domain.Value, bool) {
-	e.s.mu.RLock()
-	defer e.s.mu.RUnlock()
-	cls, ok := e.s.classes[name]
+	stripe := e.s.stripeOf(name)
+	stripe.mu.RLock()
+	cls, ok := stripe.classes[name]
+	stripe.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
@@ -158,9 +163,10 @@ func (e *classEnv) Collection(name string) ([]domain.Value, bool) {
 }
 
 func (e *classEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
-	e.s.mu.RLock()
-	defer e.s.mu.RUnlock()
-	o, ok := e.s.objects[domain.Surrogate(ref)]
+	sh := e.s.shardOf(domain.Surrogate(ref))
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[domain.Surrogate(ref)]
 	if !ok {
 		return nil, false
 	}
@@ -172,9 +178,10 @@ func (e *classEnv) AttrOf(ref domain.Ref, attr string) (domain.Value, bool) {
 }
 
 func (e *classEnv) CollectionOf(ref domain.Ref, name string) ([]domain.Value, bool) {
-	e.s.mu.RLock()
-	defer e.s.mu.RUnlock()
-	o, ok := e.s.objects[domain.Surrogate(ref)]
+	sh := e.s.shardOf(domain.Surrogate(ref))
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[domain.Surrogate(ref)]
 	if !ok {
 		return nil, false
 	}

@@ -9,7 +9,7 @@ import (
 // CheckInvariants audits the store's internal index consistency and
 // returns a description of every violation found (empty = healthy). It
 // is meant for tests, fuzzing harnesses and post-recovery verification;
-// it takes the read lock for its whole run.
+// it holds every shard and stripe read lock for its whole run.
 //
 // Invariants checked:
 //
@@ -23,59 +23,69 @@ import (
 //  4. binding graphs are acyclic (value inheritance terminates);
 //  5. the participant index matches the participants actually stored on
 //     relationship objects, in both directions;
-//  6. no allocated surrogate exceeds the allocation counter.
+//  6. no allocated surrogate exceeds the allocation counter;
+//  7. every object lives in the shard its surrogate hashes to.
 func (s *Store) CheckInvariants() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	var bad []string
 	report := func(format string, args ...any) {
 		bad = append(bad, fmt.Sprintf(format, args...))
 	}
 
 	// 1. database classes <-> ownerClass.
-	for name, cls := range s.classes {
-		for _, m := range cls.items() {
-			o, ok := s.objects[m]
-			if !ok {
-				report("class %q holds dead member %s", name, m)
-				continue
-			}
-			if o.ownerClass != name {
-				report("class %q holds %s whose ownerClass is %q", name, m, o.ownerClass)
+	for i := range s.stripes {
+		for name, cls := range s.stripes[i].classes {
+			for _, m := range cls.items() {
+				o, ok := s.obj(m)
+				if !ok {
+					report("class %q holds dead member %s", name, m)
+					continue
+				}
+				if o.ownerClass != name {
+					report("class %q holds %s whose ownerClass is %q", name, m, o.ownerClass)
+				}
 			}
 		}
 	}
-	for sur, o := range s.objects {
+	forEachObject := func(f func(sur domain.Surrogate, o *Object)) {
+		for i := range s.shards {
+			for sur, o := range s.shards[i].objects {
+				f(sur, o)
+			}
+		}
+	}
+	forEachObject(func(sur domain.Surrogate, o *Object) {
 		if o.ownerClass != "" {
-			cls, ok := s.classes[o.ownerClass]
+			cls, ok := s.lookupClass(o.ownerClass)
 			if !ok || !cls.Contains(sur) {
 				report("%s claims class %q but is not a member", sur, o.ownerClass)
 			}
 		}
-	}
+	})
 
 	// 2. parent/subclass symmetry.
-	for sur, o := range s.objects {
+	forEachObject(func(sur domain.Surrogate, o *Object) {
 		if o.parent != 0 {
-			po, ok := s.objects[o.parent]
+			po, ok := s.obj(o.parent)
 			if !ok {
 				report("%s has dead parent %s", sur, o.parent)
-				continue
-			}
-			in := false
-			if cls, ok := po.subclasses[o.parentSub]; ok && cls.Contains(sur) {
-				in = true
-			}
-			if cls, ok := po.subrels[o.parentSub]; ok && cls.Contains(sur) {
-				in = true
-			}
-			if !in {
-				report("%s claims parent %s subclass %q but is not a member", sur, o.parent, o.parentSub)
+			} else {
+				in := false
+				if cls, ok := po.subclasses[o.parentSub]; ok && cls.Contains(sur) {
+					in = true
+				}
+				if cls, ok := po.subrels[o.parentSub]; ok && cls.Contains(sur) {
+					in = true
+				}
+				if !in {
+					report("%s claims parent %s subclass %q but is not a member", sur, o.parent, o.parentSub)
+				}
 			}
 		}
 		for name, cls := range o.subclasses {
 			for _, m := range cls.items() {
-				mo, ok := s.objects[m]
+				mo, ok := s.obj(m)
 				if !ok {
 					report("%s subclass %q holds dead member %s", sur, name, m)
 					continue
@@ -87,7 +97,7 @@ func (s *Store) CheckInvariants() []string {
 		}
 		for name, cls := range o.subrels {
 			for _, m := range cls.items() {
-				mo, ok := s.objects[m]
+				mo, ok := s.obj(m)
 				if !ok {
 					report("%s subrel %q holds dead member %s", sur, name, m)
 					continue
@@ -97,84 +107,102 @@ func (s *Store) CheckInvariants() []string {
 				}
 			}
 		}
-	}
+	})
 
 	// 3. binding index symmetry.
-	for inh, m := range s.byInheritor {
-		for rel, b := range m {
-			if b.Inheritor != inh || b.Rel.Name != rel {
-				report("binding index mismatch at (%s, %s)", inh, rel)
+	for i := range s.shards {
+		for inh, m := range s.shards[i].byInheritor {
+			if s.shardIndex(inh) != i {
+				report("inheritor index for %s lives in shard %d, expected %d", inh, i, s.shardIndex(inh))
 			}
-			if _, ok := s.objects[b.Obj.sur]; !ok {
-				report("binding object %s not registered", b.Obj.sur)
-			}
-			if _, ok := s.objects[b.Transmitter]; !ok {
-				report("binding %s has dead transmitter %s", b.Obj.sur, b.Transmitter)
-			}
-			if _, ok := s.objects[b.Inheritor]; !ok {
-				report("binding %s has dead inheritor %s", b.Obj.sur, b.Inheritor)
-			}
-			found := false
-			for _, tb := range s.byTransmitter[b.Transmitter] {
-				if tb == b {
-					found = true
-					break
+			for rel, b := range m {
+				if b.Inheritor != inh || b.Rel.Name != rel {
+					report("binding index mismatch at (%s, %s)", inh, rel)
+				}
+				if _, ok := s.obj(b.Obj.sur); !ok {
+					report("binding object %s not registered", b.Obj.sur)
+				}
+				if b.Obj.book == nil {
+					report("binding object %s has no bookkeeping", b.Obj.sur)
+				}
+				if _, ok := s.obj(b.Transmitter); !ok {
+					report("binding %s has dead transmitter %s", b.Obj.sur, b.Transmitter)
+				}
+				if _, ok := s.obj(b.Inheritor); !ok {
+					report("binding %s has dead inheritor %s", b.Obj.sur, b.Inheritor)
+				}
+				found := false
+				for _, tb := range s.shardOf(b.Transmitter).byTransmitter[b.Transmitter] {
+					if tb == b {
+						found = true
+						break
+					}
+				}
+				if !found {
+					report("binding %s missing from transmitter index", b.Obj.sur)
 				}
 			}
-			if !found {
-				report("binding %s missing from transmitter index", b.Obj.sur)
-			}
 		}
-	}
-	for trans, list := range s.byTransmitter {
-		for _, b := range list {
-			if b.Transmitter != trans {
-				report("transmitter index mismatch at %s", trans)
+		for trans, list := range s.shards[i].byTransmitter {
+			if s.shardIndex(trans) != i {
+				report("transmitter index for %s lives in shard %d, expected %d", trans, i, s.shardIndex(trans))
 			}
-			if ib := s.bindingLocked(b.Inheritor, b.Rel.Name); ib != b {
-				report("binding %s missing from inheritor index", b.Obj.sur)
+			for _, b := range list {
+				if b.Transmitter != trans {
+					report("transmitter index mismatch at %s", trans)
+				}
+				if ib := s.bindingLocked(b.Inheritor, b.Rel.Name); ib != b {
+					report("binding %s missing from inheritor index", b.Obj.sur)
+				}
 			}
 		}
 	}
 
 	// 4. acyclicity: walk transmitter edges from every inheritor.
-	for inh := range s.byInheritor {
-		if s.reachesLocked(inh, inh) {
-			report("binding cycle through %s", inh)
+	for i := range s.shards {
+		for inh := range s.shards[i].byInheritor {
+			if s.reachesLocked(inh, inh) {
+				report("binding cycle through %s", inh)
+			}
 		}
 	}
 
 	// 5. participant index in both directions.
-	for part, rels := range s.relsByParticipant {
-		for rel := range rels {
-			ro, ok := s.objects[rel]
-			if !ok {
-				report("participant index holds dead relationship %s", rel)
-				continue
+	for i := range s.shards {
+		for part, rels := range s.shards[i].relsByParticipant {
+			if s.shardIndex(part) != i {
+				report("participant index for %s lives in shard %d, expected %d", part, i, s.shardIndex(part))
 			}
-			if !ro.isRel {
-				report("participant index holds non-relationship %s", rel)
-				continue
-			}
-			if !refersTo(ro.participants, part) {
-				report("relationship %s indexed for %s but does not reference it", rel, part)
+			for rel := range rels {
+				ro, ok := s.obj(rel)
+				if !ok {
+					report("participant index holds dead relationship %s", rel)
+					continue
+				}
+				if !ro.isRel {
+					report("participant index holds non-relationship %s", rel)
+					continue
+				}
+				if !refersTo(ro.participants, part) {
+					report("relationship %s indexed for %s but does not reference it", rel, part)
+				}
 			}
 		}
 	}
-	for sur, o := range s.objects {
+	forEachObject(func(sur domain.Surrogate, o *Object) {
 		if !o.isRel || o.participants == nil {
-			continue
+			return
 		}
 		// Binding objects are indexed via byInheritor/byTransmitter, not
 		// the participant index.
 		if _, isInher := s.cat.InherRelType(o.typeName); isInher {
-			continue
+			return
 		}
 		var check func(v domain.Value)
 		check = func(v domain.Value) {
 			switch x := v.(type) {
 			case domain.Ref:
-				if !s.relsByParticipant[domain.Surrogate(x)][sur] {
+				if !s.shardOf(domain.Surrogate(x)).relsByParticipant[domain.Surrogate(x)][sur] {
 					report("relationship %s references %s without index entry", sur, x)
 				}
 			case *domain.Set:
@@ -186,12 +214,18 @@ func (s *Store) CheckInvariants() []string {
 		for _, v := range o.participants {
 			check(v)
 		}
-	}
+	})
 
-	// 6. surrogate allocation.
-	for sur := range s.objects {
-		if uint64(sur) > s.nextSur {
-			report("surrogate %s exceeds allocation counter %d", sur, s.nextSur)
+	// 6. surrogate allocation; 7. shard placement.
+	next := s.nextSur.Load()
+	for i := range s.shards {
+		for sur := range s.shards[i].objects {
+			if uint64(sur) > next {
+				report("surrogate %s exceeds allocation counter %d", sur, next)
+			}
+			if s.shardIndex(sur) != i {
+				report("%s stored in shard %d, expected %d", sur, i, s.shardIndex(sur))
+			}
 		}
 	}
 	return bad

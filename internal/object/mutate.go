@@ -14,50 +14,93 @@ import (
 // transmitter side; attempting to set them returns ErrInheritedAttribute.
 //
 // Every successful update of an object that is a transmitter bumps the
-// bookkeeping attributes of all bindings through which the change is
-// visible and fires registered update hooks, transitively along
-// inheritance chains.
+// bookkeeping of all bindings through which the change is visible and
+// fires registered update hooks (after the lock is released),
+// transitively along inheritance chains.
+//
+// SetAttr is the hot single-shard path: it locks only the shard owning
+// sur. Chain validation and notification read other shards' topology,
+// which any single shard lock freezes (see the shard type); binding
+// bookkeeping on other shards advances through commuting atomics.
 func (s *Store) SetAttr(sur domain.Surrogate, name string, v domain.Value) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.Lock()
+	dispatch, err := s.setAttrShard(sh, sur, name, v)
+	sh.mu.Unlock()
+	if dispatch {
+		s.dispatchEvents()
+	}
+	return err
+}
+
+func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v domain.Value) (bool, error) {
+	o, ok := sh.objects[sur]
 	if !ok {
-		return noObject(sur)
+		return false, noObject(sur)
 	}
 	if err := s.guardLocked(sur); err != nil {
-		return err
+		return false, err
 	}
 	if o.isRel {
-		return s.setRelAttrLocked(o, name, v)
+		return false, s.setRelAttrLocked(o, name, v)
+	}
+	// Fast path: overwriting an already-validated slot. The memoized
+	// declaration proves the attribute is declared and non-inherited, so
+	// only the value itself needs checking.
+	if b, ok := o.attrMap()[name]; ok && b.decl != nil && !domain.IsNull(v) {
+		if err := b.decl.Domain.Validate(v); err != nil {
+			return false, fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
+		}
+		if err := s.checkRefValueLocked(b.decl.Domain, v); err != nil {
+			return false, err
+		}
+		seq := s.seq.Add(1)
+		b.store(v)
+		o.modSeq = seq
+		n := notifier{s: s, seq: seq}
+		n.notify(sur, name)
+		if o.parent != 0 {
+			n.notify(o.parent, o.parentSub)
+		}
+		if s.journal != nil {
+			s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: sur, Name: name, Value: v, Seq: seq})
+		}
+		return n.queue(), nil
 	}
 	eff, err := s.effectiveLocked(o)
 	if err != nil {
-		return err
+		return false, err
 	}
 	a, ok := eff.Attr(name)
 	if !ok {
-		return fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
+		return false, fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, o.typeName, name)
 	}
 	if a.Inherited() {
-		return fmt.Errorf("%w: %s.%s (from %s via %s)", ErrInheritedAttribute, o.typeName, name, a.Source, a.Via)
+		return false, fmt.Errorf("%w: %s.%s (from %s via %s)", ErrInheritedAttribute, o.typeName, name, a.Source, a.Via)
 	}
 	if err := a.Domain.Validate(v); err != nil {
-		return fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
+		return false, fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
 	}
 	if err := s.checkRefValueLocked(a.Domain, v); err != nil {
-		return err
+		return false, err
 	}
+	seq := s.seq.Add(1)
 	o.setAttr(name, v)
-	s.seq++
-	o.modSeq = s.seq
-	s.notifyLocked(sur, name, map[domain.Surrogate]bool{})
+	if b, ok := o.attrMap()[name]; ok {
+		b.decl = a // arm the fast path for subsequent writes
+	}
+	o.modSeq = seq
+	n := notifier{s: s, seq: seq}
+	n.notify(sur, name)
 	// A subobject update also changes what the parent's subclass shows:
 	// inheritors seeing the parent's subclass are informed as well.
 	if o.parent != 0 {
-		s.notifyLocked(o.parent, o.parentSub, map[domain.Surrogate]bool{})
+		n.notify(o.parent, o.parentSub)
 	}
-	s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: sur, Name: name, Value: v})
-	return nil
+	if s.journal != nil { // guard here so an in-memory store never allocates the op
+		s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: sur, Name: name, Value: v, Seq: seq})
+	}
+	return n.queue(), nil
 }
 
 // setRelAttrLocked updates a user-declared attribute of a relationship
@@ -84,22 +127,23 @@ func (s *Store) setRelAttrLocked(o *Object, name string, v domain.Value) error {
 	if err := a.Domain.Validate(v); err != nil {
 		return fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
 	}
+	seq := s.seq.Add(1)
 	o.setAttr(name, v)
-	s.seq++
-	o.modSeq = s.seq
-	s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: o.sur, Name: name, Value: v})
+	o.modSeq = seq
+	s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: o.sur, Name: name, Value: v, Seq: seq})
 	return nil
 }
 
 // checkRefValueLocked verifies that object references inside v point to
-// live objects of the domain's required type.
+// live objects of the domain's required type. Lookups may cross shards;
+// the caller's shard lock freezes topology store-wide.
 func (s *Store) checkRefValueLocked(d *domain.Domain, v domain.Value) error {
 	if domain.IsNull(v) {
 		return nil
 	}
 	switch x := v.(type) {
 	case domain.Ref:
-		ro, ok := s.objects[domain.Surrogate(x)]
+		ro, ok := s.obj(domain.Surrogate(x))
 		if !ok {
 			return fmt.Errorf("%w: reference %s", ErrNoSuchObject, x)
 		}
@@ -132,24 +176,25 @@ func (s *Store) checkRefValueLocked(d *domain.Domain, v domain.Value) error {
 // copy), or read as null while unbound (type-level inheritance only).
 //
 // The hot path is lock-free: a memoized route valid against the current
-// structure epoch names the object whose own attribute map holds the
-// value, and that map is read live — so transmitter updates are visible
-// immediately after a hit, while any structural change forces the locked
-// slow path via the epoch check.
+// epochs of the shards it crosses names the object whose own attribute
+// slot holds the value, and that slot is read live — so transmitter
+// updates are visible immediately after a hit, while any structural
+// change forces the locked slow path via the epoch check.
 func (s *Store) GetAttr(sur domain.Surrogate, name string) (domain.Value, error) {
 	if r, ok := s.loadAttrRoute(sur, name); ok {
-		s.hits.Add(1)
+		s.shardOf(sur).hits.Add(1)
 		if r.owner == nil {
 			return domain.NullValue, nil
 		}
-		if v, ok := r.owner.attrMap()[name]; ok {
+		if v, ok := r.owner.attr(name); ok {
 			return v, nil
 		}
 		return domain.NullValue, nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[sur]
 	if !ok {
 		return nil, noObject(sur)
 	}
@@ -169,9 +214,11 @@ func (s *Store) getAttrLocked(o *Object, name string) (domain.Value, error) {
 
 // resolveAttrLocked walks the inheritance chain iteratively, memoizing the
 // route taken: either the chain ends at the object owning the attribute
-// (the value is read from its live attribute map) or it ends unbound (the
-// read is null until a Bind — which bumps the epoch — changes that).
-// Unknown attributes are not memoized and keep their error semantics.
+// (the value is read from its live slot) or it ends unbound (the read is
+// null until a Bind — which bumps the inheritor's shard epoch — changes
+// that). Unknown attributes are not memoized and keep their error
+// semantics. The walk crosses shards freely: the caller holds some shard
+// lock, which freezes topology store-wide.
 func (s *Store) resolveAttrLocked(o *Object, name string) (domain.Value, *route, error) {
 	chain := []domain.Surrogate{o.sur}
 	cur := o
@@ -186,7 +233,7 @@ func (s *Store) resolveAttrLocked(o *Object, name string) (domain.Value, *route,
 		}
 		if !a.Inherited() {
 			r := s.memoAttr(o.sur, name, cur, chain)
-			if v, ok := cur.attrMap()[name]; ok {
+			if v, ok := cur.attr(name); ok {
 				return v, r, nil
 			}
 			return domain.NullValue, r, nil
@@ -196,7 +243,7 @@ func (s *Store) resolveAttrLocked(o *Object, name string) (domain.Value, *route,
 			r := s.memoAttr(o.sur, name, nil, chain)
 			return domain.NullValue, r, nil
 		}
-		t, ok := s.objects[b.Transmitter]
+		t, ok := s.obj(b.Transmitter)
 		if !ok {
 			r := s.memoAttr(o.sur, name, nil, chain)
 			return domain.NullValue, r, nil
@@ -210,7 +257,17 @@ func (s *Store) getRelAttrLocked(o *Object, name string) (domain.Value, error) {
 	if v, ok := o.participants[name]; ok {
 		return v, nil
 	}
-	if v, ok := o.attrMap()[name]; ok {
+	if o.book != nil {
+		switch name {
+		case AttrTransmitterUpdates:
+			return domain.Int(o.book.updates.Load()), nil
+		case AttrLastUpdateSeq:
+			return domain.Int(o.book.lastSeq.Load()), nil
+		case AttrAcknowledgedSeq:
+			return domain.Int(o.book.ackSeq.Load()), nil
+		}
+	}
+	if v, ok := o.attr(name); ok {
 		return v, nil
 	}
 	// Verify the name is declared before returning null (O(1) via the
@@ -238,15 +295,16 @@ func (s *Store) getRelAttrLocked(o *Object, name string) (domain.Value, error) {
 // always take the locked slow path, so the route can never shadow them.
 func (s *Store) Members(sur domain.Surrogate, name string) ([]domain.Surrogate, error) {
 	if r, ok := s.loadMembersRoute(sur, name); ok {
-		s.hits.Add(1)
+		s.shardOf(sur).hits.Add(1)
 		if r.cls == nil {
 			return nil, nil
 		}
 		return r.cls.Members(), nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[sur]
 	if !ok {
 		return nil, noObject(sur)
 	}
@@ -279,7 +337,7 @@ func (s *Store) membersLocked(o *Object, name string) ([]domain.Surrogate, error
 // resolveMembersLocked walks the inheritance chain for a subclass name,
 // memoizing the route to the owner's materialized class. A nil route (with
 // nil error) marks a declared sub-relationship with no members yet — not
-// memoized, because materializing it does not bump the epoch.
+// memoized, because materializing it does not bump any epoch.
 func (s *Store) resolveMembersLocked(o *Object, name string) (*route, error) {
 	chain := []domain.Surrogate{o.sur}
 	cur := o
@@ -299,14 +357,15 @@ func (s *Store) resolveMembersLocked(o *Object, name string) (*route, error) {
 		}
 		if !sd.Inherited() {
 			// cur.subclasses[name] may be nil (not materialized yet);
-			// materialization bumps the epoch, invalidating this route.
+			// materialization bumps cur's shard epoch, invalidating this
+			// route.
 			return s.memoMembers(o.sur, name, cur.subclasses[name], chain), nil
 		}
 		b := s.bindingLocked(cur.sur, sd.Via)
 		if b == nil {
 			return s.memoMembers(o.sur, name, nil, chain), nil // unbound: structure without members
 		}
-		t, ok := s.objects[b.Transmitter]
+		t, ok := s.obj(b.Transmitter)
 		if !ok {
 			return s.memoMembers(o.sur, name, nil, chain), nil
 		}
@@ -315,45 +374,62 @@ func (s *Store) resolveMembersLocked(o *Object, name string) (*route, error) {
 	}
 }
 
-// notifyLocked walks the inheritance fan-out from a changed transmitter,
-// updating binding bookkeeping and firing hooks for every binding through
-// which the change is visible. Chains re-transmit: if an implementation
-// inherits Pins from its interface and a composite inherits Pins from the
-// implementation, an interface update notifies both bindings.
-func (s *Store) notifyLocked(transmitter domain.Surrogate, member string, visited map[domain.Surrogate]bool) {
-	if visited[transmitter] {
+// notifier walks the inheritance fan-out from changed transmitters,
+// updating binding bookkeeping and collecting UpdateEvents for every
+// binding through which a change is visible. Chains re-transmit: if an
+// implementation inherits Pins from its interface and a composite
+// inherits Pins from the implementation, an interface update notifies
+// both bindings. The walk reads binding indexes across shards (topology
+// is frozen under the caller's shard lock); bookkeeping advances through
+// the commuting atomics on the binding objects, so a single-shard caller
+// may touch bindings owned by other shards.
+type notifier struct {
+	s       *Store
+	seq     uint64
+	unbound bool
+	visited map[domain.Surrogate]bool
+	events  []UpdateEvent
+}
+
+func (n *notifier) notify(transmitter domain.Surrogate, member string) {
+	bindings := n.s.shardOf(transmitter).byTransmitter[transmitter]
+	if len(bindings) == 0 {
 		return
 	}
-	visited[transmitter] = true
-	for _, b := range s.byTransmitter[transmitter] {
+	if n.visited == nil {
+		n.visited = make(map[domain.Surrogate]bool)
+	}
+	if n.visited[transmitter] {
+		return
+	}
+	n.visited[transmitter] = true
+	for _, b := range bindings {
 		if !b.Rel.Inherits(member) {
 			continue
 		}
-		s.bumpBindingLocked(b)
-		ev := UpdateEvent{
+		b.Obj.book.updates.Add(1)
+		casMax(&b.Obj.book.lastSeq, int64(n.seq))
+		n.events = append(n.events, UpdateEvent{
 			Rel:         b.Rel.Name,
 			Binding:     b.Obj.sur,
 			Transmitter: transmitter,
 			Inheritor:   b.Inheritor,
 			Member:      member,
-			Seq:         s.seq,
-		}
-		for _, h := range s.hooks {
-			h(ev)
-		}
+			Seq:         n.seq,
+			Unbound:     n.unbound,
+		})
 		// The inheritor's own inheritors may see the member through it.
-		s.notifyLocked(b.Inheritor, member, visited)
+		n.notify(b.Inheritor, member)
 	}
 }
 
-func (s *Store) bumpBindingLocked(b *Binding) {
-	old := b.Obj.attrMap()
-	n, _ := domain.AsInt(old[AttrTransmitterUpdates])
-	m := make(map[string]domain.Value, len(old)+2)
-	for k, v := range old {
-		m[k] = v
+// queue hands the collected events to the dispatch queue (still under the
+// caller's locks, preserving order). It returns whether the caller must
+// run dispatchEvents after unlocking.
+func (n *notifier) queue() bool {
+	if len(n.events) == 0 {
+		return false
 	}
-	m[AttrTransmitterUpdates] = domain.Int(n + 1)
-	m[AttrLastUpdateSeq] = domain.Int(int64(s.seq))
-	b.Obj.initAttrs(m)
+	n.s.queueEvents(n.events)
+	return true
 }

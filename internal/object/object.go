@@ -18,6 +18,55 @@ import (
 	"cadcam/internal/schema"
 )
 
+// attrBox is one attribute slot. The slot's value is swapped atomically so
+// the lock-free resolution-cache hit path (and cross-shard expression
+// evaluation) reads a consistent value without synchronization, while a
+// writer holding only its own shard lock updates in place — no whole-map
+// copy per write.
+type attrBox struct {
+	p atomic.Pointer[domain.Value]
+	// decl memoizes the schema declaration this slot was validated
+	// against, letting repeated writes skip the effective-type lookups.
+	// Effective types are immutable once the catalog is built, and a slot
+	// only ever exists for a non-inherited declared attribute. nil on
+	// slots created before the declaration was resolved (Import, initial
+	// attrs); backfilled by the first SetAttr. Accessed only under the
+	// owning shard's write lock.
+	decl *schema.EffAttr
+}
+
+func newAttrBox(v domain.Value) *attrBox {
+	b := &attrBox{}
+	b.p.Store(&v)
+	return b
+}
+
+func (b *attrBox) load() domain.Value { return *b.p.Load() }
+
+func (b *attrBox) store(v domain.Value) { b.p.Store(&v) }
+
+// bindingBook holds the system bookkeeping of one inheritance binding as
+// atomics. Transmitter updates fan out across shards while the writer
+// holds only the transmitter's shard lock, so the counters must commute:
+// updates is a plain atomic add, and the sequence fields converge by
+// compare-and-swap to the maximum — concurrent updates reach the same
+// final state in any order, which journal replay depends on.
+type bindingBook struct {
+	updates atomic.Int64
+	lastSeq atomic.Int64
+	ackSeq  atomic.Int64
+}
+
+// casMax raises a to at least v.
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Object is one object or relationship object. All mutation goes through
 // the Store; the accessor methods here are read-only snapshots and must
 // only be used while the caller is certain no concurrent mutation runs
@@ -27,14 +76,19 @@ type Object struct {
 	typeName string
 	isRel    bool // relationship object (including inheritance bindings)
 
-	// attrs points at the current attribute map. Published maps are
-	// immutable: writers replace the whole map copy-on-write under the
-	// store mutex, so the lock-free resolution-cache hit path can read the
-	// owner's attributes without synchronization.
-	attrs        atomic.Pointer[map[string]domain.Value]
+	// attrs points at the current attribute slot map. Published maps are
+	// immutable; adding or removing a key replaces the map copy-on-write
+	// under the owning shard's lock, while overwriting an existing
+	// attribute swaps the slot's value atomically in place. Either way a
+	// lock-free reader sees complete values, never partial writes.
+	attrs        atomic.Pointer[map[string]*attrBox]
 	participants map[string]domain.Value // rel objects: role -> Ref or *Set
 	subclasses   map[string]*Class
 	subrels      map[string]*Class
+
+	// book is the binding bookkeeping; non-nil exactly on inheritance
+	// binding objects.
+	book *bindingBook
 
 	parent     domain.Surrogate // 0 for top-level objects
 	parentSub  string           // subclass of the parent that holds this object
@@ -42,12 +96,13 @@ type Object struct {
 
 	// modSeq is the store sequence of the last direct mutation (attribute
 	// write, subclass membership change); used for optimistic checkin.
+	// Guarded by the owning shard's lock.
 	modSeq uint64
 }
 
-// attrMap returns the current attribute map; callers must treat it as
-// immutable.
-func (o *Object) attrMap() map[string]domain.Value {
+// attrMap returns the current attribute slot map; callers must treat the
+// map itself as immutable.
+func (o *Object) attrMap() map[string]*attrBox {
 	if p := o.attrs.Load(); p != nil {
 		return *p
 	}
@@ -56,26 +111,62 @@ func (o *Object) attrMap() map[string]domain.Value {
 
 // initAttrs publishes the initial attribute map of a new object.
 func (o *Object) initAttrs(m map[string]domain.Value) {
-	if m == nil {
-		m = make(map[string]domain.Value)
+	boxes := make(map[string]*attrBox, len(m))
+	for k, v := range m {
+		boxes[k] = newAttrBox(v)
 	}
-	o.attrs.Store(&m)
+	o.attrs.Store(&boxes)
 }
 
-// setAttr publishes a copy of the attribute map with name set (or removed
-// when v is null). Callers hold the store write lock; readers see either
-// the old or the new map, never a partial write.
+// attr loads one attribute value; the second result reports presence.
+func (o *Object) attr(name string) (domain.Value, bool) {
+	if b, ok := o.attrMap()[name]; ok {
+		return b.load(), true
+	}
+	return nil, false
+}
+
+// attrValues materializes the attribute map as plain values (snapshots).
+func (o *Object) attrValues() map[string]domain.Value {
+	m := o.attrMap()
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]domain.Value, len(m))
+	for k, b := range m {
+		out[k] = b.load()
+	}
+	return out
+}
+
+// setAttr sets name to v. Setting an existing attribute swaps the slot in
+// place; adding a key (or removing one — a null value deletes the
+// attribute, keeping snapshots free of null entries) publishes a map copy.
+// Callers hold the owning shard's write lock.
 func (o *Object) setAttr(name string, v domain.Value) {
 	old := o.attrMap()
-	m := make(map[string]domain.Value, len(old)+1)
+	if domain.IsNull(v) {
+		if _, ok := old[name]; !ok {
+			return
+		}
+		m := make(map[string]*attrBox, len(old))
+		for k, x := range old {
+			if k != name {
+				m[k] = x
+			}
+		}
+		o.attrs.Store(&m)
+		return
+	}
+	if b, ok := old[name]; ok {
+		b.store(v)
+		return
+	}
+	m := make(map[string]*attrBox, len(old)+1)
 	for k, x := range old {
 		m[k] = x
 	}
-	if domain.IsNull(v) {
-		delete(m, name)
-	} else {
-		m[name] = v
-	}
+	m[name] = newAttrBox(v)
 	o.attrs.Store(&m)
 }
 
@@ -102,7 +193,7 @@ type Class struct {
 	// members points at the current membership slice. Published slices are
 	// immutable: add/remove build a new slice and swap the pointer, so the
 	// lock-free Members hit path can read membership without locking. The
-	// index map is only touched by writers holding the store write lock.
+	// index map is only touched by writers holding the store write locks.
 	members atomic.Pointer[[]domain.Surrogate]
 	index   map[domain.Surrogate]int
 }
@@ -198,10 +289,8 @@ const (
 // inheritor last acknowledged (the consistency-control reading of the
 // binding attributes).
 func (b *Binding) NeedsAdaptation() bool {
-	attrs := b.Obj.attrMap()
-	last, _ := domain.AsInt(attrs[AttrLastUpdateSeq])
-	ack, _ := domain.AsInt(attrs[AttrAcknowledgedSeq])
-	return last > ack
+	bk := b.Obj.book
+	return bk != nil && bk.lastSeq.Load() > bk.ackSeq.Load()
 }
 
 // sortedNames returns map keys in sorted order for deterministic output.

@@ -16,15 +16,18 @@ type Participants map[string]domain.Value
 
 // Relate creates a top-level relationship object of the named type.
 // Every declared role must be assigned and type-correct; the relationship
-// type's constraints are checked immediately.
+// type's constraints are checked immediately. Creation inserts into the
+// new object's shard and the participant index of every referenced
+// object's shard, so it runs store-wide exclusive.
 func (s *Store) Relate(relType string, parts Participants) (domain.Surrogate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	sur, err := s.relateLocked(relType, parts, 0, "")
 	if err != nil {
 		return 0, err
 	}
-	s.emit(&oplog.Op{Kind: oplog.KindRelate, Name: relType, Parts: parts, Out: sur})
+	seq := s.seq.Add(1)
+	s.emit(&oplog.Op{Kind: oplog.KindRelate, Name: relType, Parts: parts, Out: sur, Seq: seq})
 	return sur, nil
 }
 
@@ -33,38 +36,47 @@ func (s *Store) Relate(relType string, parts Participants) (domain.Surrogate, er
 // restriction (§3) is checked with the new relationship object in scope;
 // on violation the relationship is not created.
 func (s *Store) RelateIn(owner domain.Surrogate, subrel string, parts Participants) (domain.Surrogate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	oo, ok := s.objects[owner]
-	if !ok {
-		return 0, noObject(owner)
-	}
-	if err := s.guardLocked(owner); err != nil {
-		return 0, err
-	}
-	sr, err := s.subRelDefLocked(oo, subrel)
-	if err != nil {
-		return 0, err
-	}
-	sur, err := s.relateLocked(sr.RelType, parts, owner, subrel)
-	if err != nil {
-		return 0, err
-	}
-	if sr.Where != nil {
-		bound := s.whereEnvLocked(oo, sr, sur)
-		holds, err := expr.EvalBool(sr.Where.E, bound)
-		if err == nil && !holds {
-			err = fmt.Errorf("%w: %s", ErrConstraint, sr.Where.Src)
+	s.lockAll()
+	dispatch, sur, err := func() (bool, domain.Surrogate, error) {
+		oo, ok := s.obj(owner)
+		if !ok {
+			return false, 0, noObject(owner)
 		}
+		if err := s.guardLocked(owner); err != nil {
+			return false, 0, err
+		}
+		sr, err := s.subRelDefLocked(oo, subrel)
 		if err != nil {
-			s.deleteRelLocked(s.objects[sur])
-			return 0, err
+			return false, 0, err
 		}
+		sur, err := s.relateLocked(sr.RelType, parts, owner, subrel)
+		if err != nil {
+			return false, 0, err
+		}
+		if sr.Where != nil {
+			bound := s.whereEnvLocked(oo, sr, sur)
+			holds, werr := expr.EvalBool(sr.Where.E, bound)
+			if werr == nil && !holds {
+				werr = fmt.Errorf("%w: %s", ErrConstraint, sr.Where.Src)
+			}
+			if werr != nil {
+				if ro, ok := s.obj(sur); ok {
+					s.deleteRelLocked(ro)
+				}
+				return false, 0, werr
+			}
+		}
+		seq := s.seq.Add(1)
+		n := notifier{s: s, seq: seq}
+		n.notify(owner, subrel)
+		s.emit(&oplog.Op{Kind: oplog.KindRelateIn, Sur: owner, Name: subrel, Parts: parts, Out: sur, Seq: seq})
+		return n.queue(), sur, nil
+	}()
+	s.unlockAll()
+	if dispatch {
+		s.dispatchEvents()
 	}
-	s.seq++
-	s.notifyLocked(owner, subrel, map[domain.Surrogate]bool{})
-	s.emit(&oplog.Op{Kind: oplog.KindRelateIn, Sur: owner, Name: subrel, Parts: parts, Out: sur})
-	return sur, nil
+	return sur, err
 }
 
 func (s *Store) subRelDefLocked(o *Object, name string) (*schema.SubRel, error) {
@@ -91,6 +103,9 @@ func (s *Store) subRelDefLocked(o *Object, name string) (*schema.SubRel, error) 
 	return nil, fmt.Errorf("%w: %s has no sub-relationship %q", ErrNoSuchClass, o.typeName, name)
 }
 
+// relateLocked creates the relationship object and its index entries.
+// Callers hold all shard locks and assign the operation's sequence number
+// after it returns (one sequence per public operation).
 func (s *Store) relateLocked(relType string, parts Participants, owner domain.Surrogate, subrel string) (domain.Surrogate, error) {
 	rt, ok := s.cat.RelType(relType)
 	if !ok {
@@ -112,9 +127,9 @@ func (s *Store) relateLocked(relType string, parts Participants, owner domain.Su
 			return 0, fmt.Errorf("%w: %s has no role %q", ErrTypeMismatch, relType, name)
 		}
 	}
-	s.nextSur++
+	sur := domain.Surrogate(s.nextSur.Add(1))
 	o := &Object{
-		sur:          domain.Surrogate(s.nextSur),
+		sur:          sur,
 		typeName:     relType,
 		isRel:        true,
 		participants: assigned,
@@ -122,12 +137,12 @@ func (s *Store) relateLocked(relType string, parts Participants, owner domain.Su
 		subrels:      make(map[string]*Class),
 	}
 	o.initAttrs(nil)
-	s.objects[o.sur] = o
+	s.shardOf(sur).objects[sur] = o
 	for _, v := range assigned {
 		s.indexParticipantLocked(o.sur, v)
 	}
 	if owner != 0 {
-		oo := s.objects[owner]
+		oo, _ := s.obj(owner)
 		cls, ok := oo.subrels[subrel]
 		if !ok {
 			cls = newClass(subrel, relType)
@@ -137,7 +152,6 @@ func (s *Store) relateLocked(relType string, parts Participants, owner domain.Su
 		o.parent = owner
 		o.parentSub = subrel
 	}
-	s.seq++
 	return o.sur, nil
 }
 
@@ -148,7 +162,7 @@ func (s *Store) checkParticipantLocked(relType string, p schema.Participant, v d
 			return fmt.Errorf("%w: role %q of %s needs an object reference, got %s",
 				ErrTypeMismatch, p.Name, relType, v)
 		}
-		ro, ok := s.objects[domain.Surrogate(ref)]
+		ro, ok := s.obj(domain.Surrogate(ref))
 		if !ok {
 			return fmt.Errorf("%w: role %q references %s", ErrNoSuchObject, p.Name, ref)
 		}
@@ -174,19 +188,18 @@ func (s *Store) checkParticipantLocked(relType string, p schema.Participant, v d
 }
 
 // indexParticipantLocked records the reverse edge participant -> rel
-// object, used for cascading deletes of relationships whose participants
-// disappear.
+// object in the participant's shard, used for cascading deletes of
+// relationships whose participants disappear. Callers hold all shard
+// write locks.
 func (s *Store) indexParticipantLocked(rel domain.Surrogate, v domain.Value) {
 	switch x := v.(type) {
 	case domain.Ref:
 		sur := domain.Surrogate(x)
-		if s.relsByParticipant == nil {
-			s.relsByParticipant = make(map[domain.Surrogate]map[domain.Surrogate]bool)
-		}
-		m := s.relsByParticipant[sur]
+		sh := s.shardOf(sur)
+		m := sh.relsByParticipant[sur]
 		if m == nil {
 			m = make(map[domain.Surrogate]bool)
-			s.relsByParticipant[sur] = m
+			sh.relsByParticipant[sur] = m
 		}
 		m[rel] = true
 	case *domain.Set:
@@ -198,9 +211,10 @@ func (s *Store) indexParticipantLocked(rel domain.Surrogate, v domain.Value) {
 
 // Participant reads a role of a relationship object.
 func (s *Store) Participant(rel domain.Surrogate, role string) (domain.Value, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[rel]
+	sh := s.shardOf(rel)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[rel]
 	if !ok {
 		return nil, noObject(rel)
 	}
@@ -217,9 +231,10 @@ func (s *Store) Participant(rel domain.Surrogate, role string) (domain.Value, er
 // RelationshipsOf returns the relationship objects that reference sur as
 // a participant, sorted by surrogate.
 func (s *Store) RelationshipsOf(sur domain.Surrogate) []domain.Surrogate {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m := s.relsByParticipant[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := sh.relsByParticipant[sur]
 	out := make([]domain.Surrogate, 0, len(m))
 	for rel := range m {
 		out = append(out, rel)
@@ -231,9 +246,10 @@ func (s *Store) RelationshipsOf(sur domain.Surrogate) []domain.Surrogate {
 // ParticipantsOf returns the object surrogates a relationship object
 // relates (flattening set-of roles), sorted by surrogate.
 func (s *Store) ParticipantsOf(rel domain.Surrogate) []domain.Surrogate {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[rel]
+	sh := s.shardOf(rel)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[rel]
 	if !ok || !o.isRel {
 		return nil
 	}
@@ -258,11 +274,12 @@ func (s *Store) ParticipantsOf(rel domain.Surrogate) []domain.Surrogate {
 
 // NewRelSubobject creates a subobject inside a relationship object's local
 // subclass — the bolt and nut living inside a ScrewingType relationship
-// (§5).
+// (§5). The operation consumes no sequence number; its journal record
+// carries the new surrogate.
 func (s *Store) NewRelSubobject(rel domain.Surrogate, subclass string) (domain.Surrogate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ro, ok := s.objects[rel]
+	s.lockAll()
+	defer s.unlockAll()
+	ro, ok := s.obj(rel)
 	if !ok {
 		return 0, noObject(rel)
 	}
@@ -307,8 +324,9 @@ func (s *Store) NewRelSubobject(rel domain.Surrogate, subclass string) (domain.S
 // bound under the subclass name and the relationship type name, so both
 // "Pin1 in Pins" and "Wires.Pin1 in Pins" read naturally.
 func (s *Store) whereEnvLocked(owner *Object, sr *schema.SubRel, rel domain.Surrogate) expr.Env {
+	ro, _ := s.obj(rel)
 	var env expr.Env = &overlayEnv{
-		first:  &lockedEnv{s: s, o: s.objects[rel]},
+		first:  &lockedEnv{s: s, o: ro},
 		second: &lockedEnv{s: s, o: owner},
 	}
 	env = bindName(env, sr.Name, domain.Ref(rel))

@@ -10,7 +10,9 @@ import (
 // The Export/Import API serializes store state for persistence snapshots.
 // Export walks the live store; Import rebuilds an *empty* store from the
 // records, reconstructing every index. Records are keyed by surrogate and
-// imported in ascending surrogate order.
+// imported in ascending surrogate order. Both forms are shard-agnostic:
+// a snapshot taken from a store with one shard count imports cleanly into
+// a store with another.
 
 // ObjectRecord is the portable form of one object (or non-binding
 // relationship object).
@@ -26,7 +28,9 @@ type ObjectRecord struct {
 	Participants map[string]domain.Value
 }
 
-// BindingRecord is the portable form of one inheritance binding.
+// BindingRecord is the portable form of one inheritance binding. The
+// system bookkeeping (TransmitterUpdates, LastUpdateSeq, AcknowledgedSeq)
+// travels inside Attrs, exactly as earlier single-lock versions stored it.
 type BindingRecord struct {
 	Sur         domain.Surrogate
 	RelType     string
@@ -50,48 +54,65 @@ type StoreState struct {
 	Seq      uint64
 }
 
-// Export captures the store's full state. The result shares no mutable
-// structure with the store (values are deep-copied).
+// Export captures the store's full state under all shard read locks. The
+// result shares no mutable structure with the store (values are
+// deep-copied).
 func (s *Store) Export() *StoreState {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	return s.exportLocked()
 }
 
-// WithExclusive runs f while holding the store's write lock, passing a
-// consistent export. No mutation (and hence no journal append) can run
-// concurrently; the checkpointer uses this to pair a snapshot with a log
-// rotation atomically.
+// WithExclusive runs f while holding every shard and stripe write lock,
+// passing a consistent export. No mutation (and hence no journal append)
+// can run concurrently; the checkpointer uses this to pair a snapshot
+// with a log rotation atomically.
 func (s *Store) WithExclusive(f func(st *StoreState) error) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	return f(s.exportLocked())
 }
 
 func (s *Store) exportLocked() *StoreState {
-	st := &StoreState{NextSur: s.nextSur, Seq: s.seq}
-	for _, name := range sortedNames(s.classes) {
-		st.Classes = append(st.Classes, ClassRecord{Name: name, ElemType: s.classes[name].elemType})
+	st := &StoreState{NextSur: s.nextSur.Load(), Seq: s.seq.Load()}
+	classes := make(map[string]*Class)
+	for i := range s.stripes {
+		for name, cls := range s.stripes[i].classes {
+			classes[name] = cls
+		}
+	}
+	for _, name := range sortedNames(classes) {
+		st.Classes = append(st.Classes, ClassRecord{Name: name, ElemType: classes[name].elemType})
 	}
 	surs := s.surrogatesLocked()
 	bindingSurs := make(map[domain.Surrogate]*Binding)
-	for _, list := range s.byTransmitter {
-		for _, b := range list {
-			bindingSurs[b.Obj.sur] = b
+	for i := range s.shards {
+		for _, list := range s.shards[i].byTransmitter {
+			for _, b := range list {
+				bindingSurs[b.Obj.sur] = b
+			}
 		}
 	}
 	for _, sur := range surs {
 		if b, isBinding := bindingSurs[sur]; isBinding {
+			attrs := copyAttrs(b.Obj.attrMap())
+			if attrs == nil {
+				attrs = make(map[string]domain.Value, 3)
+			}
+			bk := b.Obj.book
+			attrs[AttrTransmitterUpdates] = domain.Int(bk.updates.Load())
+			attrs[AttrLastUpdateSeq] = domain.Int(bk.lastSeq.Load())
+			attrs[AttrAcknowledgedSeq] = domain.Int(bk.ackSeq.Load())
 			st.Bindings = append(st.Bindings, BindingRecord{
 				Sur:         sur,
 				RelType:     b.Rel.Name,
 				Transmitter: b.Transmitter,
 				Inheritor:   b.Inheritor,
-				Attrs:       copyAttrs(b.Obj.attrMap()),
+				Attrs:       attrs,
 			})
 			continue
 		}
-		o := s.objects[sur]
+		o, _ := s.obj(sur)
 		st.Objects = append(st.Objects, ObjectRecord{
 			Sur:          sur,
 			TypeName:     o.typeName,
@@ -107,13 +128,20 @@ func (s *Store) exportLocked() *StoreState {
 	return st
 }
 
-func copyAttrs(m map[string]domain.Value) map[string]domain.Value {
+func copyAttrs[M map[string]domain.Value | map[string]*attrBox](m M) map[string]domain.Value {
 	if len(m) == 0 {
 		return nil
 	}
 	out := make(map[string]domain.Value, len(m))
-	for k, v := range m {
-		out[k] = v.Copy()
+	switch m := any(m).(type) {
+	case map[string]domain.Value:
+		for k, v := range m {
+			out[k] = v.Copy()
+		}
+	case map[string]*attrBox:
+		for k, b := range m {
+			out[k] = b.load().Copy()
+		}
 	}
 	return out
 }
@@ -121,23 +149,26 @@ func copyAttrs(m map[string]domain.Value) map[string]domain.Value {
 // Import rebuilds the state into an empty store. It fails if the store
 // already holds objects or if the state is inconsistent with the catalog.
 func (s *Store) Import(st *StoreState) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.objects) != 0 {
-		return fmt.Errorf("object: Import needs an empty store")
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.shards {
+		if len(s.shards[i].objects) != 0 {
+			return fmt.Errorf("object: Import needs an empty store")
+		}
 	}
 	for _, c := range st.Classes {
-		if _, dup := s.classes[c.Name]; dup {
+		stripe := s.stripeOf(c.Name)
+		if _, dup := stripe.classes[c.Name]; dup {
 			return fmt.Errorf("object: duplicate class %q in snapshot", c.Name)
 		}
-		s.classes[c.Name] = newClass(c.Name, c.ElemType)
+		stripe.classes[c.Name] = newClass(c.Name, c.ElemType)
 	}
 	// Objects in ascending surrogate order so parents precede subobjects
 	// is NOT guaranteed in general; link classes in a second pass.
 	recs := append([]ObjectRecord(nil), st.Objects...)
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Sur < recs[j].Sur })
 	for _, r := range recs {
-		if _, dup := s.objects[r.Sur]; dup {
+		if _, dup := s.obj(r.Sur); dup {
 			return fmt.Errorf("object: duplicate surrogate %s in snapshot", r.Sur)
 		}
 		if r.IsRel {
@@ -160,20 +191,20 @@ func (s *Store) Import(st *StoreState) error {
 			subrels:      make(map[string]*Class),
 		}
 		o.initAttrs(copyAttrs(r.Attrs))
-		s.objects[r.Sur] = o
+		s.shardOf(r.Sur).objects[r.Sur] = o
 	}
 	// Second pass: class membership and participant index.
 	for _, r := range recs {
-		o := s.objects[r.Sur]
+		o, _ := s.obj(r.Sur)
 		if r.OwnerClass != "" {
-			cls, ok := s.classes[r.OwnerClass]
+			cls, ok := s.lookupClass(r.OwnerClass)
 			if !ok {
 				return fmt.Errorf("%w: %q", ErrNoSuchClass, r.OwnerClass)
 			}
 			cls.add(r.Sur)
 		}
 		if r.Parent != 0 {
-			po, ok := s.objects[r.Parent]
+			po, ok := s.obj(r.Parent)
 			if !ok {
 				return fmt.Errorf("object: snapshot parent %s missing", r.Parent)
 			}
@@ -185,7 +216,8 @@ func (s *Store) Import(st *StoreState) error {
 			s.indexParticipantLocked(o.sur, v)
 		}
 	}
-	// Bindings.
+	// Bindings. The bookkeeping attributes move from the record's attr map
+	// into the binding book.
 	brecs := append([]BindingRecord(nil), st.Bindings...)
 	sort.Slice(brecs, func(i, j int) bool { return brecs[i].Sur < brecs[j].Sur })
 	for _, r := range brecs {
@@ -193,12 +225,17 @@ func (s *Store) Import(st *StoreState) error {
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrNoSuchType, r.RelType)
 		}
-		if _, ok := s.objects[r.Transmitter]; !ok {
+		if _, ok := s.obj(r.Transmitter); !ok {
 			return fmt.Errorf("object: snapshot transmitter %s missing", r.Transmitter)
 		}
-		if _, ok := s.objects[r.Inheritor]; !ok {
+		if _, ok := s.obj(r.Inheritor); !ok {
 			return fmt.Errorf("object: snapshot inheritor %s missing", r.Inheritor)
 		}
+		attrs := copyAttrs(r.Attrs)
+		book := &bindingBook{}
+		book.updates.Store(takeInt(attrs, AttrTransmitterUpdates))
+		book.lastSeq.Store(takeInt(attrs, AttrLastUpdateSeq))
+		book.ackSeq.Store(takeInt(attrs, AttrAcknowledgedSeq))
 		obj := &Object{
 			sur:      r.Sur,
 			typeName: r.RelType,
@@ -209,28 +246,45 @@ func (s *Store) Import(st *StoreState) error {
 			},
 			subclasses: make(map[string]*Class),
 			subrels:    make(map[string]*Class),
+			book:       book,
 		}
-		obj.initAttrs(copyAttrs(r.Attrs))
-		if _, dup := s.objects[r.Sur]; dup {
+		obj.initAttrs(attrs)
+		if _, dup := s.obj(r.Sur); dup {
 			return fmt.Errorf("object: duplicate surrogate %s in snapshot", r.Sur)
 		}
-		s.objects[r.Sur] = obj
-		b := &Binding{Obj: obj, Rel: rel, Transmitter: r.Transmitter, Inheritor: r.Inheritor}
-		m := s.byInheritor[r.Inheritor]
+		s.shardOf(r.Sur).objects[r.Sur] = obj
+		ish := s.shardOf(r.Inheritor)
+		m := ish.byInheritor[r.Inheritor]
 		if m == nil {
 			m = make(map[string]*Binding)
-			s.byInheritor[r.Inheritor] = m
+			ish.byInheritor[r.Inheritor] = m
 		}
 		if _, dup := m[r.RelType]; dup {
 			return fmt.Errorf("object: duplicate binding for %s in %s", r.Inheritor, r.RelType)
 		}
+		b := &Binding{Obj: obj, Rel: rel, Transmitter: r.Transmitter, Inheritor: r.Inheritor}
 		m[r.RelType] = b
-		s.byTransmitter[r.Transmitter] = append(s.byTransmitter[r.Transmitter], b)
+		tsh := s.shardOf(r.Transmitter)
+		tsh.byTransmitter[r.Transmitter] = append(tsh.byTransmitter[r.Transmitter], b)
 	}
-	s.nextSur = st.NextSur
-	s.seq = st.Seq
-	s.bumpEpochLocked()
+	s.nextSur.Store(st.NextSur)
+	s.seq.Store(st.Seq)
+	s.bumpAllEpochs()
 	return nil
+}
+
+// takeInt removes an integer bookkeeping attribute from the map and
+// returns its value (0 when absent or non-integer).
+func takeInt(m map[string]domain.Value, key string) int64 {
+	v, ok := m[key]
+	if !ok {
+		return 0
+	}
+	delete(m, key)
+	if n, ok := v.(domain.Int); ok {
+		return int64(n)
+	}
+	return 0
 }
 
 // linkSubobjectLocked re-registers a subobject in its parent's subclass

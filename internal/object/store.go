@@ -2,6 +2,7 @@ package object
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,8 +26,10 @@ const (
 )
 
 // UpdateEvent describes a permeable transmitter change observed by a
-// binding; hooks receive it synchronously under the store lock, so they
-// must not call back into the store.
+// binding. Events are collected inside the critical section (so their
+// order matches the journal) and delivered after the locks are released;
+// hooks may therefore call back into the store, including the mutation
+// API.
 type UpdateEvent struct {
 	Rel         string // inher-rel-type name
 	Binding     domain.Surrogate
@@ -39,65 +42,225 @@ type UpdateEvent struct {
 }
 
 // UpdateHook observes permeable transmitter updates (the trigger
-// mechanism the paper defers to future work, §2/§4.1).
+// mechanism the paper defers to future work, §2/§4.1). Hooks run after
+// the emitting operation has released its locks, in store-sequence order,
+// on the goroutine that performed the mutation (or one racing with it);
+// they are allowed to call store methods.
 type UpdateHook func(UpdateEvent)
 
-// Store is the object base: all objects, classes and bindings of one
-// database, typed by a validated schema catalog.
-type Store struct {
-	mu  sync.RWMutex
-	cat *schema.Catalog
+// DefaultShards is the shard count used when none is configured.
+const DefaultShards = 16
+
+// classStripes is the fixed stripe count for database-level classes.
+const classStripes = 16
+
+// shard owns a surrogate-hashed partition of the store: its objects, the
+// binding indexes keyed by surrogates it owns, a structure epoch and the
+// resolution-route cache for routes rooted at its surrogates.
+//
+// Locking protocol (the shard-ordering invariant):
+//
+//   - Topology — the objects map, binding indexes, participant index,
+//     class membership and parent links — is only mutated while holding
+//     ALL shard write locks (and all class stripes), acquired in
+//     ascending index order. Consequently, holding any ONE shard lock
+//     (read or write) freezes topology store-wide, so single-shard
+//     operations may follow inheritance chains through other shards
+//     without further locking.
+//   - Per-object data (attribute slots, modSeq) is mutated under the
+//     owning object's shard write lock only; binding bookkeeping uses
+//     commuting atomics and may be touched under any shard lock.
+//
+// This keeps the hot single-shard paths (SetAttr, reads) on one mutex
+// while multi-shard structural operations serialize deterministically.
+type shard struct {
+	mu sync.RWMutex
 
 	objects map[domain.Surrogate]*Object
-	classes map[string]*Class
-
-	// byInheritor indexes bindings by (inheritor, inher-rel-type).
+	// byInheritor indexes bindings by (inheritor, inher-rel-type) for
+	// inheritors owned by this shard.
 	byInheritor map[domain.Surrogate]map[string]*Binding
-	// byTransmitter indexes bindings by transmitter.
+	// byTransmitter indexes bindings by transmitters owned by this shard.
 	byTransmitter map[domain.Surrogate][]*Binding
-	// relsByParticipant indexes relationship objects by the objects they
-	// relate, for cascading deletes (allocated lazily).
+	// relsByParticipant indexes relationship objects by participants owned
+	// by this shard, for cascading deletes.
 	relsByParticipant map[domain.Surrogate]map[domain.Surrogate]bool
 
-	nextSur uint64
-	seq     uint64
+	// epoch is the shard's structure epoch: bumped (under all shard write
+	// locks) by every structural operation that can change a resolution
+	// route rooted at or passing through this shard's surrogates. Plain
+	// attribute writes never bump it. See cache.go.
+	epoch  atomic.Uint64
+	routes routeCache
 
+	hits, misses, invalidations atomic.Uint64
+
+	_ [64]byte // avoid false sharing between neighbouring shards
+}
+
+// classStripe owns a name-hashed partition of the database-level classes.
+// Stripe locks order after all shard locks: multi-shard operations take
+// shards ascending, then stripes ascending; DefineClass and class reads
+// take only the stripe.
+type classStripe struct {
+	mu      sync.RWMutex
+	classes map[string]*Class
+	_       [64]byte
+}
+
+// hookQueue decouples UpdateHook delivery from the store critical
+// sections: events enqueue under the shard locks (fixing their order) and
+// drain after release. dispatchMu admits one drainer at a time; an
+// enqueuer that fails to grab it leaves its events to the current
+// drainer, which loops until the queue stays empty.
+type hookQueue struct {
+	mu         sync.Mutex
+	q          []UpdateEvent
+	dispatchMu sync.Mutex
+}
+
+// Store is the object base: all objects, classes and bindings of one
+// database, typed by a validated schema catalog. It is partitioned into
+// surrogate-hashed shards; see the shard type for the locking protocol.
+type Store struct {
+	cat *schema.Catalog
+
+	shards  []shard
+	stripes [classStripes]classStripe
+	seed    maphash.Seed
+
+	// nextSur and seq are global atomics. seq is consumed exactly once per
+	// sequenced mutation, inside the owning shard's critical section, and
+	// journaled on the op (oplog.Op.Seq) so replay reproduces the same
+	// assignment even when non-conflicting ops commit to the journal out
+	// of counter order.
+	nextSur atomic.Uint64
+	seq     atomic.Uint64
+
+	// deletePolicy is guarded by the all-shard write lock.
 	deletePolicy DeletePolicy
-	hooks        []UpdateHook
 
-	// journal, when set, receives every successful mutation in execution
-	// order; called under the store mutex, so it must not call back in.
+	// hooks is swapped copy-on-write; dispatchers read it lock-free.
+	hooks atomic.Pointer[[]UpdateHook]
+	hookQ hookQueue
+
+	// journal, when set, receives every successful mutation while the
+	// emitting operation still holds its shard locks, so conflicting ops
+	// appear in serialization order; it must not call back in.
 	journal func(*oplog.Op)
 
 	// guard, when set, is consulted before any mutation of an object; a
 	// non-nil result vetoes the mutation. The database facade uses it to
 	// write-protect frozen versions.
 	guard func(sur domain.Surrogate) error
-
-	// epoch is the structure epoch: bumped under the write lock by every
-	// operation that can change a resolution route (bind, unbind, delete,
-	// class materialization, definitions). Plain attribute writes never
-	// bump it. See cache.go.
-	epoch  atomic.Uint64
-	routes routeCache
-
-	hits, misses, invalidations atomic.Uint64
 }
 
-// NewStore creates an empty store over a validated catalog.
+// NewStore creates an empty store over a validated catalog with the
+// default shard count.
 func NewStore(cat *schema.Catalog) (*Store, error) {
+	return NewStoreShards(cat, DefaultShards)
+}
+
+// NewStoreShards creates an empty store with the given number of
+// surrogate-hashed shards (values < 1 fall back to the default). The
+// shard count does not affect logical state, snapshots or journals — only
+// how concurrent mutations contend.
+func NewStoreShards(cat *schema.Catalog, shards int) (*Store, error) {
 	if !cat.Validated() {
 		return nil, fmt.Errorf("object: catalog must be validated")
 	}
-	s := &Store{
-		cat:           cat,
-		objects:       make(map[domain.Surrogate]*Object),
-		classes:       make(map[string]*Class),
-		byInheritor:   make(map[domain.Surrogate]map[string]*Binding),
-		byTransmitter: make(map[domain.Surrogate][]*Binding),
+	if shards < 1 {
+		shards = DefaultShards
 	}
-	s.routes.init()
+	s := &Store{cat: cat, shards: make([]shard, shards), seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.objects = make(map[domain.Surrogate]*Object)
+		sh.byInheritor = make(map[domain.Surrogate]map[string]*Binding)
+		sh.byTransmitter = make(map[domain.Surrogate][]*Binding)
+		sh.relsByParticipant = make(map[domain.Surrogate]map[domain.Surrogate]bool)
+		sh.routes.init()
+	}
+	for i := range s.stripes {
+		s.stripes[i].classes = make(map[string]*Class)
+	}
+	hooks := []UpdateHook(nil)
+	s.hooks.Store(&hooks)
 	return s, nil
+}
+
+// Shards reports the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardIndex maps a surrogate to its owning shard. Surrogates are dense
+// and sequential, so a plain modulo spreads them evenly.
+func (s *Store) shardIndex(sur domain.Surrogate) int {
+	return int(uint64(sur) % uint64(len(s.shards)))
+}
+
+func (s *Store) shardOf(sur domain.Surrogate) *shard {
+	return &s.shards[s.shardIndex(sur)]
+}
+
+// stripeOf maps a class name to its stripe.
+func (s *Store) stripeOf(name string) *classStripe {
+	return &s.stripes[maphash.String(s.seed, name)%classStripes]
+}
+
+// lockAll acquires every shard write lock and every class stripe write
+// lock in ascending order — the store-wide exclusive section used by all
+// structural and multi-shard operations. Never acquire a shard or stripe
+// lock while already holding a later-ordered one.
+func (s *Store) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := len(s.stripes) - 1; i >= 0; i-- {
+		s.stripes[i].mu.Unlock()
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// rlockAll acquires every shard and stripe read lock in ascending order:
+// a store-wide consistent read view (snapshots, invariant checks).
+func (s *Store) rlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for i := len(s.stripes) - 1; i >= 0; i-- {
+		s.stripes[i].mu.RUnlock()
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.RUnlock()
+	}
+}
+
+// obj looks an object up in its owning shard's map. Callers hold at least
+// one shard lock (any shard: topology is frozen store-wide, see shard).
+func (s *Store) obj(sur domain.Surrogate) (*Object, bool) {
+	o, ok := s.shardOf(sur).objects[sur]
+	return o, ok
+}
+
+// lookupClass finds a database-level class; callers hold the class's
+// stripe lock (or all stripes).
+func (s *Store) lookupClass(name string) (*Class, bool) {
+	c, ok := s.stripeOf(name).classes[name]
+	return c, ok
 }
 
 // Catalog returns the schema catalog.
@@ -105,18 +268,19 @@ func (s *Store) Catalog() *schema.Catalog { return s.cat }
 
 // SetDeletePolicy selects the transmitter delete behaviour.
 func (s *Store) SetDeletePolicy(p DeletePolicy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	s.deletePolicy = p
 	s.emit(&oplog.Op{Kind: oplog.KindDeletePolicy, Num: int64(p)})
 }
 
-// SetJournal installs the journal callback. It is invoked under the store
-// mutex after every successful mutation, in execution order; it must not
-// call store methods. Pass nil to disable journaling.
+// SetJournal installs the journal callback. It is invoked under the
+// emitting operation's shard locks after every successful mutation, in
+// serialization order for conflicting ops; it must not call store
+// methods. Pass nil to disable journaling.
 func (s *Store) SetJournal(fn func(*oplog.Op)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	s.journal = fn
 }
 
@@ -130,8 +294,8 @@ func (s *Store) emit(op *oplog.Op) {
 // (attribute writes, subobject/relationship insertion, binding changes,
 // deletion). Pass nil to disable.
 func (s *Store) SetWriteGuard(g func(sur domain.Surrogate) error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	s.guard = g
 }
 
@@ -142,28 +306,87 @@ func (s *Store) guardLocked(sur domain.Surrogate) error {
 	return nil
 }
 
-// OnTransmitterUpdate registers a hook; hooks run synchronously under the
-// store lock and must not call store methods.
+// OnTransmitterUpdate registers a hook. Hooks run after the triggering
+// operation releases its locks and may call back into the store.
 func (s *Store) OnTransmitterUpdate(h UpdateHook) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.hooks = append(s.hooks, h)
+	s.lockAll()
+	defer s.unlockAll()
+	next := append(append([]UpdateHook(nil), *s.hooks.Load()...), h)
+	s.hooks.Store(&next)
+}
+
+// queueEvents appends events to the dispatch queue. Called while still
+// holding the emitting operation's locks, so queue order matches the
+// serialization (and journal) order of conflicting operations.
+func (s *Store) queueEvents(evs []UpdateEvent) {
+	s.hookQ.mu.Lock()
+	s.hookQ.q = append(s.hookQ.q, evs...)
+	s.hookQ.mu.Unlock()
+}
+
+// dispatchEvents drains the hook queue after the caller released its
+// locks. Only one drainer runs at a time; if another goroutine is already
+// draining it will pick up our events (it re-checks the queue after every
+// batch), so failing the TryLock never strands events.
+func (s *Store) dispatchEvents() {
+	for {
+		if !s.hookQ.dispatchMu.TryLock() {
+			return
+		}
+		s.hookQ.mu.Lock()
+		batch := s.hookQ.q
+		s.hookQ.q = nil
+		s.hookQ.mu.Unlock()
+		if len(batch) == 0 {
+			s.hookQ.dispatchMu.Unlock()
+			return
+		}
+		hooks := *s.hooks.Load()
+		for _, ev := range batch {
+			for _, h := range hooks {
+				h(ev)
+			}
+		}
+		s.hookQ.dispatchMu.Unlock()
+	}
 }
 
 // Seq returns the current logical update sequence number.
-func (s *Store) Seq() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.seq
+func (s *Store) Seq() uint64 { return s.seq.Load() }
+
+// PrimeReplay positions the sequence and surrogate counters just below
+// the values a journaled op recorded, so re-executing it reproduces the
+// original assignment even when concurrent writers journaled ops out of
+// counter order. Only the single-threaded recovery path may call it.
+func (s *Store) PrimeReplay(seq uint64, out domain.Surrogate) {
+	if seq > 0 {
+		s.seq.Store(seq - 1)
+	}
+	if out != 0 {
+		s.nextSur.Store(uint64(out) - 1)
+	}
+}
+
+// FinishReplay restores the counters to at least the maxima observed
+// while replaying (gaps from ops that consumed a value but failed are
+// harmless: nothing references a burned surrogate or sequence).
+func (s *Store) FinishReplay(maxSeq uint64, maxSur domain.Surrogate) {
+	if s.seq.Load() < maxSeq {
+		s.seq.Store(maxSeq)
+	}
+	if s.nextSur.Load() < uint64(maxSur) {
+		s.nextSur.Store(uint64(maxSur))
+	}
 }
 
 // ModSeq returns the store sequence of the object's last direct mutation;
 // 0 if it was never mutated since creation. Long transactions use it for
 // optimistic checkin validation.
 func (s *Store) ModSeq(sur domain.Surrogate) (uint64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[sur]
 	if !ok {
 		return 0, noObject(sur)
 	}
@@ -172,14 +395,16 @@ func (s *Store) ModSeq(sur domain.Surrogate) (uint64, error) {
 
 // DefineClass creates a database-level class holding objects of the given
 // type ("" = unrestricted). Several classes may hold objects of the same
-// type (§3).
+// type (§3). It locks only the class's stripe: class creation cannot
+// change any memoized resolution route.
 func (s *Store) DefineClass(name, elemType string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if name == "" {
 		return fmt.Errorf("object: class needs a name")
 	}
-	if _, dup := s.classes[name]; dup {
+	st := s.stripeOf(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.classes[name]; dup {
 		return fmt.Errorf("object: duplicate class %q", name)
 	}
 	if elemType != "" {
@@ -187,17 +412,17 @@ func (s *Store) DefineClass(name, elemType string) error {
 			return fmt.Errorf("%w: %q", ErrNoSuchType, elemType)
 		}
 	}
-	s.classes[name] = newClass(name, elemType)
-	s.bumpEpochLocked()
+	st.classes[name] = newClass(name, elemType)
 	s.emit(&oplog.Op{Kind: oplog.KindDefineClass, Name: name, Name2: elemType})
 	return nil
 }
 
 // Class returns the members of a database-level class.
 func (s *Store) Class(name string) ([]domain.Surrogate, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.classes[name]
+	st := s.stripeOf(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	c, ok := st.classes[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchClass, name)
 	}
@@ -206,23 +431,32 @@ func (s *Store) Class(name string) ([]domain.Surrogate, error) {
 
 // ClassNames lists database-level classes, sorted.
 func (s *Store) ClassNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return sortedNames(s.classes)
+	var names []string
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for n := range st.classes {
+			names = append(names, n)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
 }
 
 // NewObject creates a top-level object of the named type, optionally
-// inserting it into a database-level class.
+// inserting it into a database-level class. Creation inserts into the
+// topology maps, so it runs store-wide exclusive.
 func (s *Store) NewObject(typeName, className string) (domain.Surrogate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	t, ok := s.cat.ObjectType(typeName)
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchType, typeName)
 	}
 	var cls *Class
 	if className != "" {
-		cls, ok = s.classes[className]
+		cls, ok = s.lookupClass(className)
 		if !ok {
 			return 0, fmt.Errorf("%w: %q", ErrNoSuchClass, className)
 		}
@@ -243,43 +477,51 @@ func (s *Store) NewObject(typeName, className string) (domain.Surrogate, error) 
 // The member type comes from the subclass declaration; subobjects live
 // and die with the parent (§3).
 func (s *Store) NewSubobject(parent domain.Surrogate, subclass string) (domain.Surrogate, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	po, ok := s.objects[parent]
-	if !ok {
-		return 0, noObject(parent)
+	s.lockAll()
+	dispatch, sur, err := func() (bool, domain.Surrogate, error) {
+		po, ok := s.obj(parent)
+		if !ok {
+			return false, 0, noObject(parent)
+		}
+		if err := s.guardLocked(parent); err != nil {
+			return false, 0, err
+		}
+		sd, cls, err := s.subclassOf(po, subclass)
+		if err != nil {
+			return false, 0, err
+		}
+		if sd.Inherited() {
+			return false, 0, fmt.Errorf("%w: subclass %q is inherited from %s and read-only here",
+				ErrInheritedAttribute, subclass, sd.Source)
+		}
+		mt, ok := s.cat.ObjectType(sd.ElemType)
+		if !ok {
+			return false, 0, fmt.Errorf("%w: %q", ErrNoSuchType, sd.ElemType)
+		}
+		o := s.newObjectLocked(mt, false)
+		o.parent = parent
+		o.parentSub = subclass
+		cls.add(o.sur)
+		seq := s.seq.Add(1)
+		po.modSeq = seq
+		// Gaining a member is a visible change of the subclass: inheritors of
+		// the parent (e.g. implementations of an interface gaining a pin) are
+		// informed through their binding bookkeeping.
+		n := notifier{s: s, seq: seq}
+		n.notify(parent, subclass)
+		s.emit(&oplog.Op{Kind: oplog.KindNewSubobject, Sur: parent, Name: subclass, Out: o.sur, Seq: seq})
+		return n.queue(), o.sur, nil
+	}()
+	s.unlockAll()
+	if dispatch {
+		s.dispatchEvents()
 	}
-	if err := s.guardLocked(parent); err != nil {
-		return 0, err
-	}
-	sd, cls, err := s.subclassOf(po, subclass)
-	if err != nil {
-		return 0, err
-	}
-	if sd.Inherited() {
-		return 0, fmt.Errorf("%w: subclass %q is inherited from %s and read-only here",
-			ErrInheritedAttribute, subclass, sd.Source)
-	}
-	mt, ok := s.cat.ObjectType(sd.ElemType)
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrNoSuchType, sd.ElemType)
-	}
-	o := s.newObjectLocked(mt, false)
-	o.parent = parent
-	o.parentSub = subclass
-	cls.add(o.sur)
-	s.seq++
-	po.modSeq = s.seq
-	// Gaining a member is a visible change of the subclass: inheritors of
-	// the parent (e.g. implementations of an interface gaining a pin) are
-	// informed through their binding bookkeeping.
-	s.notifyLocked(parent, subclass, map[domain.Surrogate]bool{})
-	s.emit(&oplog.Op{Kind: oplog.KindNewSubobject, Sur: parent, Name: subclass, Out: o.sur})
-	return o.sur, nil
+	return sur, err
 }
 
 // subclassOf resolves a subclass declaration and its materialized class on
 // an object, creating the class lazily for own (non-inherited) subclasses.
+// Callers hold all shard locks (materialization mutates topology).
 func (s *Store) subclassOf(o *Object, name string) (*schema.EffSubclass, *Class, error) {
 	eff, err := s.effectiveLocked(o)
 	if err != nil {
@@ -298,7 +540,8 @@ func (s *Store) subclassOf(o *Object, name string) (*schema.EffSubclass, *Class,
 		o.subclasses[name] = cls
 		// Materializing a subclass changes what members routes must point
 		// at: a route memoized before the class existed records "empty".
-		s.bumpEpochLocked()
+		// Any such route has o in its chain, so o's shard epoch covers it.
+		s.bumpEpoch(s.shardOf(o.sur))
 	}
 	return sd, cls, nil
 }
@@ -315,9 +558,9 @@ func (s *Store) effectiveLocked(o *Object) (*schema.EffectiveType, error) {
 }
 
 func (s *Store) newObjectLocked(t *schema.ObjectType, isRel bool) *Object {
-	s.nextSur++
+	sur := domain.Surrogate(s.nextSur.Add(1))
 	o := &Object{
-		sur:          domain.Surrogate(s.nextSur),
+		sur:          sur,
 		typeName:     t.Name,
 		isRel:        isRel,
 		subclasses:   make(map[string]*Class),
@@ -325,23 +568,25 @@ func (s *Store) newObjectLocked(t *schema.ObjectType, isRel bool) *Object {
 		participants: nil,
 	}
 	o.initAttrs(nil)
-	s.objects[o.sur] = o
+	s.shardOf(sur).objects[sur] = o
 	return o
 }
 
 // Exists reports whether a surrogate denotes a live object.
 func (s *Store) Exists(sur domain.Surrogate) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.objects[sur]
 	return ok
 }
 
 // TypeOf returns the type name of an object.
 func (s *Store) TypeOf(sur domain.Surrogate) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[sur]
 	if !ok {
 		return "", noObject(sur)
 	}
@@ -351,9 +596,10 @@ func (s *Store) TypeOf(sur domain.Surrogate) (string, error) {
 // Get returns the object for a surrogate. The returned *Object must be
 // treated as read-only.
 func (s *Store) Get(sur domain.Surrogate) (*Object, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.objects[sur]
+	sh := s.shardOf(sur)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[sur]
 	if !ok {
 		return nil, noObject(sur)
 	}
@@ -362,20 +608,19 @@ func (s *Store) Get(sur domain.Surrogate) (*Object, error) {
 
 // Len reports the number of live objects (including relationship objects).
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.objects)
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].objects)
+	}
+	return n
 }
 
 // Surrogates returns all live surrogates in ascending order; intended for
 // iteration in tools, tests and persistence snapshots.
 func (s *Store) Surrogates() []domain.Surrogate {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]domain.Surrogate, 0, len(s.objects))
-	for sur := range s.objects {
-		out = append(out, sur)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	s.rlockAll()
+	defer s.runlockAll()
+	return s.surrogatesLocked()
 }

@@ -47,6 +47,13 @@ type Op struct {
 	Parts map[string]domain.Value
 	Surs  []domain.Surrogate
 	Num   int64
+
+	// Seq is the store sequence number the op consumed (0 for ops that
+	// consume none). With concurrent writers on a sharded store, journal
+	// append order and sequence order can diverge; replay primes the
+	// store's counter from Seq before re-executing each op so every
+	// re-execution reproduces its original sequence assignment.
+	Seq uint64
 }
 
 // Clone returns a copy of the op that shares no mutable containers with
@@ -81,6 +88,7 @@ func (op *Op) Encode() []byte {
 	e.ValueMap(op.Parts)
 	e.Surs(op.Surs)
 	e.Varint(op.Num)
+	e.Uvarint(op.Seq)
 	return e.Bytes()
 }
 
@@ -98,6 +106,11 @@ func Decode(b []byte) (*Op, error) {
 		Parts: r.ValueMap(),
 		Surs:  r.Surs(),
 		Num:   r.Varint(),
+	}
+	// Seq is a trailing field added later; logs written before it simply
+	// end here, and replay falls back to append-order sequencing.
+	if r.Rest() > 0 {
+		op.Seq = r.Uvarint()
 	}
 	if err := r.Err(); err != nil {
 		return nil, err

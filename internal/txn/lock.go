@@ -166,18 +166,39 @@ type objLock struct {
 	queue   []*request
 }
 
+// lockStripes is the number of lock-table partitions. Like the store's
+// shards, requests for different objects mostly touch different stripes,
+// so concurrent transactions contend on the lock manager only when their
+// surrogates hash together.
+const lockStripes = 16
+
+// lockStripe is one partition of the lock table.
+type lockStripe struct {
+	mu   sync.Mutex
+	objs map[domain.Surrogate]*objLock
+	_    [64]byte // keep stripes on separate cache lines
+}
+
 // lockManager serializes access to objects for the transaction manager.
+// The lock table is striped by surrogate; the waits-for graph is global
+// and guarded by wfMu, a leaf lock acquired (if at all) while holding one
+// stripe lock. Never take a stripe lock while holding wfMu.
 type lockManager struct {
-	mu       sync.Mutex
-	objs     map[domain.Surrogate]*objLock
+	stripes  [lockStripes]lockStripe
+	wfMu     sync.Mutex
 	waitsFor map[uint64]map[uint64]bool // txn id -> ids it waits for
 }
 
 func newLockManager() *lockManager {
-	return &lockManager{
-		objs:     make(map[domain.Surrogate]*objLock),
-		waitsFor: make(map[uint64]map[uint64]bool),
+	lm := &lockManager{waitsFor: make(map[uint64]map[uint64]bool)}
+	for i := range lm.stripes {
+		lm.stripes[i].objs = make(map[domain.Surrogate]*objLock)
 	}
+	return lm
+}
+
+func (lm *lockManager) stripeFor(sur domain.Surrogate) *lockStripe {
+	return &lm.stripes[uint64(sur)%lockStripes]
 }
 
 // acquire blocks until the lock is granted or a deadlock is detected (in
@@ -185,16 +206,17 @@ func newLockManager() *lockManager {
 func (lm *lockManager) acquire(t *Txn, sur domain.Surrogate, mode Mode, members []string) error {
 	req := &request{txn: t, mode: mode, portion: newPortion(members), ready: make(chan struct{})}
 
-	lm.mu.Lock()
-	ol := lm.objs[sur]
+	st := lm.stripeFor(sur)
+	st.mu.Lock()
+	ol := st.objs[sur]
 	if ol == nil {
 		ol = &objLock{}
-		lm.objs[sur] = ol
+		st.objs[sur] = ol
 	}
 	// Re-acquisition: an equal or stronger lock is already held.
 	for _, g := range ol.granted {
 		if g.txn == t && covers(g, req) {
-			lm.mu.Unlock()
+			st.mu.Unlock()
 			return nil
 		}
 	}
@@ -202,11 +224,14 @@ func (lm *lockManager) acquire(t *Txn, sur domain.Surrogate, mode Mode, members 
 		req.granted = true
 		ol.granted = append(ol.granted, req)
 		t.addLock(sur, req)
-		lm.mu.Unlock()
+		st.mu.Unlock()
 		return nil
 	}
-	// Queue and check for deadlock before waiting.
+	// Queue and check for deadlock before waiting. Edge insertion and the
+	// cycle check are atomic under wfMu, so of two transactions closing a
+	// cycle on different stripes, whichever inserts second sees it.
 	blockers := lm.blockersLocked(ol, req)
+	lm.wfMu.Lock()
 	w := lm.waitsFor[t.id]
 	if w == nil {
 		w = make(map[uint64]bool)
@@ -217,11 +242,13 @@ func (lm *lockManager) acquire(t *Txn, sur domain.Surrogate, mode Mode, members 
 	}
 	if lm.cycleLocked(t.id, t.id, map[uint64]bool{}) {
 		delete(lm.waitsFor, t.id)
-		lm.mu.Unlock()
+		lm.wfMu.Unlock()
+		st.mu.Unlock()
 		return fmt.Errorf("%w: %s %s on %s", ErrDeadlock, mode, req.portion, sur)
 	}
+	lm.wfMu.Unlock()
 	ol.queue = append(ol.queue, req)
-	lm.mu.Unlock()
+	st.mu.Unlock()
 
 	<-req.ready
 	return nil
@@ -275,27 +302,46 @@ func (lm *lockManager) cycleLocked(from, target uint64, seen map[uint64]bool) bo
 	return false
 }
 
-// releaseAll frees every lock of a transaction and promotes waiters.
+// releaseAll frees every lock of a transaction and promotes waiters. The
+// transaction is finished, so nothing adds to t.locked concurrently; the
+// snapshot is taken under t.lockMu before any stripe lock (the two are
+// never held together from this path).
 func (lm *lockManager) releaseAll(t *Txn) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	lm.wfMu.Lock()
 	delete(lm.waitsFor, t.id)
+	lm.wfMu.Unlock()
+	t.lockMu.Lock()
+	surs := make([]domain.Surrogate, 0, len(t.locked))
 	for sur := range t.locked {
-		ol := lm.objs[sur]
-		if ol == nil {
-			continue
-		}
-		kept := ol.granted[:0]
-		for _, g := range ol.granted {
-			if g.txn != t {
-				kept = append(kept, g)
+		surs = append(surs, sur)
+	}
+	t.lockMu.Unlock()
+	// Visit each stripe once.
+	byStripe := make(map[*lockStripe][]domain.Surrogate, lockStripes)
+	for _, sur := range surs {
+		st := lm.stripeFor(sur)
+		byStripe[st] = append(byStripe[st], sur)
+	}
+	for st, group := range byStripe {
+		st.mu.Lock()
+		for _, sur := range group {
+			ol := st.objs[sur]
+			if ol == nil {
+				continue
+			}
+			kept := ol.granted[:0]
+			for _, g := range ol.granted {
+				if g.txn != t {
+					kept = append(kept, g)
+				}
+			}
+			ol.granted = kept
+			lm.promoteLocked(sur, ol)
+			if len(ol.granted) == 0 && len(ol.queue) == 0 {
+				delete(st.objs, sur)
 			}
 		}
-		ol.granted = kept
-		lm.promoteLocked(sur, ol)
-		if len(ol.granted) == 0 && len(ol.queue) == 0 {
-			delete(lm.objs, sur)
-		}
+		st.mu.Unlock()
 	}
 }
 
@@ -324,7 +370,9 @@ func (lm *lockManager) promoteLocked(sur domain.Surrogate, ol *objLock) {
 			q.granted = true
 			ol.granted = append(ol.granted, q)
 			q.txn.addLock(sur, q)
+			lm.wfMu.Lock()
 			delete(lm.waitsFor, q.txn.id)
+			lm.wfMu.Unlock()
 			close(q.ready)
 		} else {
 			remaining = append(remaining, q)

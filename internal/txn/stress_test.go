@@ -99,9 +99,13 @@ func TestConcurrentTransactionsStress(t *testing.T) {
 		t.Fatalf("store inconsistent after stress: %v", bad)
 	}
 	// No locks may remain.
-	m.locks.mu.Lock()
-	remaining := len(m.locks.objs)
-	m.locks.mu.Unlock()
+	remaining := 0
+	for i := range m.locks.stripes {
+		st := &m.locks.stripes[i]
+		st.mu.Lock()
+		remaining += len(st.objs)
+		st.mu.Unlock()
+	}
 	if remaining != 0 {
 		t.Errorf("%d lock table entries leaked", remaining)
 	}

@@ -73,9 +73,15 @@ type Txn struct {
 
 	mu      sync.Mutex
 	state   TxnState
-	locked  map[domain.Surrogate][]*request
 	undo    []func() error
 	deletes []domain.Surrogate // applied at commit
+
+	// locked is written by the lock manager from whichever stripe grants a
+	// request — possibly a promotion running on another transaction's
+	// release path — so it has its own mutex, a leaf below the stripe
+	// locks.
+	lockMu sync.Mutex
+	locked map[domain.Surrogate][]*request
 }
 
 // Begin starts a transaction on behalf of a user (for access control;
@@ -99,17 +105,19 @@ func (t *Txn) State() TxnState {
 	return t.state
 }
 
-// addLock records a granted request; called by the lock manager under its
-// own mutex.
+// addLock records a granted request; called by the lock manager while
+// holding the granting stripe's mutex.
 func (t *Txn) addLock(sur domain.Surrogate, req *request) {
+	t.lockMu.Lock()
 	t.locked[sur] = append(t.locked[sur], req)
+	t.lockMu.Unlock()
 }
 
 // HeldLocks reports the objects this transaction holds locks on, with the
 // strongest mode per object (diagnostics and tests).
 func (t *Txn) HeldLocks() map[domain.Surrogate]Mode {
-	t.mgr.locks.mu.Lock()
-	defer t.mgr.locks.mu.Unlock()
+	t.lockMu.Lock()
+	defer t.lockMu.Unlock()
 	out := make(map[domain.Surrogate]Mode, len(t.locked))
 	for sur, reqs := range t.locked {
 		var best Mode
@@ -223,11 +231,17 @@ func (t *Txn) Members(sur domain.Surrogate, name string) ([]domain.Surrogate, er
 // resolution visits. The chain comes from the store's route cache; because
 // a rebind can slip in between resolving and acquiring the locks, the
 // chain is re-resolved after each round of new locks until a round adds
-// nothing (the locked set only grows, so the loop terminates).
+// nothing (the locked set only grows, so the loop terminates). The chain
+// carries the structure epochs of every store shard it crosses; once the
+// locked set stops growing, the stamp is re-checked so a rebind that
+// happened mid-acquisition (by a writer not going through this lock
+// manager) forces another resolution round. The re-check is bounded:
+// under continuous non-transactional structural churn we keep the locks
+// covering the last chain resolved rather than livelock.
 func (t *Txn) lockResolutionChain(sur domain.Surrogate, member string, mode Mode) error {
 	locked := make(map[domain.Surrogate]bool, 4)
-	for {
-		chain, err := t.mgr.store.ResolveChain(sur, member)
+	for stale := 0; ; {
+		chain, stamp, err := t.mgr.store.ResolveChainStamped(sur, member)
 		if err != nil {
 			return err
 		}
@@ -243,7 +257,10 @@ func (t *Txn) lockResolutionChain(sur domain.Surrogate, member string, mode Mode
 			grew = true
 		}
 		if !grew {
-			return nil
+			if t.mgr.store.StampValid(stamp) || stale >= 4 {
+				return nil
+			}
+			stale++
 		}
 	}
 }

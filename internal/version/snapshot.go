@@ -108,6 +108,9 @@ func (m *Manager) Import(st *ManagerState) error {
 		}
 		d.versions = append(d.versions, info)
 		m.byObj[v.Object] = info
+		if info.Status == StatusFrozen {
+			m.frozenN.Add(1)
+		}
 	}
 	for _, d := range st.Designs {
 		if d.Default == 0 {

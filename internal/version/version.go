@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cadcam/internal/domain"
 	"cadcam/internal/expr"
@@ -87,6 +88,10 @@ type Manager struct {
 	store   *object.Store
 	designs map[string]*Design
 	byObj   map[domain.Surrogate]*Info
+	// frozenN counts versions in StatusFrozen. Frozen is terminal, so the
+	// count only grows; Frozen() uses it to answer "nothing is frozen"
+	// without taking mu — that check sits on the store's hot write path.
+	frozenN atomic.Int32
 }
 
 // NewManager creates an empty version manager for a store.
@@ -239,12 +244,18 @@ func (m *Manager) SetStatus(obj domain.Surrogate, st Status) error {
 		return fmt.Errorf("%w: %s -> %s", ErrBadTransition, info.Status, st)
 	}
 	info.Status = st
+	if st == StatusFrozen {
+		m.frozenN.Add(1)
+	}
 	return nil
 }
 
 // Frozen reports whether the object is a frozen version; the database
 // facade refuses writes to frozen versions.
 func (m *Manager) Frozen(obj domain.Surrogate) bool {
+	if m.frozenN.Load() == 0 {
+		return false
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	i, ok := m.byObj[obj]

@@ -19,16 +19,38 @@ import (
 // Replay decodes and applies journal records in order (recover mode).
 // The storage layer has already expanded batch frames, so each record is
 // one encoded op.
+//
+// Concurrent writers on the sharded store may append ops to the journal
+// out of sequence-counter order (each op's sequence is assigned inside
+// its shard's critical section, but the group-commit batcher serializes
+// appends by arrival). Replay therefore primes the store's counters from
+// each op's recorded Seq/Out before re-executing it, so the re-execution
+// reproduces the original assignment, and finally restores the counters
+// to the maxima seen.
 func Replay(records [][]byte, s *object.Store, vm *version.Manager) error {
+	var maxSeq uint64
+	var maxSur domain.Surrogate
+	maxSeq = s.Seq()
 	for i, rec := range records {
 		op, err := oplog.Decode(rec)
 		if err != nil {
 			return fmt.Errorf("wal: record %d: %w", i, err)
 		}
+		s.PrimeReplay(op.Seq, op.Out)
 		if err := Apply(op, s, vm, true); err != nil {
 			return fmt.Errorf("wal: record %d: %w", i, err)
 		}
+		if op.Seq > maxSeq {
+			maxSeq = op.Seq
+		}
+		if op.Out > maxSur {
+			maxSur = op.Out
+		}
+		if cur := s.Seq(); cur > maxSeq {
+			maxSeq = cur // pre-Seq logs replay in append order
+		}
 	}
+	s.FinishReplay(maxSeq, maxSur)
 	return nil
 }
 
@@ -78,6 +100,12 @@ func Apply(op *oplog.Op, s *object.Store, vm *version.Manager, recover bool) err
 	case oplog.KindUnbind:
 		return s.Unbind(op.Name, op.Sur)
 	case oplog.KindAcknowledge:
+		if op.Num > 0 {
+			// The op carries the sequence value the live call resolved to;
+			// applying it directly keeps replay independent of how the
+			// concurrent transmitter update was interleaved in the journal.
+			return s.AcknowledgeAt(op.Name, op.Sur, op.Num)
+		}
 		return s.Acknowledge(op.Name, op.Sur)
 	case oplog.KindDelete:
 		return s.Delete(op.Sur)
