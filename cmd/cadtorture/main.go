@@ -1,0 +1,109 @@
+// Command cadtorture soaks the crash-recovery path: it runs the full
+// crash matrix (kill the workload at every registered failpoint, reopen,
+// compare against the model oracle) plus journal tail fuzzing, round
+// after round with fresh seeds, until interrupted or a divergence is
+// found. Any failure prints the seed and failpoint spec needed to
+// reproduce it deterministically.
+//
+// Usage:
+//
+//	cadtorture                     # soak forever from a random-ish seed
+//	cadtorture -rounds 5 -seed 7   # bounded, deterministic
+//	cadtorture -artifacts /tmp/ct  # keep failing directories
+//
+// The binary re-executes itself as the workload child; the CADCAM_CRASH_CFG
+// environment variable marks worker mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"cadcam/internal/crash"
+	"cadcam/internal/fault"
+)
+
+func main() {
+	if code, isWorker := runWorker(); isWorker {
+		os.Exit(code)
+	}
+
+	seed := flag.Int64("seed", time.Now().UnixNano()%1_000_000_000, "base workload seed")
+	rounds := flag.Int("rounds", 0, "matrix+fuzz rounds to run (0 = forever)")
+	writers := flag.Int("writers", 4, "concurrent writers per workload")
+	ops := flag.Int("ops", 400, "operation attempts per writer")
+	fuzz := flag.Int("fuzz", 16, "tail-fuzz variants per round")
+	artifacts := flag.String("artifacts", "", "directory that keeps failing rounds' evidence")
+	verbose := flag.Bool("v", false, "log every round")
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	for round := 0; *rounds == 0 || round < *rounds; round++ {
+		base, err := os.MkdirTemp("", "cadtorture-")
+		if err != nil {
+			fatal(err)
+		}
+		d := &crash.Driver{
+			BaseDir: base,
+			Seed:    *seed + int64(round)*1_000_003,
+			Writers: *writers,
+			Ops:     *ops,
+			Command: func() *exec.Cmd {
+				exe, err := os.Executable()
+				if err != nil {
+					exe = os.Args[0]
+				}
+				return exec.Command(exe)
+			},
+			Logf:        logf,
+			ArtifactDir: *artifacts,
+		}
+		start := time.Now()
+		if err := d.RunMatrix(); err != nil {
+			fmt.Fprintf(os.Stderr, "cadtorture: DIVERGENCE in round %d (base seed %d):\n%v\n", round, d.Seed, err)
+			os.Exit(1)
+		}
+		if err := d.RunTailFuzz(*fuzz); err != nil {
+			fmt.Fprintf(os.Stderr, "cadtorture: DIVERGENCE in round %d tail fuzz (base seed %d):\n%v\n", round, d.Seed, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cadtorture: round %d ok (seed %d, %v)\n", round, d.Seed, time.Since(start).Round(time.Millisecond))
+		_ = os.RemoveAll(base)
+	}
+}
+
+// runWorker handles worker mode: when the crash config is in the
+// environment this process is a workload child of the driver.
+func runWorker() (code int, isWorker bool) {
+	cfg, ok, err := crash.LoadConfigEnv()
+	if err != nil {
+		fatal(err)
+	}
+	if !ok {
+		return 0, false
+	}
+	if cfg.Dir == "" || !filepath.IsAbs(cfg.Dir) {
+		fatal(fmt.Errorf("cadtorture worker: bad dir %q", cfg.Dir))
+	}
+	if err := crash.RunWorkload(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cadtorture worker: %v\n", err)
+		return 1, true
+	}
+	fmt.Printf("%s %d\n", crash.FiredMarker, fault.TotalHits())
+	return 0, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cadtorture:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+package cadcam_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+
+	"cadcam/internal/crash"
+	"cadcam/internal/fault"
+)
+
+// The crash matrix re-executes this test binary as its worker process:
+// TestCrashMatrixWorker picks up the workload config and failpoint spec
+// from the environment, runs the multi-writer workload against a real
+// on-disk database, and either dies at the armed failpoint (exit-kind,
+// process status 86) or finishes and reports how often the point fired
+// (error-kind). The driver then reopens the directory and verifies the
+// recovered state byte-for-byte against the model oracle.
+
+// TestCrashMatrixWorker is the child-process body. Without the config
+// environment it is skipped, so a plain `go test` ignores it.
+func TestCrashMatrixWorker(t *testing.T) {
+	cfg, ok, err := crash.LoadConfigEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("not a crash-matrix worker (no " + crash.EnvConfig + ")")
+	}
+	if err := crash.RunWorkload(cfg); err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	// Reaching this line means no exit-kind crash happened; tell the
+	// driver whether the armed failpoint fired as an error.
+	fmt.Printf("%s %d\n", crash.FiredMarker, fault.TotalHits())
+}
+
+func newDriver(t *testing.T) *crash.Driver {
+	t.Helper()
+	seed := int64(1989)
+	if s := os.Getenv("CADCAM_CRASH_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CADCAM_CRASH_SEED: %v", err)
+		}
+		seed = n
+	}
+	return &crash.Driver{
+		BaseDir: t.TempDir(),
+		Seed:    seed,
+		Writers: 4,
+		Ops:     250,
+		Command: func() *exec.Cmd {
+			return exec.Command(os.Args[0], "-test.run=^TestCrashMatrixWorker$", "-test.v")
+		},
+		Logf:        t.Logf,
+		ArtifactDir: os.Getenv("CRASHMATRIX_ARTIFACTS"),
+	}
+}
+
+// TestCrashMatrix kills a workload at every registered failpoint (first
+// and seventh hit, plus an injected-error flavor where the site has a
+// real error path) and verifies every surviving directory. Failures
+// print the seed and spec needed to reproduce.
+func TestCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix spawns worker processes; skipped in -short")
+	}
+	d := newDriver(t)
+	if err := d.RunMatrix(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashTailFuzz attacks byte offsets of the journal of a clean run:
+// clipped tails must recover to the oracle's prefix state, flipped bytes
+// must be rejected cleanly or survive — never panic, never diverge.
+func TestCrashTailFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tail fuzz runs many recoveries; skipped in -short")
+	}
+	d := newDriver(t)
+	rounds := 12
+	if s := os.Getenv("CADCAM_TAILFUZZ_ROUNDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad CADCAM_TAILFUZZ_ROUNDS: %v", err)
+		}
+		rounds = n
+	}
+	if err := d.RunTailFuzz(rounds); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"cadcam/internal/domain"
+	"cadcam/internal/fault"
 	"cadcam/internal/object"
 	"cadcam/internal/oplog"
 	"cadcam/internal/schema"
@@ -49,6 +50,11 @@ import (
 	"cadcam/internal/version"
 	"cadcam/internal/wal"
 )
+
+// fpCheckpointGap crashes (or fails) a checkpoint after the new epoch's
+// snapshot is durable but before the journal swap: recovery must pick
+// the newer snapshot and discard the stale previous-epoch files.
+var fpCheckpointGap = fault.New("db/checkpoint-gap")
 
 // ErrFrozenVersion reports a write to an object frozen by the version
 // manager.
@@ -164,6 +170,15 @@ func Open(cat *schema.Catalog, opts Options) (*Database, error) {
 		dir:      opts.Dir,
 		opts:     opts,
 	}
+	// The policy option must be in force *before* replay: journaled Delete
+	// ops were validated under it live, and re-validating them under the
+	// default would reject a journal the database itself wrote. A policy
+	// change journaled mid-run still replays on top, in order, exactly as
+	// it happened live. No journal is attached yet, so the override itself
+	// (an Open-time option, re-supplied on every Open) is not journaled.
+	if opts.DeletePolicy != object.DeleteRestrict {
+		db.store.SetDeletePolicy(opts.DeletePolicy)
+	}
 	if opts.Dir != "" {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("cadcam: %w", err)
@@ -176,12 +191,6 @@ func Open(cat *schema.Catalog, opts Options) (*Database, error) {
 			SyncCadence: opts.syncCadence(),
 			WaitSync:    opts.durable(),
 		})
-	}
-	// A non-default option overrides whatever recovery replayed; applied
-	// before the journal attaches so the override itself (an Open-time
-	// option, re-supplied on every Open) is not journaled.
-	if opts.DeletePolicy != object.DeleteRestrict {
-		db.store.SetDeletePolicy(opts.DeletePolicy)
 	}
 	if db.committer != nil {
 		db.store.SetJournal(db.appendOp)
@@ -207,21 +216,31 @@ func OpenMemory(cat *schema.Catalog) (*Database, error) {
 	return Open(cat, Options{})
 }
 
+// SnapshotFilename and WALFilename name the epoch files a persistent
+// database keeps in its directory. Exported for tools (the crash-matrix
+// harness locates the live journal with them).
+func SnapshotFilename(epoch uint64) string { return fmt.Sprintf("snap-%08d.snap", epoch) }
+
+// WALFilename returns the journal file name of an epoch.
+func WALFilename(epoch uint64) string { return fmt.Sprintf("wal-%08d.log", epoch) }
+
 func (db *Database) snapPath(epoch uint64) string {
-	return filepath.Join(db.dir, fmt.Sprintf("snap-%08d.snap", epoch))
+	return filepath.Join(db.dir, SnapshotFilename(epoch))
 }
 
 func (db *Database) walPath(epoch uint64) string {
-	return filepath.Join(db.dir, fmt.Sprintf("wal-%08d.log", epoch))
+	return filepath.Join(db.dir, WALFilename(epoch))
 }
 
-// recover finds the newest valid snapshot epoch, loads it, replays its
-// journal, and removes stale files from older epochs. It returns the
-// opened journal, which the caller hands to the group committer.
-func (db *Database) recover() (*storage.Log, error) {
-	entries, err := os.ReadDir(db.dir)
+// openState locates the newest valid snapshot epoch in dir and opens its
+// journal: the single source of truth for what persistent state a
+// directory holds, shared by recovery and by ScanJournal. A torn tail of
+// the journal is truncated (as recovery would). The returned log is open;
+// the caller owns it.
+func openState(dir string) (epoch uint64, snapshot []byte, log *storage.Log, records [][]byte, err error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("cadcam: %w", err)
+		return 0, nil, nil, nil, fmt.Errorf("cadcam: %w", err)
 	}
 	var epochs []uint64
 	for _, e := range entries {
@@ -231,31 +250,67 @@ func (db *Database) recover() (*storage.Log, error) {
 		}
 	}
 	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
-	db.epoch = 0
 	for _, e := range epochs {
-		blob, err := storage.ReadSnapshot(db.snapPath(e))
+		blob, err := storage.ReadSnapshot(filepath.Join(dir, SnapshotFilename(e)))
 		if err != nil || blob == nil {
 			continue // corrupt or vanished snapshot: fall back
 		}
-		if err := wal.DecodeSnapshot(blob, db.store, db.versions); err != nil {
-			return nil, fmt.Errorf("cadcam: snapshot epoch %d: %w", e, err)
-		}
-		db.epoch = e
+		epoch, snapshot = e, blob
 		break
 	}
-	log, records, err := storage.OpenLog(db.walPath(db.epoch))
+	log, records, err = storage.OpenLog(filepath.Join(dir, WALFilename(epoch)))
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	return epoch, snapshot, log, records, nil
+}
+
+// ScanJournal reads the persistent state of a database directory without
+// opening a database: the newest valid snapshot blob (nil if none) and
+// the journal records of its epoch, batch frames expanded, in append
+// order. The crash-recovery harness replays these records against its
+// model oracle; decode each with oplog.Decode. Like recovery, scanning
+// truncates a torn journal tail in place.
+func ScanJournal(dir string) (epoch uint64, snapshot []byte, records [][]byte, err error) {
+	epoch, snapshot, log, records, err := openState(dir)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if cerr := log.Close(); cerr != nil {
+		return 0, nil, nil, cerr
+	}
+	return epoch, snapshot, records, nil
+}
+
+// recover finds the newest valid snapshot epoch, loads it, replays its
+// journal, and removes stale files from older epochs. It returns the
+// opened journal, which the caller hands to the group committer.
+func (db *Database) recover() (*storage.Log, error) {
+	epoch, snapshot, log, records, err := openState(db.dir)
 	if err != nil {
 		return nil, err
+	}
+	db.epoch = epoch
+	if snapshot != nil {
+		if err := wal.DecodeSnapshot(snapshot, db.store, db.versions); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("cadcam: snapshot epoch %d: %w", epoch, err)
+		}
 	}
 	if err := wal.Replay(records, db.store, db.versions); err != nil {
 		log.Close()
 		return nil, fmt.Errorf("cadcam: %w", err)
 	}
 	// Remove files from other epochs (old, or half-written newer ones).
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("cadcam: %w", err)
+	}
 	for _, e := range entries {
 		name := e.Name()
-		keepSnap := name == filepath.Base(db.snapPath(db.epoch))
-		keepWal := name == filepath.Base(db.walPath(db.epoch))
+		keepSnap := name == SnapshotFilename(db.epoch)
+		keepWal := name == WALFilename(db.epoch)
 		isOurs := len(name) > 4 && (name[:5] == "snap-" || name[:4] == "wal-")
 		if isOurs && !keepSnap && !keepWal {
 			_ = os.Remove(filepath.Join(db.dir, name))
@@ -344,21 +399,35 @@ func (db *Database) checkpointLocked() error {
 		if err := storage.WriteSnapshot(db.snapPath(next), blob); err != nil {
 			return err
 		}
+		// From here until the swap succeeds, a *failure* (not a crash) must
+		// remove the new snapshot again: the database keeps journaling into
+		// the old epoch, and a newer valid snapshot left behind would shadow
+		// that journal at the next recovery, silently dropping every
+		// mutation acknowledged after the failed checkpoint. A crash inside
+		// the window is safe without cleanup — the flushed old journal and
+		// the new snapshot describe the same state.
+		abandon := func(err error) error {
+			_ = os.Remove(db.snapPath(next))
+			return err
+		}
+		if err := fpCheckpointGap.Hit(); err != nil {
+			return abandon(err)
+		}
 		newLog, records, err := storage.OpenLog(db.walPath(next))
 		if err != nil {
-			return err
+			return abandon(err)
 		}
 		if len(records) != 0 {
 			// A stale log from a crashed previous checkpoint: discard it.
 			if err := newLog.Reset(); err != nil {
 				newLog.Close()
-				return err
+				return abandon(err)
 			}
 		}
 		old, err := db.committer.SwapLog(newLog)
 		if err != nil {
 			newLog.Close()
-			return err
+			return abandon(err)
 		}
 		_ = old.Close()
 		_ = os.Remove(db.walPath(db.epoch))

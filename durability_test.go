@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"cadcam/internal/fault"
 	"cadcam/internal/oplog"
 	"cadcam/internal/paperschema"
 	"cadcam/internal/storage"
@@ -235,5 +236,79 @@ func TestDurableWriteStatsExposed(t *testing.T) {
 	}
 	if w.Durable != w.Enqueued {
 		t.Errorf("durable mode: durable=%d enqueued=%d should match after ack", w.Durable, w.Enqueued)
+	}
+}
+
+// TestInjectedFsyncFailureAllShards drives the sticky-error path through
+// a *real* injected fsync failure (the fault package, not a direct
+// committer poke): after the first failed sync, a mutation against an
+// object on every shard must fail fast with the injected error and leave
+// no trace in memory — and reopening the directory must not surface any
+// of the rejected values.
+func TestInjectedFsyncFailureAllShards(t *testing.T) {
+	dir := t.TempDir()
+	db := diskDB(t, dir)
+
+	// One pin per shard (surrogates are assigned round-robin dense, so
+	// 2×DefaultShards objects cover every shard).
+	const n = 32
+	pins := make([]Surrogate, n)
+	for i := range pins {
+		pin, err := db.NewObject(paperschema.TypePin, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SetAttr(pin, "PinId", Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		pins[i] = pin
+	}
+
+	if err := fault.Arm("wal/sync-error=error(injected fsync failure)@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	// The trigger write fails at its group-commit sync. Its bytes may or
+	// may not have reached the file (write vs fsync), but the error must
+	// surface here and poison the pipeline.
+	if err := db.SetAttr(pins[0], "PinId", Int(1000)); err == nil {
+		t.Fatal("mutation with failing fsync reported success")
+	}
+	sticky := db.Err()
+	if sticky == nil {
+		t.Fatal("journal error did not stick")
+	}
+
+	// Every shard now fails fast, before touching the store.
+	for i, pin := range pins {
+		err := db.SetAttr(pin, "PinId", Int(int64(2000+i)))
+		if !errors.Is(err, sticky) {
+			t.Fatalf("shard write %d: err = %v, want sticky %v", i, err, sticky)
+		}
+		v, gerr := db.GetAttr(pin, "PinId")
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		if v.Equal(Int(int64(2000 + i))) {
+			t.Fatalf("rejected write %d leaked into the in-memory store", i)
+		}
+	}
+	_ = db.Close() // returns the sticky error; the directory is what counts
+
+	fault.Reset()
+	db2 := diskDB(t, dir)
+	defer db2.Close()
+	for i, pin := range pins {
+		v, err := db2.GetAttr(pin, "PinId")
+		if err != nil {
+			t.Fatalf("recovered pin %d: %v", i, err)
+		}
+		if v.Equal(Int(int64(2000 + i))) {
+			t.Fatalf("rejected write %d resurfaced after recovery", i)
+		}
+		if !v.Equal(Int(int64(i))) && !(i == 0 && v.Equal(Int(1000))) {
+			t.Fatalf("recovered pin %d: PinId = %v, want %d (or the torn trigger value for pin 0)", i, v, i)
+		}
 	}
 }

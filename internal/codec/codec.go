@@ -296,7 +296,15 @@ func (r *Reader) Value() domain.Value {
 		return domain.NewSet(elems...)
 	case tagMatrix:
 		rows, cols := r.Uvarint(), r.Uvarint()
-		if r.err != nil || rows*cols > uint64(r.Rest()) {
+		// rows*cols wraps in uint64 for adversarial inputs (2^32 × 2^32
+		// → 0), which would slip a phantom huge matrix past a
+		// product-only bound; `rows > rest/cols` is the same comparison
+		// without the multiply. Zero-dimension matrices are legal and
+		// carry no cells, but their dimensions still must fit an int.
+		const maxDim = 1<<31 - 1
+		rest := uint64(r.Rest())
+		if r.err != nil || rows > maxDim || cols > maxDim ||
+			(rows != 0 && cols != 0 && rows > rest/cols) {
 			r.fail()
 			return domain.NullValue
 		}

@@ -1,0 +1,328 @@
+// Package crash is the crash-recovery model-checking harness. A driver
+// process runs a seeded multi-writer workload against a real on-disk
+// database in a child process, kills the child at registered failpoints
+// (or clips/flips bytes of the journal tail), reopens the directory, and
+// compares the recovered store byte-for-byte against the internal/model
+// oracle replayed from the same journal.
+//
+// The workload side doubles as an acknowledgement recorder: every
+// mutation that returned success (and was therefore durable under the
+// sync-per-batch configuration) appends a canonical key of its journal
+// record to a per-writer ack file using an unbuffered O_APPEND write.
+// Crashes kill the process, never the OS, so an acked operation must
+// appear in the recovered journal — Verify checks the multiset
+// inclusion.
+package crash
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cadcam"
+	"cadcam/internal/object"
+	"cadcam/internal/oplog"
+	"cadcam/internal/paperschema"
+)
+
+// EnvConfig carries the workload configuration to the child process as
+// JSON.
+const EnvConfig = "CADCAM_CRASH_CFG"
+
+// Config describes one workload run. It is JSON-encoded into the child's
+// environment.
+type Config struct {
+	// Dir is the database directory.
+	Dir string
+	// AckDir receives per-writer acknowledgement logs.
+	AckDir string
+	// Seed derives every writer's private RNG.
+	Seed int64
+	// Writers is the number of concurrent mutator goroutines.
+	Writers int
+	// Ops is the number of operation attempts per writer.
+	Ops int
+	// CheckpointEvery > 0 makes writer 0 checkpoint after that many of
+	// its own operation attempts.
+	CheckpointEvery int
+	// Unbind opens the database with the DeleteUnbind policy, letting
+	// transmitter deletes cascade into detaches instead of erroring.
+	Unbind bool
+}
+
+// Options returns the database options for this configuration. Verify
+// must reopen with the same options: the delete policy is an Open-time
+// override that journaled Delete ops were validated under.
+func (c Config) Options() cadcam.Options {
+	opts := cadcam.Options{Dir: c.Dir}
+	if c.Unbind {
+		opts.DeletePolicy = cadcam.DeleteUnbind
+	}
+	return opts
+}
+
+// LoadConfigEnv decodes a Config from the environment, reporting whether
+// one was present.
+func LoadConfigEnv() (Config, bool, error) {
+	raw := os.Getenv(EnvConfig)
+	if raw == "" {
+		return Config{}, false, nil
+	}
+	var cfg Config
+	if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+		return Config{}, false, fmt.Errorf("crash: bad %s: %w", EnvConfig, err)
+	}
+	return cfg, true, nil
+}
+
+// Encode serializes the config for EnvConfig.
+func (c Config) Encode() string {
+	b, _ := json.Marshal(c)
+	return string(b)
+}
+
+// RunWorkload opens the database and runs the configured writers to
+// completion (or until the journal goes sticky-bad, or a failpoint kills
+// the process). It is the entire child-process body of a crash-matrix
+// round.
+func RunWorkload(cfg Config) error {
+	if cfg.Writers < 1 {
+		cfg.Writers = 1
+	}
+	if err := os.MkdirAll(cfg.AckDir, 0o755); err != nil {
+		return err
+	}
+	db, err := cadcam.Open(paperschema.MustGates(), cfg.Options())
+	if err != nil {
+		return fmt.Errorf("crash: open: %w", err)
+	}
+	reg := &registry{}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Writers)
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = runWriter(db, cfg, w, reg)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			db.Close()
+			return err
+		}
+	}
+	// A sticky journal error (typically an injected one) is an expected
+	// workload ending: writers stopped cleanly, the directory is whatever
+	// survived, and Verify judges it. Close's error would just repeat it.
+	if db.Err() != nil {
+		db.Close()
+		return nil
+	}
+	return db.Close()
+}
+
+// registry shares successfully created surrogates between writers so the
+// operation mix can build deep structures across goroutines.
+type registry struct {
+	mu                                       sync.Mutex
+	ifaceIs, ifaces, impls, comps, pins, all []cadcam.Surrogate
+	classes                                  int
+}
+
+func (r *registry) add(list *[]cadcam.Surrogate, sur cadcam.Surrogate) {
+	r.mu.Lock()
+	*list = append(*list, sur)
+	r.all = append(r.all, sur)
+	r.mu.Unlock()
+}
+
+func (r *registry) pick(rng *rand.Rand, list *[]cadcam.Surrogate) cadcam.Surrogate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(*list) == 0 {
+		return 0
+	}
+	return (*list)[rng.Intn(len(*list))]
+}
+
+func runWriter(db *cadcam.Database, cfg Config, w int, reg *registry) error {
+	ackPath := filepath.Join(cfg.AckDir, fmt.Sprintf("ack-%d.log", w))
+	ack, err := os.OpenFile(ackPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer ack.Close()
+	wr := &writer{db: db, cfg: cfg, id: w, reg: reg, ack: ack,
+		rng: rand.New(rand.NewSource(cfg.Seed*1000003 + int64(w)))}
+	for i := 0; i < cfg.Ops; i++ {
+		if db.Err() != nil {
+			return nil // journal is sticky-bad; stop cleanly
+		}
+		if err := wr.step(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type writer struct {
+	db  *cadcam.Database
+	cfg Config
+	id  int
+	reg *registry
+	ack *os.File
+	rng *rand.Rand
+}
+
+// acked records a durable success: the canonical journal key (the op as
+// the journal records it, with the sequence fields zeroed, hex-encoded)
+// in one unbuffered append.
+func (w *writer) acked(op *oplog.Op) error {
+	_, err := fmt.Fprintf(w.ack, "%s\n", hex.EncodeToString(op.Encode()))
+	return err
+}
+
+// AckKey canonicalizes a journal record for the multiset check: writers
+// do not know the sequence numbers their ops consumed, so Seq and Num are
+// zeroed on both sides.
+func AckKey(op *oplog.Op) string {
+	c := op.Clone()
+	c.Seq = 0
+	c.Num = 0
+	return hex.EncodeToString(c.Encode())
+}
+
+func (w *writer) step(i int) error {
+	db, rng, reg := w.db, w.rng, w.reg
+	if w.id == 0 && w.cfg.CheckpointEvery > 0 && i > 0 && i%w.cfg.CheckpointEvery == 0 {
+		_ = db.Checkpoint() // tolerated: checkpoint failure keeps the old epoch live
+		return nil
+	}
+	switch rng.Intn(17) {
+	case 0:
+		cls := ""
+		reg.mu.Lock()
+		if reg.classes > 0 && rng.Intn(2) == 0 {
+			cls = fmt.Sprintf("C%d", rng.Intn(reg.classes))
+		}
+		reg.mu.Unlock()
+		if sur, err := db.NewObject(paperschema.TypeGateInterfaceI, cls); err == nil {
+			reg.add(&reg.ifaceIs, sur)
+			return w.acked(&oplog.Op{Kind: oplog.KindNewObject, Name: paperschema.TypeGateInterfaceI, Name2: cls, Out: sur})
+		}
+	case 1:
+		if sur, err := db.NewObject(paperschema.TypeGateInterface, ""); err == nil {
+			reg.add(&reg.ifaces, sur)
+			return w.acked(&oplog.Op{Kind: oplog.KindNewObject, Name: paperschema.TypeGateInterface, Out: sur})
+		}
+	case 2:
+		if sur, err := db.NewObject(paperschema.TypeGateImplementation, ""); err == nil {
+			reg.add(&reg.impls, sur)
+			return w.acked(&oplog.Op{Kind: oplog.KindNewObject, Name: paperschema.TypeGateImplementation, Out: sur})
+		}
+	case 3:
+		if sur, err := db.NewObject(paperschema.TypeTimedComposite, ""); err == nil {
+			reg.add(&reg.comps, sur)
+			return w.acked(&oplog.Op{Kind: oplog.KindNewObject, Name: paperschema.TypeTimedComposite, Out: sur})
+		}
+	case 4:
+		parent := reg.pick(rng, &reg.ifaceIs)
+		if sur, err := db.NewSubobject(parent, "Pins"); err == nil {
+			reg.add(&reg.pins, sur)
+			return w.acked(&oplog.Op{Kind: oplog.KindNewSubobject, Sur: parent, Name: "Pins", Out: sur})
+		}
+	case 5:
+		pin := reg.pick(rng, &reg.pins)
+		name, v := "PinId", cadcam.Int(int64(rng.Intn(64)))
+		if rng.Intn(2) == 0 {
+			name = "InOut"
+			v = cadcam.Sym([...]string{"IN", "OUT"}[rng.Intn(2)])
+		}
+		if err := db.SetAttr(pin, name, v); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindSetAttr, Sur: pin, Name: name, Value: v})
+		}
+	case 6:
+		iface := reg.pick(rng, &reg.ifaces)
+		name := [...]string{"Length", "Width"}[rng.Intn(2)]
+		v := cadcam.Int(int64(rng.Intn(100)))
+		if rng.Intn(8) == 0 {
+			v = cadcam.NullValue
+		}
+		if err := db.SetAttr(iface, name, v); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindSetAttr, Sur: iface, Name: name, Value: v})
+		}
+	case 7:
+		impl := reg.pick(rng, &reg.impls)
+		v := cadcam.Int(int64(rng.Intn(100)))
+		if err := db.SetAttr(impl, "TimeBehavior", v); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindSetAttr, Sur: impl, Name: "TimeBehavior", Value: v})
+		}
+	case 8:
+		comp := reg.pick(rng, &reg.comps)
+		v := cadcam.Int(int64(rng.Intn(100)))
+		if err := db.SetAttr(comp, "SimSlot", v); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindSetAttr, Sur: comp, Name: "SimSlot", Value: v})
+		}
+	case 9:
+		inh, tr := reg.pick(rng, &reg.ifaces), reg.pick(rng, &reg.ifaceIs)
+		if sur, err := db.Bind(paperschema.RelAllOfGateInterfaceI, inh, tr); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindBind, Name: paperschema.RelAllOfGateInterfaceI, Sur: inh, Sur2: tr, Out: sur})
+		}
+	case 10:
+		inh, tr := reg.pick(rng, &reg.impls), reg.pick(rng, &reg.ifaces)
+		if sur, err := db.Bind(paperschema.RelAllOfGateInterface, inh, tr); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindBind, Name: paperschema.RelAllOfGateInterface, Sur: inh, Sur2: tr, Out: sur})
+		}
+	case 11:
+		inh, tr := reg.pick(rng, &reg.comps), reg.pick(rng, &reg.impls)
+		if sur, err := db.Bind(paperschema.RelSomeOfGate, inh, tr); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindBind, Name: paperschema.RelSomeOfGate, Sur: inh, Sur2: tr, Out: sur})
+		}
+	case 12:
+		rel := [...]string{paperschema.RelAllOfGateInterfaceI, paperschema.RelAllOfGateInterface,
+			paperschema.RelSomeOfGate}[rng.Intn(3)]
+		inh := reg.pick(rng, &reg.all)
+		if err := db.Unbind(rel, inh); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindUnbind, Name: rel, Sur: inh})
+		}
+	case 13:
+		rel := [...]string{paperschema.RelAllOfGateInterfaceI, paperschema.RelAllOfGateInterface,
+			paperschema.RelSomeOfGate}[rng.Intn(3)]
+		inh := reg.pick(rng, &reg.all)
+		if err := db.Acknowledge(rel, inh); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindAcknowledge, Name: rel, Sur: inh})
+		}
+	case 14:
+		sur := reg.pick(rng, &reg.all)
+		if err := db.Delete(sur); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindDelete, Sur: sur})
+		}
+	case 15:
+		p1, p2 := reg.pick(rng, &reg.pins), reg.pick(rng, &reg.pins)
+		parts := cadcam.Participants{"Pin1": cadcam.RefOf(p1), "Pin2": cadcam.RefOf(p2)}
+		if sur, err := db.Relate(paperschema.TypeWire, parts); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindRelate, Name: paperschema.TypeWire,
+				Parts: object.Participants(parts), Out: sur})
+		}
+	case 16:
+		if rng.Intn(4) != 0 {
+			return nil
+		}
+		reg.mu.Lock()
+		name := fmt.Sprintf("C%d", reg.classes)
+		reg.mu.Unlock()
+		if err := db.DefineClass(name, paperschema.TypeGateInterfaceI); err == nil {
+			reg.mu.Lock()
+			reg.classes++
+			reg.mu.Unlock()
+			return w.acked(&oplog.Op{Kind: oplog.KindDefineClass, Name: name, Name2: paperschema.TypeGateInterfaceI})
+		}
+	}
+	return nil
+}

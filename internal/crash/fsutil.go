@@ -1,0 +1,102 @@
+package crash
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+)
+
+// WALName returns the journal filename of the newest epoch present in
+// dir, or "" if none.
+func WALName(dir string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	best, bestEpoch := "", uint64(0)
+	for _, e := range entries {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &n); err == nil {
+			if best == "" || n > bestEpoch {
+				best, bestEpoch = e.Name(), n
+			}
+		}
+	}
+	return best
+}
+
+// CopyDir copies a directory tree of regular files (the database layout
+// is flat, but subdirectories copy too).
+func CopyDir(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+}
+
+// ClipTail truncates the file to a random length strictly shorter than
+// its current size, simulating a crash that lost the journal tail at an
+// arbitrary byte boundary. It returns the new length.
+func ClipTail(path string, rng *rand.Rand) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() == 0 {
+		return 0, nil
+	}
+	n := rng.Int63n(fi.Size())
+	return n, os.Truncate(path, n)
+}
+
+// FlipByte flips one random bit of one random byte of the file,
+// simulating a corrupt sector. It returns the chosen offset.
+func FlipByte(path string, rng *rand.Rand) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() == 0 {
+		return 0, nil
+	}
+	off := rng.Int63n(fi.Size())
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return 0, err
+	}
+	b[0] ^= 1 << uint(rng.Intn(8))
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return 0, err
+	}
+	return off, f.Close()
+}

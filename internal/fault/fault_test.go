@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisabledPointIsInert(t *testing.T) {
+	defer Reset()
+	p := New("test/inert")
+	if err := p.Hit(); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	if a := p.Fire(); a != nil {
+		t.Fatalf("disabled point fired: %+v", a)
+	}
+}
+
+func TestArmErrorWithCountdown(t *testing.T) {
+	defer Reset()
+	p := New("test/countdown")
+	if err := Arm("test/countdown=error(boom)@3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("fired early at evaluation %d: %v", i+1, err)
+		}
+	}
+	err := p.Hit()
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("want boom on third evaluation, got %v", err)
+	}
+	// One-shot: never fires again.
+	for i := 0; i < 5; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("fired twice: %v", err)
+		}
+	}
+	if got := Hits("test/countdown"); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+func TestPendingSpecAttachesToLaterRegistration(t *testing.T) {
+	defer Reset()
+	if err := Arm("test/late=error(late)"); err != nil {
+		t.Fatal(err)
+	}
+	p := New("test/late")
+	if err := p.Hit(); err == nil || err.Error() != "late" {
+		t.Fatalf("pending arming did not attach: %v", err)
+	}
+}
+
+func TestParseExitAction(t *testing.T) {
+	defer Reset()
+	a, err := parseAction("exit(7,42)@9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.act.Kind != KindExit || a.act.Code != 7 || a.act.Arg != 42 || a.countdown.Load() != 9 {
+		t.Fatalf("parsed %+v countdown=%d", a.act, a.countdown.Load())
+	}
+	a, err = parseAction("exit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.act.Kind != KindExit || a.act.Code != 0 || a.countdown.Load() != 1 {
+		t.Fatalf("parsed %+v", a.act)
+	}
+	for _, bad := range []string{"exit(x)", "error(@", "warp", "error@0", "error@x"} {
+		if _, err := parseAction(bad); err == nil {
+			t.Fatalf("parseAction(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConcurrentFireIsOneShot(t *testing.T) {
+	defer Reset()
+	p := New("test/race")
+	if err := Arm("test/race=error(once)@50"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if p.Fire() != nil {
+					mu.Lock()
+					count++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 1 {
+		t.Fatalf("fired %d times, want exactly 1", count)
+	}
+}
+
+func TestResetClearsArmings(t *testing.T) {
+	p := New("test/reset")
+	if err := Arm("test/reset=error(x)"); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if err := p.Hit(); err != nil {
+		t.Fatalf("armed after Reset: %v", err)
+	}
+	if got := TotalHits(); got != 0 {
+		t.Fatalf("TotalHits after Reset = %d", got)
+	}
+}

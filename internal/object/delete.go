@@ -2,6 +2,7 @@ package object
 
 import (
 	"fmt"
+	"sort"
 
 	"cadcam/internal/domain"
 	"cadcam/internal/oplog"
@@ -40,8 +41,12 @@ func (s *Store) Delete(sur domain.Surrogate) error {
 		s.collectCascadeLocked(root, cascade)
 
 		// Phase 2: policy check for transmitters with external inheritors.
+		// The cascade set is iterated in surrogate order throughout so the
+		// chosen restrict error, the detach-event order and the removal
+		// order are reproducible run to run (and match the replay oracle).
+		members := sortedSurs(cascade)
 		var detach []*Binding
-		for member := range cascade {
+		for _, member := range members {
 			for _, b := range s.shardOf(member).byTransmitter[member] {
 				if cascade[b.Inheritor] {
 					continue // inheritor dies with the cascade anyway
@@ -76,12 +81,12 @@ func (s *Store) Delete(sur domain.Surrogate) error {
 			sub    string
 		}
 		var touched []parentSub
-		for member := range cascade {
+		for _, member := range members {
 			if o, ok := s.obj(member); ok && o.parent != 0 && !cascade[o.parent] {
 				touched = append(touched, parentSub{o.parent, o.parentSub})
 			}
 		}
-		for member := range cascade {
+		for _, member := range members {
 			s.removeObjectLocked(member)
 		}
 		for _, ps := range touched {
@@ -220,5 +225,14 @@ func copyBindings(m map[string]*Binding) []*Binding {
 	for _, b := range m {
 		out = append(out, b)
 	}
+	return out
+}
+
+func sortedSurs(set map[domain.Surrogate]bool) []domain.Surrogate {
+	out := make([]domain.Surrogate, 0, len(set))
+	for sur := range set {
+		out = append(out, sur)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -387,8 +387,18 @@ type notifier struct {
 	s       *Store
 	seq     uint64
 	unbound bool
-	visited map[domain.Surrogate]bool
+	visited map[visitKey]bool
 	events  []UpdateEvent
+}
+
+// visitKey cycle-breaks the notification walk per (transmitter, member)
+// pair, not per transmitter: one operation may notify several members
+// (an attribute plus the parent's subclass), and a transmitter reached
+// for one member must still fan out for the other — keying by surrogate
+// alone would make the outcome depend on notification order.
+type visitKey struct {
+	transmitter domain.Surrogate
+	member      string
 }
 
 func (n *notifier) notify(transmitter domain.Surrogate, member string) {
@@ -397,12 +407,13 @@ func (n *notifier) notify(transmitter domain.Surrogate, member string) {
 		return
 	}
 	if n.visited == nil {
-		n.visited = make(map[domain.Surrogate]bool)
+		n.visited = make(map[visitKey]bool)
 	}
-	if n.visited[transmitter] {
+	k := visitKey{transmitter, member}
+	if n.visited[k] {
 		return
 	}
-	n.visited[transmitter] = true
+	n.visited[k] = true
 	for _, b := range bindings {
 		if !b.Rel.Inherits(member) {
 			continue

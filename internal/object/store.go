@@ -8,9 +8,18 @@ import (
 	"sync/atomic"
 
 	"cadcam/internal/domain"
+	"cadcam/internal/fault"
 	"cadcam/internal/oplog"
 	"cadcam/internal/schema"
 )
+
+// fpPreJournal crashes between the shard mutation (already applied in
+// memory) and the journal append. Creation and topology ops emit while
+// holding every lock they mutated under, so no concurrent writer can
+// journal an op depending on the lost one: recovery always sees a
+// dependency-closed prefix. Exit-kind armings only — emit has no error
+// channel, so an error action is evaluated and discarded.
+var fpPreJournal = fault.New("object/pre-journal")
 
 // DeletePolicy controls what deleting a transmitter does to its bound
 // inheritors. The paper leaves this open; both behaviours are useful.
@@ -285,6 +294,7 @@ func (s *Store) SetJournal(fn func(*oplog.Op)) {
 }
 
 func (s *Store) emit(op *oplog.Op) {
+	_ = fpPreJournal.Hit()
 	if s.journal != nil {
 		s.journal(op)
 	}

@@ -6,6 +6,19 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"cadcam/internal/fault"
+)
+
+// Failpoints of the group-commit pipeline. The leader points sit in the
+// window where mutations are already applied (and acknowledged records
+// enqueued) but the batch has not reached the log: a crash there loses
+// the whole in-flight batch, which recovery must tolerate; an error
+// there poisons the pipeline exactly like a write failure.
+var (
+	fpLeaderPre     = fault.New("group/leader-precommit")
+	fpLeaderEncoded = fault.New("group/leader-encoded")
+	fpStraggler     = fault.New("group/straggler-window")
 )
 
 // ErrCommitterClosed reports an operation on a closed Group.
@@ -193,13 +206,18 @@ func (g *Group) commitBatchLocked(sync bool) {
 	// instead of each leading a batch of one. Gated on evidence of
 	// concurrency (a multi-record queue or previous batch) so a lone
 	// writer's commit latency stays untouched.
+	var inject error
 	if len(g.queue) > 1 || g.lastBatch > 1 {
-		for prev := len(g.queue); ; prev = len(g.queue) {
-			g.mu.Unlock()
-			runtime.Gosched()
-			g.mu.Lock()
-			if len(g.queue) == prev {
-				break
+		// Abort (or crash) in the straggler window: the leader has claimed
+		// the batch but stragglers are still joining.
+		if inject = fpStraggler.Hit(); inject == nil {
+			for prev := len(g.queue); ; prev = len(g.queue) {
+				g.mu.Unlock()
+				runtime.Gosched()
+				g.mu.Lock()
+				if len(g.queue) == prev {
+					break
+				}
 			}
 		}
 	}
@@ -209,15 +227,22 @@ func (g *Group) commitBatchLocked(sync bool) {
 	log := g.log
 	g.mu.Unlock()
 
-	var err error
-	if len(batch) == 0 {
-		err = log.Sync() // records already written, only the fsync owed
-	} else {
-		payloads := make([][]byte, len(batch))
-		for i, rec := range batch {
-			payloads[i] = rec.Encode()
+	err := inject
+	if err == nil {
+		err = fpLeaderPre.Hit()
+	}
+	if err == nil {
+		if len(batch) == 0 {
+			err = log.Sync() // records already written, only the fsync owed
+		} else {
+			payloads := make([][]byte, len(batch))
+			for i, rec := range batch {
+				payloads[i] = rec.Encode()
+			}
+			if err = fpLeaderEncoded.Hit(); err == nil {
+				err = log.AppendBatch(payloads, sync)
+			}
 		}
-		err = log.AppendBatch(payloads, sync)
 	}
 
 	g.mu.Lock()

@@ -12,6 +12,19 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"cadcam/internal/fault"
+)
+
+// Failpoints of the log layer (see internal/fault). The torn-write and
+// partial-batch points simulate a crash mid-write: the site writes a
+// prefix of the frame and terminates, so recovery sees exactly the torn
+// tail a real crash leaves behind.
+var (
+	fpAppendError  = fault.New("wal/append-error")
+	fpSyncError    = fault.New("wal/sync-error")
+	fpTornWrite    = fault.New("wal/torn-write")
+	fpPartialBatch = fault.New("wal/partial-batch")
 )
 
 // ErrCorrupt reports a record whose checksum does not match. A corrupt
@@ -135,12 +148,21 @@ func frameBatch(payloads [][]byte) []byte {
 
 // expandBatch unpacks a batch-frame payload back into its records.
 func expandBatch(payload []byte) ([][]byte, error) {
+	if len(payload) == 0 || payload[0] != BatchMarker {
+		return nil, errors.New("not a batch frame")
+	}
 	b := payload[1:] // skip marker
 	count, n := binary.Uvarint(b)
 	if n <= 0 {
 		return nil, errors.New("bad batch count")
 	}
 	b = b[n:]
+	if count > uint64(len(b)) {
+		// Each record costs at least one length byte, so a count beyond
+		// the remaining payload is corrupt; checking before allocating
+		// keeps a flipped count byte from demanding an absurd slice.
+		return nil, errors.New("bad batch count")
+	}
 	records := make([][]byte, 0, count)
 	for i := uint64(0); i < count; i++ {
 		length, n := binary.Uvarint(b)
@@ -175,8 +197,8 @@ func (l *Log) Append(payload []byte) error {
 	l.pending++
 	if l.syncEvery > 0 && l.pending >= l.syncEvery {
 		l.pending = 0
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("storage: sync: %w", err)
+		if err := l.sync(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -188,6 +210,9 @@ func (l *Log) Append(payload []byte) error {
 // crash mid-write tears the whole frame: scan drops the entire batch, so
 // a batch is committed atomically or not at all.
 func (l *Log) AppendBatch(payloads [][]byte, sync bool) error {
+	if err := fpAppendError.Hit(); err != nil {
+		return fmt.Errorf("storage: append batch: %w", err)
+	}
 	if len(payloads) == 0 {
 		if sync {
 			return l.Sync()
@@ -205,23 +230,61 @@ func (l *Log) AppendBatch(payloads [][]byte, sync bool) error {
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	buf = append(buf, payload...)
+	if a := fpTornWrite.Fire(); a != nil {
+		l.tear(buf, a, len(buf)/2)
+		return fmt.Errorf("storage: append batch: %w", a.Err)
+	}
+	if len(payloads) > 1 {
+		// Tear inside the packed records of a batch frame: header and part
+		// of the payload land on disk, so scan sees a CRC mismatch at the
+		// tail and must drop the whole batch.
+		if a := fpPartialBatch.Fire(); a != nil {
+			l.tear(buf, a, headerSize+(len(buf)-headerSize)*3/4)
+			return fmt.Errorf("storage: append batch: %w", a.Err)
+		}
+	}
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("storage: append batch: %w", err)
 	}
 	l.size += int64(len(buf))
 	if sync {
 		l.pending = 0
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("storage: sync: %w", err)
-		}
-		return nil
+		return l.sync()
 	}
 	l.pending += len(payloads)
 	return nil
 }
 
+// tear writes a prefix of buf and, for an exit-kind action, terminates
+// the process — the injected equivalent of the OS cutting a write short
+// at a crash. The cut defaults to def; the arming's Arg overrides it.
+// Error-kind armings skip the write (the frame never reaches the file)
+// and return to the caller.
+func (l *Log) tear(buf []byte, a *fault.Action, def int) {
+	if a.Kind != fault.KindExit {
+		return
+	}
+	cut := def
+	if a.Arg > 0 && a.Arg < len(buf) {
+		cut = a.Arg
+	}
+	_, _ = l.f.Write(buf[:cut])
+	fault.Crash(*a)
+}
+
+// sync fsyncs the file, routing through the sync-error failpoint.
+func (l *Log) sync() error {
+	if err := fpSyncError.Hit(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return nil
+}
+
 // Sync forces an fsync.
-func (l *Log) Sync() error { return l.f.Sync() }
+func (l *Log) Sync() error { return l.sync() }
 
 // Size reports the current log size in bytes.
 func (l *Log) Size() int64 { return l.size }

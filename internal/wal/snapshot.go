@@ -73,12 +73,26 @@ func EncodeSnapshot(st *object.StoreState, vs *version.ManagerState) []byte {
 // DecodeSnapshot rebuilds the state into an empty store and version
 // manager.
 func DecodeSnapshot(b []byte, s *object.Store, vm *version.Manager) error {
+	st, vs, err := DecodeSnapshotState(b)
+	if err != nil {
+		return err
+	}
+	if err := s.Import(st); err != nil {
+		return err
+	}
+	return vm.Import(vs)
+}
+
+// DecodeSnapshotState decodes a snapshot blob into its raw state records
+// without importing them anywhere, so verification tooling can feed the
+// same bytes to an independent model of the store.
+func DecodeSnapshotState(b []byte) (*object.StoreState, *version.ManagerState, error) {
 	r := codec.NewReader(b)
 	if r.Uvarint() != snapMagic {
-		return fmt.Errorf("wal: bad snapshot magic")
+		return nil, nil, fmt.Errorf("wal: bad snapshot magic")
 	}
 	if v := r.Uvarint(); v != snapVersion {
-		return fmt.Errorf("wal: unsupported snapshot version %d", v)
+		return nil, nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
 	}
 	st := &object.StoreState{}
 	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
@@ -128,17 +142,14 @@ func DecodeSnapshot(b []byte, s *object.Store, vm *version.Manager) error {
 		})
 	}
 	if err := r.Err(); err != nil {
-		return err
+		return nil, nil, err
 	}
 	// Attrs maps in records may contain explicit nulls; normalize.
 	for _, o := range st.Objects {
 		normalizeNulls(o.Attrs)
 		normalizeNulls(o.Participants)
 	}
-	if err := s.Import(st); err != nil {
-		return err
-	}
-	return vm.Import(vs)
+	return st, vs, nil
 }
 
 func normalizeNulls(m map[string]domain.Value) {
