@@ -295,19 +295,28 @@ type StoreStats = object.StoreStats
 type WALStats = storage.GroupStats
 
 // DBStats combines the store's resolution-cache counters with the WAL
-// pipeline counters.
+// pipeline counters and the checkpoint/recovery counters.
 type DBStats struct {
 	StoreStats
 	WAL WALStats `json:"wal"`
+	// Checkpoint counts incremental-checkpoint work since Open; Recovery
+	// describes what the last Open replayed. Both zero in-memory.
+	Checkpoint CheckpointStats `json:"checkpoint"`
+	Recovery   RecoveryStats   `json:"recovery"`
 }
 
 // Stats returns resolution-cache hit/miss/invalidation counters, the
-// current structure epoch, and the WAL group-commit counters.
+// current structure epoch, the WAL group-commit counters, and the
+// checkpoint/recovery counters.
 func (db *Database) Stats() DBStats {
 	st := DBStats{StoreStats: db.store.Stats()}
 	if db.committer != nil {
 		st.WAL = db.committer.Stats()
 	}
+	db.statMu.Lock()
+	st.Checkpoint = db.ckptStats
+	st.Recovery = db.recStats
+	db.statMu.Unlock()
 	return st
 }
 

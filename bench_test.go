@@ -9,6 +9,7 @@ package cadcam_test
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -705,4 +706,98 @@ func BenchmarkE13_Simulate(b *testing.B) {
 func reportWALMetrics(b *testing.B, db *cadcam.Database) {
 	b.Helper()
 	reportWALStats(b, db)
+}
+
+// envObjects sizes the recovery benchmarks (CADCAM_RECOVERY_OBJECTS
+// overrides; EXPERIMENTS.md E15 runs 1_000_000).
+func envObjects(def int) int {
+	if s := os.Getenv("CADCAM_RECOVERY_OBJECTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// buildRecoveryDir populates a database directory with n attributed pins
+// spread over every shard, checkpoints it, and optionally appends a
+// journal tail of extra attribute writes (tail ops replay on open).
+func buildRecoveryDir(b *testing.B, n, tail int) string {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "cadcam-recovery-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	surs := make([]cadcam.Surrogate, n)
+	for i := 0; i < n; i++ {
+		sur, err := db.NewObject(paperschema.TypePin, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.SetAttr(sur, "PinId", cadcam.Int(int64(i%64))); err != nil {
+			b.Fatal(err)
+		}
+		surs[i] = sur
+	}
+	if err := db.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < tail; i++ {
+		if err := db.SetAttr(surs[i%n], "PinId", cadcam.Int(int64(i%64))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// reopen times one full recovery of dir with the given worker count and
+// reports the recovery counters of the last open.
+func reopen(b *testing.B, dir string, workers int) {
+	b.Helper()
+	var rec cadcam.RecoveryStats
+	for i := 0; i < b.N; i++ {
+		db, err := cadcam.Open(paperschema.MustGates(),
+			cadcam.Options{Dir: dir, SyncEvery: -1, RecoveryWorkers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec = db.Stats().Recovery
+		db.Close()
+	}
+	b.ReportMetric(float64(rec.DecodeNs)/1e6, "decode-ms")
+	b.ReportMetric(float64(rec.ReplayNs)/1e6, "replay-ms")
+	b.ReportMetric(float64(rec.ReplayOps), "replay-ops")
+}
+
+// BenchmarkRecoveryCold reopens a fully checkpointed store (empty
+// journal): the cost is segment decode plus parallel import, so the
+// worker sweep isolates the sharded-recovery speedup.
+func BenchmarkRecoveryCold(b *testing.B) {
+	dir := buildRecoveryDir(b, envObjects(100_000), 0)
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			reopen(b, dir, w)
+		})
+	}
+}
+
+// BenchmarkRecoveryIncremental reopens a checkpointed store with a
+// journal tail of 10% extra attribute writes, exercising segment decode
+// plus the shard-partitioned parallel tail replay.
+func BenchmarkRecoveryIncremental(b *testing.B) {
+	n := envObjects(100_000)
+	dir := buildRecoveryDir(b, n, n/10)
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			reopen(b, dir, w)
+		})
+	}
 }

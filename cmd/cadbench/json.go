@@ -36,6 +36,33 @@ type jsonReport struct {
 	// latency at the default shard count versus a single shard (the
 	// pre-shard store's global lock, approximately).
 	Shards *shardsReport `json:"shards,omitempty"`
+	// Checkpoint is the incremental-checkpoint probe: encoded work of a
+	// full checkpoint versus a 1-dirty-shard incremental one, plus
+	// recovery timings. BytesRatio is deterministic (encoded bytes, not
+	// wall time), so CI can assert on it.
+	Checkpoint *checkpointReport `json:"checkpoint,omitempty"`
+}
+
+// checkpointReport is the `checkpoint` section of the JSON report.
+type checkpointReport struct {
+	Shards int `json:"shards"`
+	// Full* is the first checkpoint of the probe store (every shard
+	// dirty); Incremental* is the following checkpoint after touching a
+	// single object.
+	FullSegments        uint64 `json:"full_segments"`
+	FullBytes           uint64 `json:"full_bytes"`
+	IncrementalSegments uint64 `json:"incremental_segments"`
+	IncrementalBytes    uint64 `json:"incremental_bytes"`
+	// BytesRatio = FullBytes / IncrementalBytes: how much cheaper the
+	// 1-dirty-shard checkpoint is in encoded+written bytes.
+	BytesRatio float64 `json:"bytes_ratio"`
+	// Recovery timings of reopening the probe directory: serial decode
+	// vs the default worker pool (wall time; informational on 1-CPU
+	// machines).
+	RecoveryColdSerialMs float64 `json:"recovery_cold_serial_ms"`
+	RecoveryColdMs       float64 `json:"recovery_cold_ms"`
+	RecoveryReplayOps    int     `json:"recovery_replay_ops"`
+	RecoveryWorkers      int     `json:"recovery_workers"`
 }
 
 // shardsReport is the `shards` section of the JSON report.
@@ -97,6 +124,9 @@ func runJSON(expFilter string) error {
 		return err
 	}
 	if err := shardProbes(&report); err != nil {
+		return err
+	}
+	if err := checkpointProbes(&report); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -341,5 +371,88 @@ func shardProbes(report *jsonReport) error {
 		SetAttr8w1ShardNs:  best1shard,
 		MultiWriterSpeedup: speedup,
 	}
+	return nil
+}
+
+// checkpointProbes measures the incremental checkpoint on a real on-disk
+// database: a full checkpoint of a store spread over every shard, an
+// incremental checkpoint after dirtying a single shard, and the recovery
+// time of reopening the result serially vs with the default worker pool.
+func checkpointProbes(report *jsonReport) error {
+	dir, err := os.MkdirTemp("", "cadbench-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: -1})
+	if err != nil {
+		return err
+	}
+	const objects = 4096
+	pins := make([]cadcam.Surrogate, objects)
+	for i := range pins {
+		if pins[i], err = db.NewObject(paperschema.TypePin, ""); err != nil {
+			db.Close()
+			return err
+		}
+		if err := db.SetAttr(pins[i], "PinId", cadcam.Int(int64(i%64))); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.Close()
+		return err
+	}
+	full := db.Stats().Checkpoint
+	if err := db.SetAttr(pins[0], "PinId", cadcam.Int(1)); err != nil {
+		db.Close()
+		return err
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.Close()
+		return err
+	}
+	incr := db.Stats().Checkpoint
+	shards := db.Store().Shards()
+	if err := db.Close(); err != nil {
+		return err
+	}
+
+	reopen := func(workers int) (float64, cadcam.RecoveryStats, error) {
+		t0 := time.Now()
+		rdb, err := cadcam.Open(paperschema.MustGates(),
+			cadcam.Options{Dir: dir, SyncEvery: -1, RecoveryWorkers: workers})
+		if err != nil {
+			return 0, cadcam.RecoveryStats{}, err
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		rec := rdb.Stats().Recovery
+		return ms, rec, rdb.Close()
+	}
+	serialMs, _, err := reopen(1)
+	if err != nil {
+		return fmt.Errorf("probe checkpoint reopen serial: %w", err)
+	}
+	coldMs, rec, err := reopen(0)
+	if err != nil {
+		return fmt.Errorf("probe checkpoint reopen: %w", err)
+	}
+
+	cp := &checkpointReport{
+		Shards:               shards,
+		FullSegments:         full.SegmentsWritten,
+		FullBytes:            full.BytesEncoded,
+		IncrementalSegments:  incr.SegmentsWritten - full.SegmentsWritten,
+		IncrementalBytes:     incr.BytesEncoded - full.BytesEncoded,
+		RecoveryColdSerialMs: serialMs,
+		RecoveryColdMs:       coldMs,
+		RecoveryReplayOps:    rec.ReplayOps,
+		RecoveryWorkers:      rec.Workers,
+	}
+	if cp.IncrementalBytes > 0 {
+		cp.BytesRatio = float64(cp.FullBytes) / float64(cp.IncrementalBytes)
+	}
+	report.Checkpoint = cp
 	return nil
 }

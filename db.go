@@ -21,14 +21,16 @@
 // Durability model: every mutation performed through the Database (or
 // directly on its Store) is journaled in execution order to a
 // CRC-framed, fsynced log and replayed deterministically on Open;
-// Checkpoint compacts the journal into an atomic snapshot. Transactions
-// (Begin) provide strict two-phase locking with portion locks, lock
-// inheritance and expansion locking over the in-memory image; their
-// journal records include compensating operations on abort, so the
-// journal always reproduces the exact store state. Statement-level
-// durability is the recovery unit — a transaction open at crash time is
-// replayed up to its last statement; use Workspaces (checkout/checkin)
-// for all-or-nothing publication of long design sessions.
+// Checkpoint compacts the journal into an atomic, incrementally
+// maintained checkpoint (a manifest plus per-shard segments, re-encoding
+// only shards that changed). Transactions (Begin) provide strict
+// two-phase locking with portion locks, lock inheritance and expansion
+// locking over the in-memory image; their journal records include
+// compensating operations on abort, so the journal always reproduces the
+// exact store state. Statement-level durability is the recovery unit — a
+// transaction open at crash time is replayed up to its last statement;
+// use Workspaces (checkout/checkin) for all-or-nothing publication of
+// long design sessions.
 package cadcam
 
 import (
@@ -36,9 +38,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cadcam/internal/domain"
 	"cadcam/internal/fault"
@@ -51,10 +56,29 @@ import (
 	"cadcam/internal/wal"
 )
 
-// fpCheckpointGap crashes (or fails) a checkpoint after the new epoch's
-// snapshot is durable but before the journal swap: recovery must pick
-// the newer snapshot and discard the stale previous-epoch files.
-var fpCheckpointGap = fault.New("db/checkpoint-gap")
+// Checkpoint failpoints, in protocol order. A checkpoint rotates the
+// journal first (under the store's exclusive lock), then encodes and
+// writes segments, then commits the manifest, then garbage-collects:
+//
+//	fpCheckpointGap  — after the journal rotation, before anything is
+//	                   written: recovery must replay the wal chain
+//	                   (previous epoch's log plus the fresh one) on top
+//	                   of the previous checkpoint.
+//	fpSegmentWrite   — while writing a new segment file: the manifest
+//	                   does not exist yet, so recovery must ignore the
+//	                   orphan segments and use the previous checkpoint.
+//	fpManifestSwap   — after every segment is durable, before the
+//	                   manifest rename commits: same recovery obligation
+//	                   as fpSegmentWrite.
+//	fpSegmentGC      — after the manifest committed, before stale files
+//	                   are removed: recovery must prefer the newest
+//	                   manifest and clean up the leftovers.
+var (
+	fpCheckpointGap = fault.New("db/checkpoint-gap")
+	fpSegmentWrite  = fault.New("db/segment-write")
+	fpManifestSwap  = fault.New("db/manifest-swap")
+	fpSegmentGC     = fault.New("db/segment-gc")
+)
 
 // ErrFrozenVersion reports a write to an object frozen by the version
 // manager.
@@ -100,8 +124,13 @@ type Options struct {
 	// Shards is the object-store shard count (0 = default, currently 16).
 	// Operations on objects in different shards take different locks;
 	// snapshots are shard-agnostic, so a database written with one count
-	// reopens cleanly with another.
+	// reopens cleanly with another (such a reopen merely re-encodes every
+	// segment at the next checkpoint).
 	Shards int
+	// RecoveryWorkers bounds the goroutines recovery uses to decode
+	// checkpoint segments, import objects and replay the journal tail
+	// (0 = GOMAXPROCS, 1 = serial).
+	RecoveryWorkers int
 }
 
 // syncCadence normalizes SyncEvery to the pipeline's fsync cadence:
@@ -129,6 +158,49 @@ func (o Options) durable() bool {
 	}
 }
 
+// workers normalizes RecoveryWorkers.
+func (o Options) workers() int {
+	if o.RecoveryWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.RecoveryWorkers
+}
+
+// CheckpointStats counts incremental-checkpoint work since Open.
+type CheckpointStats struct {
+	// Checkpoints and Failures count completed and failed Checkpoint
+	// calls (in-memory databases never count).
+	Checkpoints uint64 `json:"checkpoints"`
+	Failures    uint64 `json:"failures"`
+	// SegmentsWritten and SegmentsSkipped count per-shard segment files
+	// across all checkpoints: skipped shards were clean since their last
+	// encoded segment and kept the old file.
+	SegmentsWritten uint64 `json:"segments_written"`
+	SegmentsSkipped uint64 `json:"segments_skipped"`
+	// BytesEncoded is the total size of all encoded segment and manifest
+	// payloads (before CRC framing).
+	BytesEncoded uint64 `json:"bytes_encoded"`
+	// LastError describes the most recent checkpoint failure; cleared by
+	// the next successful checkpoint.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// RecoveryStats describes the recovery work the last Open performed.
+type RecoveryStats struct {
+	// Segments is the number of checkpoint segment files decoded (0 for
+	// a legacy single-snapshot directory or a fresh one).
+	Segments int `json:"segments"`
+	// DecodeNs is the wall time spent locating and decoding the
+	// checkpoint state (manifest + segments, or legacy snapshot).
+	DecodeNs int64 `json:"decode_ns"`
+	// ReplayOps is the number of journal records replayed on top.
+	ReplayOps int `json:"replay_ops"`
+	// ReplayNs is the wall time of store import plus journal replay.
+	ReplayNs int64 `json:"replay_ns"`
+	// Workers is the parallelism recovery ran with.
+	Workers int `json:"workers"`
+}
+
 // Database is one open CAD/CAM database.
 type Database struct {
 	cat      *schema.Catalog
@@ -144,6 +216,24 @@ type Database struct {
 	dir   string
 	epoch uint64
 	opts  Options
+
+	// Incremental-checkpoint bookkeeping (guarded by mu). manifestEpoch
+	// is the epoch of the last committed manifest; segEpochs[p] is the
+	// epoch whose segment file currently describes shard p; ckptBaseline
+	// holds each shard's dirty counter at that commit. ckptBaseline is
+	// nil (forcing the next checkpoint to encode every shard) until a
+	// manifest whose partition count matches the store's shard count has
+	// been committed or recovered.
+	manifestEpoch uint64
+	segEpochs     []uint64
+	ckptBaseline  []uint64
+
+	// statMu guards the observability counters, which Stats readers poll
+	// without taking mu (a checkpoint may be in progress).
+	statMu    sync.Mutex
+	ckptStats CheckpointStats
+	recStats  RecoveryStats
+	ckptErr   error
 
 	// committer is the group-commit journal pipeline (nil in-memory).
 	// Mutations enqueue their op under the store mutex — fixing the
@@ -216,13 +306,24 @@ func OpenMemory(cat *schema.Catalog) (*Database, error) {
 	return Open(cat, Options{})
 }
 
-// SnapshotFilename and WALFilename name the epoch files a persistent
-// database keeps in its directory. Exported for tools (the crash-matrix
-// harness locates the live journal with them).
+// SnapshotFilename, WALFilename, ManifestFilename and SegmentFilename
+// name the epoch files a persistent database keeps in its directory.
+// Exported for tools (the crash-matrix harness locates the live journal
+// with them). Snapshot files are the legacy single-blob checkpoint
+// format, still read but no longer written.
 func SnapshotFilename(epoch uint64) string { return fmt.Sprintf("snap-%08d.snap", epoch) }
 
 // WALFilename returns the journal file name of an epoch.
 func WALFilename(epoch uint64) string { return fmt.Sprintf("wal-%08d.log", epoch) }
+
+// ManifestFilename returns the checkpoint manifest file name of an epoch.
+func ManifestFilename(epoch uint64) string { return fmt.Sprintf("manifest-%08d.mf", epoch) }
+
+// SegmentFilename returns the file name of shard partition `part`'s
+// segment encoded at an epoch.
+func SegmentFilename(epoch uint64, part int) string {
+	return fmt.Sprintf("seg-%08d-p%03d.seg", epoch, part)
+}
 
 func (db *Database) snapPath(epoch uint64) string {
 	return filepath.Join(db.dir, SnapshotFilename(epoch))
@@ -232,91 +333,307 @@ func (db *Database) walPath(epoch uint64) string {
 	return filepath.Join(db.dir, WALFilename(epoch))
 }
 
-// openState locates the newest valid snapshot epoch in dir and opens its
-// journal: the single source of truth for what persistent state a
-// directory holds, shared by recovery and by ScanJournal. A torn tail of
-// the journal is truncated (as recovery would). The returned log is open;
-// the caller owns it.
-func openState(dir string) (epoch uint64, snapshot []byte, log *storage.Log, records [][]byte, err error) {
+func (db *Database) manifestPath(epoch uint64) string {
+	return filepath.Join(db.dir, ManifestFilename(epoch))
+}
+
+func (db *Database) segPath(epoch uint64, part int) string {
+	return filepath.Join(db.dir, SegmentFilename(epoch, part))
+}
+
+// epochFilePrefixes are the file-name prefixes recovery and checkpoint
+// GC own; nothing else in a database directory is ever removed.
+var epochFilePrefixes = [...]string{"snap-", "wal-", "manifest-", "seg-"}
+
+func isEpochFile(name string) bool {
+	for _, p := range epochFilePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// dirState is everything recovery derives from a database directory: the
+// newest decodable checkpoint state (nil for a fresh directory), the
+// journal chain on top of it, and the opened live journal.
+type dirState struct {
+	// stateEpoch is the checkpoint epoch the state was loaded at (0 when
+	// the directory has no checkpoint). fromManifest distinguishes the
+	// incremental manifest+segments format from a legacy snapshot.
+	stateEpoch   uint64
+	fromManifest bool
+	segEpochs    []uint64
+	st           *object.StoreState
+	vs           *version.ManagerState
+	segments     int
+	decodeNs     int64
+
+	// records is the concatenated journal chain: every record of epochs
+	// stateEpoch..liveEpoch in append order. A checkpoint rotates the
+	// journal *before* committing its manifest, so a crashed or failed
+	// checkpoint leaves several consecutive live logs; all of them
+	// replay. log is the opened newest journal; the caller owns it.
+	records   [][]byte
+	liveEpoch uint64
+	log       *storage.Log
+}
+
+// loadDirState locates the newest valid checkpoint in dir, decodes it
+// (segments concurrently, up to `workers` goroutines), and opens the
+// journal chain: the single source of truth for what persistent state a
+// directory holds, shared by recovery and by ScanJournal. A corrupt or
+// half-written checkpoint falls back to the next older one; a torn tail
+// of any journal in the chain is truncated in place (as recovery would).
+func loadDirState(dir string, workers int) (*dirState, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, nil, nil, nil, fmt.Errorf("cadcam: %w", err)
+		return nil, fmt.Errorf("cadcam: %w", err)
 	}
-	var epochs []uint64
+	var manifests, snaps []uint64
 	for _, e := range entries {
 		var n uint64
-		if _, err := fmt.Sscanf(e.Name(), "snap-%d.snap", &n); err == nil {
-			epochs = append(epochs, n)
+		if _, err := fmt.Sscanf(e.Name(), "manifest-%d.mf", &n); err == nil {
+			manifests = append(manifests, n)
+		} else if _, err := fmt.Sscanf(e.Name(), "snap-%d.snap", &n); err == nil {
+			snaps = append(snaps, n)
 		}
 	}
-	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
-	for _, e := range epochs {
-		blob, err := storage.ReadSnapshot(filepath.Join(dir, SnapshotFilename(e)))
+	sort.Slice(manifests, func(i, j int) bool { return manifests[i] > manifests[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+
+	ds := &dirState{}
+	t0 := time.Now()
+	for _, e := range manifests {
+		blob, err := storage.ReadSnapshot(filepath.Join(dir, ManifestFilename(e)))
 		if err != nil || blob == nil {
-			continue // corrupt or vanished snapshot: fall back
+			continue // corrupt or vanished manifest: fall back
 		}
-		epoch, snapshot = e, blob
+		m, err := wal.DecodeManifest(blob)
+		if err != nil || m.Epoch != e {
+			continue
+		}
+		st, err := decodeSegments(dir, m, workers)
+		if err != nil {
+			continue // a referenced segment is missing or corrupt
+		}
+		ds.stateEpoch, ds.fromManifest = e, true
+		ds.segEpochs = m.SegEpochs
+		ds.st, ds.vs = st, m.Versions
+		ds.segments = len(m.SegEpochs)
 		break
 	}
-	log, records, err = storage.OpenLog(filepath.Join(dir, WALFilename(epoch)))
-	if err != nil {
-		return 0, nil, nil, nil, err
+	if ds.st == nil {
+		// No usable manifest: fall back to the newest legacy snapshot
+		// (pre-incremental directories), then to an empty epoch-0 state.
+		for _, e := range snaps {
+			blob, err := storage.ReadSnapshot(filepath.Join(dir, SnapshotFilename(e)))
+			if err != nil || blob == nil {
+				continue
+			}
+			st, vs, err := wal.DecodeSnapshotState(blob)
+			if err != nil {
+				continue
+			}
+			ds.stateEpoch = e
+			ds.st, ds.vs = st, vs
+			break
+		}
 	}
-	return epoch, snapshot, log, records, nil
-}
+	ds.decodeNs = time.Since(t0).Nanoseconds()
 
-// ScanJournal reads the persistent state of a database directory without
-// opening a database: the newest valid snapshot blob (nil if none) and
-// the journal records of its epoch, batch frames expanded, in append
-// order. The crash-recovery harness replays these records against its
-// model oracle; decode each with oplog.Decode. Like recovery, scanning
-// truncates a torn journal tail in place.
-func ScanJournal(dir string) (epoch uint64, snapshot []byte, records [][]byte, err error) {
-	epoch, snapshot, log, records, err := openState(dir)
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	if cerr := log.Close(); cerr != nil {
-		return 0, nil, nil, cerr
-	}
-	return epoch, snapshot, records, nil
-}
-
-// recover finds the newest valid snapshot epoch, loads it, replays its
-// journal, and removes stale files from older epochs. It returns the
-// opened journal, which the caller hands to the group committer.
-func (db *Database) recover() (*storage.Log, error) {
-	epoch, snapshot, log, records, err := openState(db.dir)
+	log, records, err := storage.OpenLog(filepath.Join(dir, WALFilename(ds.stateEpoch)))
 	if err != nil {
 		return nil, err
 	}
-	db.epoch = epoch
-	if snapshot != nil {
-		if err := wal.DecodeSnapshot(snapshot, db.store, db.versions); err != nil {
+	ds.records = records
+	ds.liveEpoch = ds.stateEpoch
+	for {
+		next := filepath.Join(dir, WALFilename(ds.liveEpoch+1))
+		if _, serr := os.Stat(next); serr != nil {
+			break
+		}
+		nlog, nrecs, err := storage.OpenLog(next)
+		if err != nil {
 			log.Close()
-			return nil, fmt.Errorf("cadcam: snapshot epoch %d: %w", epoch, err)
+			return nil, err
+		}
+		if err := log.Close(); err != nil {
+			nlog.Close()
+			return nil, err
+		}
+		log = nlog
+		ds.liveEpoch++
+		ds.records = append(ds.records, nrecs...)
+	}
+	ds.log = log
+	return ds, nil
+}
+
+// decodeSegments reads and decodes every segment a manifest references,
+// concurrently, and merges them with the manifest's base state. Any
+// missing or corrupt segment fails the whole checkpoint (the caller
+// falls back to an older one).
+func decodeSegments(dir string, m *wal.Manifest, workers int) (*object.StoreState, error) {
+	parts := len(m.SegEpochs)
+	st := &object.StoreState{
+		Classes: m.Base.Classes,
+		NextSur: m.Base.NextSur,
+		Seq:     m.Base.Seq,
+	}
+	if parts == 0 {
+		return st, nil
+	}
+	objs := make([][]object.ObjectRecord, parts)
+	binds := make([][]object.BindingRecord, parts)
+	errs := make([]error, parts)
+	if workers > parts {
+		workers = parts
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := w; p < parts; p += workers {
+				blob, err := storage.ReadSnapshot(filepath.Join(dir, SegmentFilename(m.SegEpochs[p], p)))
+				if err != nil {
+					errs[p] = err
+					continue
+				}
+				if blob == nil {
+					errs[p] = fmt.Errorf("cadcam: segment %d of epoch %d missing", p, m.SegEpochs[p])
+					continue
+				}
+				objs[p], binds[p], errs[p] = wal.DecodeSegment(blob, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	if err := wal.Replay(records, db.store, db.versions); err != nil {
-		log.Close()
+	for p := 0; p < parts; p++ {
+		st.Objects = append(st.Objects, objs[p]...)
+		st.Bindings = append(st.Bindings, binds[p]...)
+	}
+	return st, nil
+}
+
+// ScanState is what ScanJournal reads out of a database directory: the
+// decoded checkpoint state (nil for a fresh directory) and the journal
+// records replayed on top of it.
+type ScanState struct {
+	// Epoch is the checkpoint epoch the state was loaded at (the first
+	// epoch of the journal chain).
+	Epoch uint64
+	// Store and Versions are the checkpoint state; both nil when the
+	// directory has no checkpoint.
+	Store    *object.StoreState
+	Versions *version.ManagerState
+	// Records is the journal chain in append order, batch frames
+	// expanded; decode each with oplog.Decode.
+	Records [][]byte
+}
+
+// ScanJournal reads the persistent state of a database directory without
+// opening a database. The crash-recovery harness replays the records
+// against its model oracle. Like recovery, scanning truncates a torn
+// journal tail in place.
+func ScanJournal(dir string) (*ScanState, error) {
+	ds, err := loadDirState(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ds.log.Close(); cerr != nil {
+		return nil, cerr
+	}
+	return &ScanState{Epoch: ds.stateEpoch, Store: ds.st, Versions: ds.vs, Records: ds.records}, nil
+}
+
+// recover finds the newest valid checkpoint, imports it (segments
+// decoded and objects constructed in parallel), replays the journal
+// chain on top (shard-parallel where the record mix allows, see
+// wal.ReplayN), and removes stale files from older epochs. It returns
+// the opened live journal, which the caller hands to the group
+// committer.
+func (db *Database) recover() (*storage.Log, error) {
+	workers := db.opts.workers()
+	ds, err := loadDirState(db.dir, workers)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	if ds.st != nil {
+		if err := db.store.ImportParallel(ds.st, workers); err != nil {
+			ds.log.Close()
+			return nil, fmt.Errorf("cadcam: checkpoint epoch %d: %w", ds.stateEpoch, err)
+		}
+		if err := db.versions.Import(ds.vs); err != nil {
+			ds.log.Close()
+			return nil, fmt.Errorf("cadcam: checkpoint epoch %d: %w", ds.stateEpoch, err)
+		}
+	}
+	if err := wal.ReplayN(ds.records, db.store, db.versions, workers); err != nil {
+		ds.log.Close()
 		return nil, fmt.Errorf("cadcam: %w", err)
 	}
-	// Remove files from other epochs (old, or half-written newer ones).
+	db.epoch = ds.liveEpoch
+	if ds.fromManifest && len(ds.segEpochs) == db.store.Shards() {
+		// Segment reuse carries across restarts: the dirty counters
+		// restart at zero, and replaying the journal tail re-dirties
+		// exactly the shards whose on-disk segments are now stale, so the
+		// next checkpoint re-encodes those and keeps the rest.
+		db.manifestEpoch = ds.stateEpoch
+		db.segEpochs = append([]uint64(nil), ds.segEpochs...)
+		db.ckptBaseline = make([]uint64, db.store.Shards())
+	}
+	db.statMu.Lock()
+	db.recStats = RecoveryStats{
+		Segments:  ds.segments,
+		DecodeNs:  ds.decodeNs,
+		ReplayOps: len(ds.records),
+		ReplayNs:  time.Since(t0).Nanoseconds(),
+		Workers:   workers,
+	}
+	db.statMu.Unlock()
+	db.gcStale(ds)
+	return ds.log, nil
+}
+
+// gcStale removes every epoch file the recovered state does not
+// reference: older (or orphaned newer) checkpoints, segments no current
+// manifest points at, and journals below the chain. Best-effort; a
+// leftover file is re-collected by the next recovery or checkpoint.
+func (db *Database) gcStale(ds *dirState) {
 	entries, err := os.ReadDir(db.dir)
 	if err != nil {
-		log.Close()
-		return nil, fmt.Errorf("cadcam: %w", err)
+		return
+	}
+	keep := make(map[string]bool)
+	if ds.st != nil {
+		if ds.fromManifest {
+			keep[ManifestFilename(ds.stateEpoch)] = true
+			for p, se := range ds.segEpochs {
+				keep[SegmentFilename(se, p)] = true
+			}
+		} else {
+			keep[SnapshotFilename(ds.stateEpoch)] = true
+		}
+	}
+	for e := ds.stateEpoch; e <= ds.liveEpoch; e++ {
+		keep[WALFilename(e)] = true
 	}
 	for _, e := range entries {
-		name := e.Name()
-		keepSnap := name == SnapshotFilename(db.epoch)
-		keepWal := name == WALFilename(db.epoch)
-		isOurs := len(name) > 4 && (name[:5] == "snap-" || name[:4] == "wal-")
-		if isOurs && !keepSnap && !keepWal {
+		if name := e.Name(); isEpochFile(name) && !keep[name] {
 			_ = os.Remove(filepath.Join(db.dir, name))
 		}
 	}
-	return log, nil
 }
 
 // appendOp is the store's journal hook; it runs inside the emitting
@@ -367,8 +684,41 @@ func (db *Database) Err() error {
 	return db.committer.Err()
 }
 
-// Checkpoint atomically writes a snapshot of the full state and starts a
-// fresh journal epoch. Concurrent mutations block for the duration.
+// CheckpointErr reports the sticky error of the most recent failed
+// checkpoint — nil once a later checkpoint succeeds. While set, the
+// journal is still growing past its compaction point: the database is
+// consistent and durable, but recovery replays a longer chain.
+func (db *Database) CheckpointErr() error {
+	db.statMu.Lock()
+	defer db.statMu.Unlock()
+	return db.ckptErr
+}
+
+// noteCheckpoint records a checkpoint outcome in the stats counters.
+func (db *Database) noteCheckpoint(written, skipped int, bytes uint64, err error) {
+	db.statMu.Lock()
+	defer db.statMu.Unlock()
+	if err != nil {
+		db.ckptStats.Failures++
+		db.ckptStats.LastError = err.Error()
+		db.ckptErr = fmt.Errorf("cadcam: checkpoint failed, journal compaction stalled: %w", err)
+		return
+	}
+	db.ckptStats.Checkpoints++
+	db.ckptStats.SegmentsWritten += uint64(written)
+	db.ckptStats.SegmentsSkipped += uint64(skipped)
+	db.ckptStats.BytesEncoded += bytes
+	db.ckptStats.LastError = ""
+	db.ckptErr = nil
+}
+
+// Checkpoint compacts the journal into the incremental checkpoint: it
+// rotates the journal under the store's exclusive lock, then — with
+// writers running again — encodes a segment for every shard dirtied
+// since its last encoded segment, writes the manifest binding segments
+// to the new journal epoch, and garbage-collects what the manifest no
+// longer references. Concurrent mutations block only for the rotation
+// and the in-memory capture of the dirty shards' records.
 func (db *Database) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -382,66 +732,174 @@ func (db *Database) checkpointLocked() error {
 	if db.closed {
 		return fmt.Errorf("cadcam: database closed")
 	}
-	return db.store.WithExclusive(func(st *object.StoreState) error {
+	next := db.epoch + 1
+	var ex *object.StoreExport
+	var vs *version.ManagerState
+	swapped := false
+	err := db.store.WithExclusiveExport(db.ckptBaseline, func(x *object.StoreExport) error {
 		// Version mutations go through db.mu (held) and store mutations
 		// are excluded, so both exports are mutually consistent — and no
 		// Enqueue can race the pipeline drain below.
 		//
 		// Drain the pipeline first: every record enqueued before this
 		// exclusive section must land in the outgoing epoch's log, never
-		// the new one (replayed against the new snapshot it would apply
+		// the new one (replayed against the new checkpoint it would apply
 		// twice).
 		if err := db.committer.Flush(); err != nil {
 			return err
 		}
-		blob := wal.EncodeSnapshot(st, db.versions.Export())
-		next := db.epoch + 1
-		if err := storage.WriteSnapshot(db.snapPath(next), blob); err != nil {
-			return err
-		}
-		// From here until the swap succeeds, a *failure* (not a crash) must
-		// remove the new snapshot again: the database keeps journaling into
-		// the old epoch, and a newer valid snapshot left behind would shadow
-		// that journal at the next recovery, silently dropping every
-		// mutation acknowledged after the failed checkpoint. A crash inside
-		// the window is safe without cleanup — the flushed old journal and
-		// the new snapshot describe the same state.
-		abandon := func(err error) error {
-			_ = os.Remove(db.snapPath(next))
-			return err
-		}
-		if err := fpCheckpointGap.Hit(); err != nil {
-			return abandon(err)
-		}
+		vs = db.versions.Export()
 		newLog, records, err := storage.OpenLog(db.walPath(next))
 		if err != nil {
-			return abandon(err)
+			return err
 		}
 		if len(records) != 0 {
 			// A stale log from a crashed previous checkpoint: discard it.
 			if err := newLog.Reset(); err != nil {
 				newLog.Close()
-				return abandon(err)
+				return err
 			}
 		}
 		old, err := db.committer.SwapLog(newLog)
 		if err != nil {
 			newLog.Close()
-			return abandon(err)
+			return err
 		}
+		// The outgoing log stays on disk: until the manifest below
+		// commits, it is part of the journal chain recovery replays on
+		// top of the previous checkpoint.
 		_ = old.Close()
-		_ = os.Remove(db.walPath(db.epoch))
-		_ = os.Remove(db.snapPath(db.epoch))
+		swapped = true
+		ex = x
+		return fpCheckpointGap.Hit()
+	})
+	if swapped {
+		// The rotation is irrevocable: records now land in the new
+		// epoch's log, and recovery replays the whole chain whether or
+		// not the manifest commits, so the epoch advances on every
+		// post-swap path, success or failure.
 		db.epoch = next
 		db.opsSinceCheckpoint.Store(0)
-		return nil
-	})
+	}
+	if err != nil {
+		db.noteCheckpoint(0, 0, 0, err)
+		return err
+	}
+	return db.publishCheckpoint(next, ex, vs)
 }
 
-// maybeCheckpoint runs an automatic checkpoint when configured.
+// publishCheckpoint encodes the dirty shards' segments, writes them and
+// the committing manifest, and garbage-collects everything the manifest
+// no longer references. It runs after the journal rotation with no store
+// lock held — writers proceed concurrently — but under db.mu, so
+// checkpoints serialize. Until the manifest rename lands, the directory
+// still recovers from the previous checkpoint plus the journal chain; a
+// failure here therefore only removes the new segments and reports.
+func (db *Database) publishCheckpoint(next uint64, ex *object.StoreExport, vs *version.ManagerState) error {
+	parts := len(ex.Shards)
+	segEpochs := make([]uint64, parts)
+	marks := make([]uint64, parts)
+	var dirty []int
+	for i := range ex.Shards {
+		marks[i] = ex.Shards[i].Mark
+		if ex.Shards[i].Exported {
+			segEpochs[i] = next
+			dirty = append(dirty, i)
+		} else {
+			segEpochs[i] = db.segEpochs[i]
+		}
+	}
+	abandon := func(err error) error {
+		for _, p := range dirty {
+			_ = os.Remove(db.segPath(next, p))
+		}
+		db.noteCheckpoint(0, 0, 0, err)
+		return err
+	}
+
+	var bytesEncoded atomic.Uint64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	errs := make([]error, len(dirty))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for di := w; di < len(dirty); di += workers {
+				p := dirty[di]
+				blob := wal.EncodeSegment(p, ex.Shards[p].Objects, ex.Shards[p].Bindings)
+				bytesEncoded.Add(uint64(len(blob)))
+				if err := fpSegmentWrite.Hit(); err != nil {
+					errs[di] = err
+					return
+				}
+				if err := storage.WriteSnapshot(db.segPath(next, p), blob); err != nil {
+					errs[di] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return abandon(err)
+		}
+	}
+
+	blob := wal.EncodeManifest(&wal.Manifest{Epoch: next, SegEpochs: segEpochs, Base: ex.Base, Versions: vs})
+	bytesEncoded.Add(uint64(len(blob)))
+	if err := fpManifestSwap.Hit(); err != nil {
+		return abandon(err)
+	}
+	if err := storage.WriteSnapshot(db.manifestPath(next), blob); err != nil {
+		return abandon(err)
+	}
+
+	// The manifest rename is the commit point: from here the checkpoint
+	// is the directory's newest recoverable state, and the segment-reuse
+	// baseline advances with it.
+	db.manifestEpoch = next
+	db.segEpochs = segEpochs
+	db.ckptBaseline = marks
+	db.noteCheckpoint(len(dirty), parts-len(dirty), bytesEncoded.Load(), nil)
+
+	if err := fpSegmentGC.Hit(); err != nil {
+		// The checkpoint committed; only the cleanup was skipped. Stale
+		// files linger until the next checkpoint or recovery collects
+		// them. Reported (and counted) so the leak is observable.
+		db.noteCheckpoint(0, 0, 0, err)
+		return err
+	}
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return nil // best-effort GC
+	}
+	keep := map[string]bool{
+		ManifestFilename(next): true,
+		WALFilename(next):      true,
+	}
+	for p, se := range segEpochs {
+		keep[SegmentFilename(se, p)] = true
+	}
+	for _, e := range entries {
+		if name := e.Name(); isEpochFile(name) && !keep[name] {
+			_ = os.Remove(filepath.Join(db.dir, name))
+		}
+	}
+	return nil
+}
+
+// maybeCheckpoint runs an automatic checkpoint when configured. A
+// failure no longer vanishes: checkpointLocked records it in
+// Stats().Checkpoint and keeps CheckpointErr set until a later
+// checkpoint succeeds, while the journal keeps the database durable.
 func (db *Database) maybeCheckpoint() {
 	if db.opts.CheckpointEvery > 0 && int(db.opsSinceCheckpoint.Load()) >= db.opts.CheckpointEvery {
-		_ = db.Checkpoint()
+		_ = db.Checkpoint() // outcome recorded in checkpoint stats
 	}
 }
 

@@ -226,19 +226,25 @@ func TestCheckpointAndRecovery(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Exactly one snapshot and one wal file remain.
+	// Exactly one manifest, one segment per shard (first checkpoint
+	// encodes everything) and one wal file remain; no legacy snapshots.
 	entries, _ := os.ReadDir(dir)
-	var snaps, wals int
+	var snaps, wals, mfs, segs int
 	for _, e := range entries {
 		switch filepath.Ext(e.Name()) {
 		case ".snap":
 			snaps++
 		case ".log":
 			wals++
+		case ".mf":
+			mfs++
+		case ".seg":
+			segs++
 		}
 	}
-	if snaps != 1 || wals != 1 {
-		t.Errorf("files after checkpoint: %d snaps, %d wals", snaps, wals)
+	if snaps != 0 || wals != 1 || mfs != 1 || segs != db.Store().Shards() {
+		t.Errorf("files after checkpoint: %d snaps, %d wals, %d manifests, %d segments",
+			snaps, wals, mfs, segs)
 	}
 
 	db2 := diskDB(t, dir)
@@ -383,16 +389,16 @@ func TestAutoCheckpoint(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// At least one auto-checkpoint happened: a snapshot exists.
+	// At least one auto-checkpoint happened: a manifest exists.
 	entries, _ := os.ReadDir(dir)
 	found := false
 	for _, e := range entries {
-		if filepath.Ext(e.Name()) == ".snap" {
+		if filepath.Ext(e.Name()) == ".mf" {
 			found = true
 		}
 	}
 	if !found {
-		t.Error("no snapshot after auto-checkpoint threshold")
+		t.Error("no checkpoint manifest after auto-checkpoint threshold")
 	}
 	db2 := diskDB(t, dir)
 	defer db2.Close()
@@ -414,11 +420,12 @@ func TestCorruptSnapshotFallsBack(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the snapshot: recovery falls back to epoch 0... which was
-	// deleted by the checkpoint, so the database opens empty rather than
-	// with corrupt state. (Full state loss requires both snapshot AND
-	// journal loss; verify the open at least succeeds and is consistent.)
-	snapPath := filepath.Join(dir, "snap-00000001.snap")
+	// Corrupt the manifest: recovery falls back to epoch 0... which was
+	// garbage-collected by the checkpoint, so the database opens empty
+	// rather than with corrupt state. (Full state loss requires both
+	// checkpoint AND journal loss; verify the open at least succeeds and
+	// is consistent.)
+	snapPath := filepath.Join(dir, ManifestFilename(1))
 	b, err := os.ReadFile(snapPath)
 	if err != nil {
 		t.Fatal(err)

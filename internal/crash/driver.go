@@ -48,6 +48,9 @@ var matrixPoints = []matrixPoint{
 	{name: "group/straggler-window", errKind: true},
 	{name: "object/pre-journal"},
 	{name: "db/checkpoint-gap", errKind: true, checkpoint: true},
+	{name: "db/segment-write", errKind: true, checkpoint: true},
+	{name: "db/manifest-swap", errKind: true, checkpoint: true},
+	{name: "db/segment-gc", errKind: true, checkpoint: true},
 }
 
 // Driver runs the crash matrix: for every registered failpoint it

@@ -47,22 +47,19 @@ type VerifyOptions struct {
 // workload seed.
 func Verify(dir, ackDir string, opts VerifyOptions) error {
 	cat := paperschema.MustGates()
-	_, snapshot, records, err := cadcam.ScanJournal(dir)
+	ss, err := cadcam.ScanJournal(dir)
 	if err != nil {
 		return fmt.Errorf("crash: scan journal: %w", err)
 	}
+	records := ss.Records
 
 	m := model.New(cat)
 	vs := &version.ManagerState{}
-	if snapshot != nil {
-		st, decodedVS, err := wal.DecodeSnapshotState(snapshot)
-		if err != nil {
-			return fmt.Errorf("crash: decode snapshot: %w", err)
+	if ss.Store != nil {
+		if err := m.Load(ss.Store); err != nil {
+			return fmt.Errorf("crash: load checkpoint into model: %w", err)
 		}
-		if err := m.Load(st); err != nil {
-			return fmt.Errorf("crash: load snapshot into model: %w", err)
-		}
-		vs = decodedVS
+		vs = ss.Versions
 	}
 	if opts.Unbind {
 		m.SetPolicy(cadcam.DeleteUnbind)

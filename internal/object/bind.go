@@ -74,6 +74,7 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 	}
 	obj.initAttrs(nil)
 	s.shardOf(sur).objects[sur] = obj
+	s.markDirty(sur)
 	b := &Binding{Obj: obj, Rel: rel, Transmitter: transmitter, Inheritor: inheritor}
 	ish := s.shardOf(inheritor)
 	m := ish.byInheritor[inheritor]
@@ -153,6 +154,8 @@ func (s *Store) removeBindingLocked(b *Binding) {
 		delete(tsh.byTransmitter, b.Transmitter)
 	}
 	delete(s.shardOf(b.Obj.sur).objects, b.Obj.sur)
+	// The binding object disappears from its shard's durable state.
+	s.markDirty(b.Obj.sur)
 	// Every route resolved through this binding carries the inheritor in
 	// its chain; bump that shard's epoch.
 	s.bumpEpoch(ish)
@@ -217,6 +220,7 @@ func (s *Store) Acknowledge(relType string, inheritor domain.Surrogate) error {
 	}
 	ack := b.Obj.book.lastSeq.Load()
 	casMax(&b.Obj.book.ackSeq, ack)
+	s.markDirty(b.Obj.sur)
 	s.emit(&oplog.Op{Kind: oplog.KindAcknowledge, Name: relType, Sur: inheritor, Num: ack})
 	return nil
 }
@@ -233,6 +237,7 @@ func (s *Store) AcknowledgeAt(relType string, inheritor domain.Surrogate, seq in
 		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
 	}
 	casMax(&b.Obj.book.ackSeq, seq)
+	s.markDirty(b.Obj.sur)
 	return nil
 }
 

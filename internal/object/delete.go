@@ -92,6 +92,7 @@ func (s *Store) Delete(sur domain.Surrogate) error {
 		for _, ps := range touched {
 			if po, ok := s.obj(ps.parent); ok {
 				po.modSeq = seq
+				s.markDirty(ps.parent)
 			}
 			n.notify(ps.parent, ps.sub)
 		}
@@ -191,6 +192,7 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate) {
 		}
 	}
 	delete(sh.objects, sur)
+	s.markDirty(sur)
 	// Routes from or through the dead object must not be served again;
 	// every such route carries sur in its chain, so its shard's epoch
 	// covers them all.

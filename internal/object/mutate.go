@@ -25,7 +25,7 @@ import (
 func (s *Store) SetAttr(sur domain.Surrogate, name string, v domain.Value) error {
 	sh := s.shardOf(sur)
 	sh.mu.Lock()
-	dispatch, err := s.setAttrShard(sh, sur, name, v)
+	dispatch, err := s.setAttrShard(sh, sur, name, v, 0)
 	sh.mu.Unlock()
 	if dispatch {
 		s.dispatchEvents()
@@ -33,7 +33,30 @@ func (s *Store) SetAttr(sur domain.Surrogate, name string, v domain.Value) error
 	return err
 }
 
-func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v domain.Value) (bool, error) {
+// SetAttrAt applies a journaled attribute write with its recorded
+// sequence number — the parallel-recovery form of SetAttr. It neither
+// consumes the store's sequence counter nor journals, so recovery may
+// apply per-shard partitions of the journal concurrently: each goroutine
+// holds its own shard's lock, topology is frozen (structural ops are
+// replay barriers), and cross-shard binding bookkeeping advances through
+// commuting atomics, reproducing the live outcome regardless of the
+// goroutine interleaving. Only recovery may call it.
+func (s *Store) SetAttrAt(sur domain.Surrogate, name string, v domain.Value, seq uint64) error {
+	sh := s.shardOf(sur)
+	sh.mu.Lock()
+	dispatch, err := s.setAttrShard(sh, sur, name, v, seq)
+	sh.mu.Unlock()
+	if dispatch {
+		s.dispatchEvents()
+	}
+	return err
+}
+
+// setAttrShard performs an attribute write under the owning shard's lock.
+// replaySeq == 0 is the live path: the write consumes a fresh sequence
+// number and is journaled. replaySeq != 0 is the recovery path: the
+// journaled sequence is applied verbatim and nothing is re-journaled.
+func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v domain.Value, replaySeq uint64) (bool, error) {
 	o, ok := sh.objects[sur]
 	if !ok {
 		return false, noObject(sur)
@@ -42,7 +65,7 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 		return false, err
 	}
 	if o.isRel {
-		return false, s.setRelAttrLocked(o, name, v)
+		return false, s.setRelAttrLocked(o, name, v, replaySeq)
 	}
 	// Fast path: overwriting an already-validated slot. The memoized
 	// declaration proves the attribute is declared and non-inherited, so
@@ -54,15 +77,19 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 		if err := s.checkRefValueLocked(b.decl.Domain, v); err != nil {
 			return false, err
 		}
-		seq := s.seq.Add(1)
+		seq := replaySeq
+		if seq == 0 {
+			seq = s.seq.Add(1)
+		}
 		b.store(v)
 		o.modSeq = seq
+		s.markDirty(sur)
 		n := notifier{s: s, seq: seq}
 		n.notify(sur, name)
 		if o.parent != 0 {
 			n.notify(o.parent, o.parentSub)
 		}
-		if s.journal != nil {
+		if replaySeq == 0 && s.journal != nil {
 			s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: sur, Name: name, Value: v, Seq: seq})
 		}
 		return n.queue(), nil
@@ -84,12 +111,16 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 	if err := s.checkRefValueLocked(a.Domain, v); err != nil {
 		return false, err
 	}
-	seq := s.seq.Add(1)
+	seq := replaySeq
+	if seq == 0 {
+		seq = s.seq.Add(1)
+	}
 	o.setAttr(name, v)
 	if b, ok := o.attrMap()[name]; ok {
 		b.decl = a // arm the fast path for subsequent writes
 	}
 	o.modSeq = seq
+	s.markDirty(sur)
 	n := notifier{s: s, seq: seq}
 	n.notify(sur, name)
 	// A subobject update also changes what the parent's subclass shows:
@@ -97,7 +128,7 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 	if o.parent != 0 {
 		n.notify(o.parent, o.parentSub)
 	}
-	if s.journal != nil { // guard here so an in-memory store never allocates the op
+	if replaySeq == 0 && s.journal != nil { // guard here so an in-memory store never allocates the op
 		s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: sur, Name: name, Value: v, Seq: seq})
 	}
 	return n.queue(), nil
@@ -106,8 +137,9 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 // setRelAttrLocked updates a user-declared attribute of a relationship
 // object. Participant roles and the binding bookkeeping attributes are not
 // assignable. Declaration lookups use the catalog's precomputed per-type
-// indexes rather than scanning the declaration slices.
-func (s *Store) setRelAttrLocked(o *Object, name string, v domain.Value) error {
+// indexes rather than scanning the declaration slices. replaySeq follows
+// the setAttrShard convention.
+func (s *Store) setRelAttrLocked(o *Object, name string, v domain.Value, replaySeq uint64) error {
 	if _, ok := s.cat.RelType(o.typeName); ok {
 		if s.cat.RelRole(o.typeName, name) {
 			return fmt.Errorf("%w: participant role %q is fixed at creation", ErrTypeMismatch, name)
@@ -127,10 +159,16 @@ func (s *Store) setRelAttrLocked(o *Object, name string, v domain.Value) error {
 	if err := a.Domain.Validate(v); err != nil {
 		return fmt.Errorf("%w: %s.%s: %v", ErrTypeMismatch, o.typeName, name, err)
 	}
-	seq := s.seq.Add(1)
+	seq := replaySeq
+	if seq == 0 {
+		seq = s.seq.Add(1)
+	}
 	o.setAttr(name, v)
 	o.modSeq = seq
-	s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: o.sur, Name: name, Value: v, Seq: seq})
+	s.markDirty(o.sur)
+	if replaySeq == 0 {
+		s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: o.sur, Name: name, Value: v, Seq: seq})
+	}
 	return nil
 }
 
@@ -420,6 +458,10 @@ func (n *notifier) notify(transmitter domain.Surrogate, member string) {
 		}
 		b.Obj.book.updates.Add(1)
 		casMax(&b.Obj.book.lastSeq, int64(n.seq))
+		// The bookkeeping is durable state of the binding object, which may
+		// live in a shard other than the caller's: its segment must be
+		// re-encoded at the next checkpoint.
+		n.s.markDirty(b.Obj.sur)
 		n.events = append(n.events, UpdateEvent{
 			Rel:         b.Rel.Name,
 			Binding:     b.Obj.sur,

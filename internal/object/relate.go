@@ -138,6 +138,7 @@ func (s *Store) relateLocked(relType string, parts Participants, owner domain.Su
 	}
 	o.initAttrs(nil)
 	s.shardOf(sur).objects[sur] = o
+	s.markDirty(sur)
 	for _, v := range assigned {
 		s.indexParticipantLocked(o.sur, v)
 	}

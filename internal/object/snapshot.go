@@ -2,7 +2,9 @@ package object
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"cadcam/internal/domain"
 )
@@ -74,6 +76,23 @@ func (s *Store) WithExclusive(f func(st *StoreState) error) error {
 }
 
 func (s *Store) exportLocked() *StoreState {
+	st := s.baseStateLocked()
+	surs := s.surrogatesLocked()
+	bindingSurs := s.bindingSursLocked()
+	for _, sur := range surs {
+		if b, isBinding := bindingSurs[sur]; isBinding {
+			st.Bindings = append(st.Bindings, bindingRecord(sur, b))
+			continue
+		}
+		o, _ := s.obj(sur)
+		st.Objects = append(st.Objects, objectRecord(o))
+	}
+	return st
+}
+
+// baseStateLocked captures the non-partitioned part of the state: classes
+// and the global counters, no object or binding records.
+func (s *Store) baseStateLocked() *StoreState {
 	st := &StoreState{NextSur: s.nextSur.Load(), Seq: s.seq.Load()}
 	classes := make(map[string]*Class)
 	for i := range s.stripes {
@@ -84,7 +103,12 @@ func (s *Store) exportLocked() *StoreState {
 	for _, name := range sortedNames(classes) {
 		st.Classes = append(st.Classes, ClassRecord{Name: name, ElemType: classes[name].elemType})
 	}
-	surs := s.surrogatesLocked()
+	return st
+}
+
+// bindingSursLocked indexes every live binding by the surrogate of its
+// relationship object, across all shards.
+func (s *Store) bindingSursLocked() map[domain.Surrogate]*Binding {
 	bindingSurs := make(map[domain.Surrogate]*Binding)
 	for i := range s.shards {
 		for _, list := range s.shards[i].byTransmitter {
@@ -93,39 +117,98 @@ func (s *Store) exportLocked() *StoreState {
 			}
 		}
 	}
-	for _, sur := range surs {
-		if b, isBinding := bindingSurs[sur]; isBinding {
-			attrs := copyAttrs(b.Obj.attrMap())
-			if attrs == nil {
-				attrs = make(map[string]domain.Value, 3)
-			}
-			bk := b.Obj.book
-			attrs[AttrTransmitterUpdates] = domain.Int(bk.updates.Load())
-			attrs[AttrLastUpdateSeq] = domain.Int(bk.lastSeq.Load())
-			attrs[AttrAcknowledgedSeq] = domain.Int(bk.ackSeq.Load())
-			st.Bindings = append(st.Bindings, BindingRecord{
-				Sur:         sur,
-				RelType:     b.Rel.Name,
-				Transmitter: b.Transmitter,
-				Inheritor:   b.Inheritor,
-				Attrs:       attrs,
-			})
+	return bindingSurs
+}
+
+func bindingRecord(sur domain.Surrogate, b *Binding) BindingRecord {
+	attrs := copyAttrs(b.Obj.attrMap())
+	if attrs == nil {
+		attrs = make(map[string]domain.Value, 3)
+	}
+	bk := b.Obj.book
+	attrs[AttrTransmitterUpdates] = domain.Int(bk.updates.Load())
+	attrs[AttrLastUpdateSeq] = domain.Int(bk.lastSeq.Load())
+	attrs[AttrAcknowledgedSeq] = domain.Int(bk.ackSeq.Load())
+	return BindingRecord{
+		Sur:         sur,
+		RelType:     b.Rel.Name,
+		Transmitter: b.Transmitter,
+		Inheritor:   b.Inheritor,
+		Attrs:       attrs,
+	}
+}
+
+func objectRecord(o *Object) ObjectRecord {
+	return ObjectRecord{
+		Sur:          o.sur,
+		TypeName:     o.typeName,
+		IsRel:        o.isRel,
+		Parent:       o.parent,
+		ParentSub:    o.parentSub,
+		OwnerClass:   o.ownerClass,
+		ModSeq:       o.modSeq,
+		Attrs:        copyAttrs(o.attrMap()),
+		Participants: copyAttrs(o.participants),
+	}
+}
+
+// ShardExport is one shard's slice of a partitioned export. Mark is the
+// shard's dirty counter at capture time; Exported reports whether the
+// record slices were populated (the shard changed relative to the
+// caller's baseline) or skipped because the previous segment still
+// describes it exactly.
+type ShardExport struct {
+	Mark     uint64
+	Exported bool
+	Objects  []ObjectRecord
+	Bindings []BindingRecord
+}
+
+// StoreExport is a partitioned snapshot of the store: the base state
+// (classes and counters, cheap, always present) plus one ShardExport per
+// shard. Record slices are deep copies ordered by surrogate within each
+// shard, so the caller may encode them after releasing the store locks.
+type StoreExport struct {
+	Base   *StoreState // Classes, NextSur, Seq only — no records
+	Shards []ShardExport
+}
+
+// WithExclusiveExport runs f while holding every shard and stripe write
+// lock, passing a partitioned export in which only shards whose dirty
+// counter moved past the caller's baseline carry records. baseline holds
+// the Mark values captured by the previous committed checkpoint; nil (or
+// a length mismatch, e.g. after a shard-count change) exports every
+// shard. Like WithExclusive, no mutation or journal append can run
+// concurrently, so the checkpointer can pair the capture with a journal
+// rotation atomically — and encode the records off-lock afterwards.
+func (s *Store) WithExclusiveExport(baseline []uint64, f func(ex *StoreExport) error) error {
+	s.lockAll()
+	defer s.unlockAll()
+	ex := &StoreExport{Base: s.baseStateLocked(), Shards: make([]ShardExport, len(s.shards))}
+	full := len(baseline) != len(s.shards)
+	bindingSurs := s.bindingSursLocked()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		se := &ex.Shards[i]
+		se.Mark = sh.dirty.Load()
+		se.Exported = full || se.Mark != baseline[i]
+		if !se.Exported {
 			continue
 		}
-		o, _ := s.obj(sur)
-		st.Objects = append(st.Objects, ObjectRecord{
-			Sur:          sur,
-			TypeName:     o.typeName,
-			IsRel:        o.isRel,
-			Parent:       o.parent,
-			ParentSub:    o.parentSub,
-			OwnerClass:   o.ownerClass,
-			ModSeq:       o.modSeq,
-			Attrs:        copyAttrs(o.attrMap()),
-			Participants: copyAttrs(o.participants),
-		})
+		surs := make([]domain.Surrogate, 0, len(sh.objects))
+		for sur := range sh.objects {
+			surs = append(surs, sur)
+		}
+		sort.Slice(surs, func(a, b int) bool { return surs[a] < surs[b] })
+		for _, sur := range surs {
+			if b, isBinding := bindingSurs[sur]; isBinding {
+				se.Bindings = append(se.Bindings, bindingRecord(sur, b))
+				continue
+			}
+			se.Objects = append(se.Objects, objectRecord(sh.objects[sur]))
+		}
 	}
-	return st
+	return f(ex)
 }
 
 func copyAttrs[M map[string]domain.Value | map[string]*attrBox](m M) map[string]domain.Value {
@@ -149,6 +232,49 @@ func copyAttrs[M map[string]domain.Value | map[string]*attrBox](m M) map[string]
 // Import rebuilds the state into an empty store. It fails if the store
 // already holds objects or if the state is inconsistent with the catalog.
 func (s *Store) Import(st *StoreState) error {
+	return s.ImportParallel(st, 1)
+}
+
+// importObject validates one object record and inserts the rebuilt object
+// into its shard map. Safe to run concurrently for records owned by
+// *different shards* while the coordinating goroutine holds all write
+// locks: each worker touches only its own shards' maps, and the catalog
+// lookups are read-only.
+func (s *Store) importObject(r *ObjectRecord) error {
+	if _, dup := s.obj(r.Sur); dup {
+		return fmt.Errorf("object: duplicate surrogate %s in snapshot", r.Sur)
+	}
+	if r.IsRel {
+		if _, ok := s.cat.RelType(r.TypeName); !ok {
+			return fmt.Errorf("%w: %q", ErrNoSuchType, r.TypeName)
+		}
+	} else if _, ok := s.cat.ObjectType(r.TypeName); !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchType, r.TypeName)
+	}
+	o := &Object{
+		sur:          r.Sur,
+		typeName:     r.TypeName,
+		isRel:        r.IsRel,
+		parent:       r.Parent,
+		parentSub:    r.ParentSub,
+		ownerClass:   r.OwnerClass,
+		modSeq:       r.ModSeq,
+		participants: copyAttrs(r.Participants),
+		subclasses:   make(map[string]*Class),
+		subrels:      make(map[string]*Class),
+	}
+	o.initAttrs(copyAttrs(r.Attrs))
+	s.shardOf(r.Sur).objects[r.Sur] = o
+	return nil
+}
+
+// ImportParallel is Import with the object-construction phase — the deep
+// copies of every attribute map, the bulk of a large import's CPU cost —
+// fanned out over up to `workers` goroutines, one set of shards each
+// (workers <= 0 uses GOMAXPROCS). Linking, bindings and index rebuilding
+// stay serial: they cross shards. The imported state is identical to a
+// serial Import's for any worker count.
+func (s *Store) ImportParallel(st *StoreState, workers int) error {
 	s.lockAll()
 	defer s.unlockAll()
 	for i := range s.shards {
@@ -167,31 +293,48 @@ func (s *Store) Import(st *StoreState) error {
 	// is NOT guaranteed in general; link classes in a second pass.
 	recs := append([]ObjectRecord(nil), st.Objects...)
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Sur < recs[j].Sur })
-	for _, r := range recs {
-		if _, dup := s.obj(r.Sur); dup {
-			return fmt.Errorf("object: duplicate surrogate %s in snapshot", r.Sur)
-		}
-		if r.IsRel {
-			if _, ok := s.cat.RelType(r.TypeName); !ok {
-				return fmt.Errorf("%w: %q", ErrNoSuchType, r.TypeName)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	if workers <= 1 || len(recs) < 1024 {
+		for i := range recs {
+			if err := s.importObject(&recs[i]); err != nil {
+				return err
 			}
-		} else if _, ok := s.cat.ObjectType(r.TypeName); !ok {
-			return fmt.Errorf("%w: %q", ErrNoSuchType, r.TypeName)
 		}
-		o := &Object{
-			sur:          r.Sur,
-			typeName:     r.TypeName,
-			isRel:        r.IsRel,
-			parent:       r.Parent,
-			parentSub:    r.ParentSub,
-			ownerClass:   r.OwnerClass,
-			modSeq:       r.ModSeq,
-			participants: copyAttrs(r.Participants),
-			subclasses:   make(map[string]*Class),
-			subrels:      make(map[string]*Class),
+	} else {
+		// Partition records by owning shard; worker w handles shards
+		// w, w+workers, ... so no two goroutines touch one shard map.
+		byShard := make([][]int, len(s.shards))
+		for i := range recs {
+			si := s.shardIndex(recs[i].Sur)
+			byShard[si] = append(byShard[si], i)
 		}
-		o.initAttrs(copyAttrs(r.Attrs))
-		s.shardOf(r.Sur).objects[r.Sur] = o
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for si := w; si < len(byShard); si += workers {
+					for _, i := range byShard[si] {
+						if err := s.importObject(&recs[i]); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
 	}
 	// Second pass: class membership and participant index.
 	for _, r := range recs {

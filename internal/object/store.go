@@ -102,6 +102,17 @@ type shard struct {
 	epoch  atomic.Uint64
 	routes routeCache
 
+	// dirty counts logical mutations of durable state owned by this shard:
+	// object and binding creation or removal, attribute writes, and binding
+	// bookkeeping advances. The incremental checkpointer compares it
+	// against the value captured at the last committed checkpoint to decide
+	// whether the shard's snapshot segment must be re-encoded. Unlike epoch
+	// it advances on plain attribute writes too, and it plays no part in
+	// route invalidation. It is an atomic because cross-shard effects
+	// (binding bookkeeping, acknowledgements) mutate objects owned by other
+	// shards while holding only one shard lock.
+	dirty atomic.Uint64
+
 	hits, misses, invalidations atomic.Uint64
 
 	_ [64]byte // avoid false sharing between neighbouring shards
@@ -209,6 +220,21 @@ func (s *Store) shardIndex(sur domain.Surrogate) int {
 
 func (s *Store) shardOf(sur domain.Surrogate) *shard {
 	return &s.shards[s.shardIndex(sur)]
+}
+
+// ShardIndex reports which shard owns a surrogate. Recovery uses it to
+// partition journal records for parallel replay; the partitioning must
+// match the store's own routing or per-shard replay order would not be
+// the serialization order.
+func (s *Store) ShardIndex(sur domain.Surrogate) int { return s.shardIndex(sur) }
+
+// markDirty records a durable-state mutation of the object owning sur for
+// incremental checkpointing. Callers hold at least one shard lock (not
+// necessarily the owning shard's: binding bookkeeping and
+// acknowledgements advance objects across shards), so the counter is an
+// atomic.
+func (s *Store) markDirty(sur domain.Surrogate) {
+	s.shards[s.shardIndex(sur)].dirty.Add(1)
 }
 
 // stripeOf maps a class name to its stripe.
@@ -514,6 +540,7 @@ func (s *Store) NewSubobject(parent domain.Surrogate, subclass string) (domain.S
 		cls.add(o.sur)
 		seq := s.seq.Add(1)
 		po.modSeq = seq
+		s.markDirty(parent)
 		// Gaining a member is a visible change of the subclass: inheritors of
 		// the parent (e.g. implementations of an interface gaining a pin) are
 		// informed through their binding bookkeeping.
@@ -579,6 +606,7 @@ func (s *Store) newObjectLocked(t *schema.ObjectType, isRel bool) *Object {
 	}
 	o.initAttrs(nil)
 	s.shardOf(sur).objects[sur] = o
+	s.markDirty(sur)
 	return o
 }
 

@@ -1,0 +1,113 @@
+package wal
+
+import (
+	"cadcam/internal/codec"
+	"cadcam/internal/object"
+	"cadcam/internal/version"
+)
+
+// Shared record codecs: the full snapshot, the checkpoint manifest and
+// the per-shard segments all serialize the same logical records, so the
+// field order lives here exactly once. Changing any of these functions
+// changes the byte format of every snapshot artifact — including the
+// canonical encoding the crash-recovery oracle byte-compares.
+
+func encodeObjectRecord(e *codec.Buf, o *object.ObjectRecord) {
+	e.Sur(o.Sur)
+	e.Str(o.TypeName)
+	e.Bool(o.IsRel)
+	e.Sur(o.Parent)
+	e.Str(o.ParentSub)
+	e.Str(o.OwnerClass)
+	e.Uvarint(o.ModSeq)
+	e.ValueMap(o.Attrs)
+	e.ValueMap(o.Participants)
+}
+
+func decodeObjectRecord(r *codec.Reader) object.ObjectRecord {
+	return object.ObjectRecord{
+		Sur:          r.Sur(),
+		TypeName:     r.Str(),
+		IsRel:        r.Bool(),
+		Parent:       r.Sur(),
+		ParentSub:    r.Str(),
+		OwnerClass:   r.Str(),
+		ModSeq:       r.Uvarint(),
+		Attrs:        r.ValueMap(),
+		Participants: r.ValueMap(),
+	}
+}
+
+func encodeBindingRecord(e *codec.Buf, b *object.BindingRecord) {
+	e.Sur(b.Sur)
+	e.Str(b.RelType)
+	e.Sur(b.Transmitter)
+	e.Sur(b.Inheritor)
+	e.ValueMap(b.Attrs)
+}
+
+func decodeBindingRecord(r *codec.Reader) object.BindingRecord {
+	return object.BindingRecord{
+		Sur:         r.Sur(),
+		RelType:     r.Str(),
+		Transmitter: r.Sur(),
+		Inheritor:   r.Sur(),
+		Attrs:       r.ValueMap(),
+	}
+}
+
+func encodeClassRecords(e *codec.Buf, classes []object.ClassRecord) {
+	e.Uvarint(uint64(len(classes)))
+	for _, c := range classes {
+		e.Str(c.Name)
+		e.Str(c.ElemType)
+	}
+}
+
+func decodeClassRecords(r *codec.Reader) []object.ClassRecord {
+	var classes []object.ClassRecord
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		classes = append(classes, object.ClassRecord{Name: r.Str(), ElemType: r.Str()})
+	}
+	return classes
+}
+
+func encodeVersionState(e *codec.Buf, vs *version.ManagerState) {
+	e.Uvarint(uint64(len(vs.Designs)))
+	for _, d := range vs.Designs {
+		e.Str(d.Name)
+		e.Sur(d.Interface)
+		e.Sur(d.Default)
+	}
+	e.Uvarint(uint64(len(vs.Versions)))
+	for _, v := range vs.Versions {
+		e.Sur(v.Object)
+		e.Str(v.Design)
+		e.Uvarint(uint64(v.No))
+		e.Str(v.Alternative)
+		e.Str(string(v.Status))
+		e.Surs(v.DerivedFrom)
+	}
+}
+
+func decodeVersionState(r *codec.Reader) *version.ManagerState {
+	vs := &version.ManagerState{}
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		vs.Designs = append(vs.Designs, version.DesignRecord{
+			Name:      r.Str(),
+			Interface: r.Sur(),
+			Default:   r.Sur(),
+		})
+	}
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		vs.Versions = append(vs.Versions, version.VersionRecord{
+			Object:      r.Sur(),
+			Design:      r.Str(),
+			No:          int(r.Uvarint()),
+			Alternative: r.Str(),
+			Status:      version.Status(r.Str()),
+			DerivedFrom: r.Surs(),
+		})
+	}
+	return vs
+}

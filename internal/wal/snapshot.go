@@ -24,49 +24,19 @@ func EncodeSnapshot(st *object.StoreState, vs *version.ManagerState) []byte {
 	e.Uvarint(snapMagic)
 	e.Uvarint(snapVersion)
 
-	e.Uvarint(uint64(len(st.Classes)))
-	for _, c := range st.Classes {
-		e.Str(c.Name)
-		e.Str(c.ElemType)
-	}
+	encodeClassRecords(&e, st.Classes)
 	e.Uvarint(uint64(len(st.Objects)))
-	for _, o := range st.Objects {
-		e.Sur(o.Sur)
-		e.Str(o.TypeName)
-		e.Bool(o.IsRel)
-		e.Sur(o.Parent)
-		e.Str(o.ParentSub)
-		e.Str(o.OwnerClass)
-		e.Uvarint(o.ModSeq)
-		e.ValueMap(o.Attrs)
-		e.ValueMap(o.Participants)
+	for i := range st.Objects {
+		encodeObjectRecord(&e, &st.Objects[i])
 	}
 	e.Uvarint(uint64(len(st.Bindings)))
-	for _, b := range st.Bindings {
-		e.Sur(b.Sur)
-		e.Str(b.RelType)
-		e.Sur(b.Transmitter)
-		e.Sur(b.Inheritor)
-		e.ValueMap(b.Attrs)
+	for i := range st.Bindings {
+		encodeBindingRecord(&e, &st.Bindings[i])
 	}
 	e.Uvarint(st.NextSur)
 	e.Uvarint(st.Seq)
 
-	e.Uvarint(uint64(len(vs.Designs)))
-	for _, d := range vs.Designs {
-		e.Str(d.Name)
-		e.Sur(d.Interface)
-		e.Sur(d.Default)
-	}
-	e.Uvarint(uint64(len(vs.Versions)))
-	for _, v := range vs.Versions {
-		e.Sur(v.Object)
-		e.Str(v.Design)
-		e.Uvarint(uint64(v.No))
-		e.Str(v.Alternative)
-		e.Str(string(v.Status))
-		e.Surs(v.DerivedFrom)
-	}
+	encodeVersionState(&e, vs)
 	return e.Bytes()
 }
 
@@ -95,52 +65,17 @@ func DecodeSnapshotState(b []byte) (*object.StoreState, *version.ManagerState, e
 		return nil, nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
 	}
 	st := &object.StoreState{}
+	st.Classes = decodeClassRecords(r)
 	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
-		st.Classes = append(st.Classes, object.ClassRecord{Name: r.Str(), ElemType: r.Str()})
+		st.Objects = append(st.Objects, decodeObjectRecord(r))
 	}
 	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
-		st.Objects = append(st.Objects, object.ObjectRecord{
-			Sur:          r.Sur(),
-			TypeName:     r.Str(),
-			IsRel:        r.Bool(),
-			Parent:       r.Sur(),
-			ParentSub:    r.Str(),
-			OwnerClass:   r.Str(),
-			ModSeq:       r.Uvarint(),
-			Attrs:        r.ValueMap(),
-			Participants: r.ValueMap(),
-		})
-	}
-	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
-		st.Bindings = append(st.Bindings, object.BindingRecord{
-			Sur:         r.Sur(),
-			RelType:     r.Str(),
-			Transmitter: r.Sur(),
-			Inheritor:   r.Sur(),
-			Attrs:       r.ValueMap(),
-		})
+		st.Bindings = append(st.Bindings, decodeBindingRecord(r))
 	}
 	st.NextSur = r.Uvarint()
 	st.Seq = r.Uvarint()
 
-	vs := &version.ManagerState{}
-	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
-		vs.Designs = append(vs.Designs, version.DesignRecord{
-			Name:      r.Str(),
-			Interface: r.Sur(),
-			Default:   r.Sur(),
-		})
-	}
-	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
-		vs.Versions = append(vs.Versions, version.VersionRecord{
-			Object:      r.Sur(),
-			Design:      r.Str(),
-			No:          int(r.Uvarint()),
-			Alternative: r.Str(),
-			Status:      version.Status(r.Str()),
-			DerivedFrom: r.Surs(),
-		})
-	}
+	vs := decodeVersionState(r)
 	if err := r.Err(); err != nil {
 		return nil, nil, err
 	}

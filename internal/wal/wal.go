@@ -9,6 +9,8 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"cadcam/internal/domain"
 	"cadcam/internal/object"
@@ -28,13 +30,95 @@ import (
 // reproduces the original assignment, and finally restores the counters
 // to the maxima seen.
 func Replay(records [][]byte, s *object.Store, vm *version.Manager) error {
+	return ReplayN(records, s, vm, 1)
+}
+
+// minParallelRun is the smallest run of shard-local ops worth fanning
+// out; below it the goroutine handoff costs more than the replay.
+const minParallelRun = 64
+
+// shardLocal reports whether an op can replay inside its owning shard
+// alone, with its journaled outcome applied verbatim: attribute writes
+// carrying their sequence and acknowledgements carrying their resolved
+// value. Everything else — creation, topology, legacy records without a
+// recorded Seq — is a barrier that replays serially.
+func shardLocal(op *oplog.Op) bool {
+	switch op.Kind {
+	case oplog.KindSetAttr:
+		return op.Seq > 0
+	case oplog.KindAcknowledge:
+		return op.Num > 0
+	}
+	return false
+}
+
+// applyShardLocal applies one shard-local op without touching the global
+// counters (the journaled values are applied verbatim).
+func applyShardLocal(op *oplog.Op, s *object.Store) error {
+	switch op.Kind {
+	case oplog.KindSetAttr:
+		return s.SetAttrAt(op.Sur, op.Name, op.Value, op.Seq)
+	case oplog.KindAcknowledge:
+		return s.AcknowledgeAt(op.Name, op.Sur, op.Num)
+	}
+	return fmt.Errorf("wal: op kind %d is not shard-local", op.Kind)
+}
+
+// ReplayN is Replay with up to `workers` goroutines (<= 0: GOMAXPROCS).
+//
+// The journal is split into maximal runs of *shard-local* ops — attribute
+// writes and acknowledgements, which in a long-running store are almost
+// the entire tail — separated by structural barriers (creation, bind,
+// delete, version ops), which replay serially as before. Within a run,
+// ops partition by owning shard (object.Store.ShardIndex) and each
+// partition replays on its own goroutine in journal order. This is the
+// serialization order: a shard-local op's sequence number is assigned and
+// journaled inside its shard's critical section, so per-shard journal
+// order equals per-shard execution order, while effects that cross shards
+// (binding bookkeeping) are commuting atomics whose outcome the ops carry
+// explicitly. The merged result is therefore byte-identical to a serial
+// replay ordered by the global Op.Seq, for any worker count.
+func ReplayN(records [][]byte, s *object.Store, vm *version.Manager, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ops := make([]*oplog.Op, len(records))
+	if workers > 1 && len(records) >= minParallelRun {
+		if err := decodeAll(records, ops, workers); err != nil {
+			return err
+		}
+	} else {
+		for i, rec := range records {
+			op, err := oplog.Decode(rec)
+			if err != nil {
+				return fmt.Errorf("wal: record %d: %w", i, err)
+			}
+			ops[i] = op
+		}
+	}
+
 	var maxSeq uint64
 	var maxSur domain.Surrogate
 	maxSeq = s.Seq()
-	for i, rec := range records {
-		op, err := oplog.Decode(rec)
-		if err != nil {
-			return fmt.Errorf("wal: record %d: %w", i, err)
+	i := 0
+	for i < len(ops) {
+		op := ops[i]
+		if shardLocal(op) && workers > 1 {
+			j := i
+			for j < len(ops) && shardLocal(ops[j]) {
+				if ops[j].Seq > maxSeq {
+					maxSeq = ops[j].Seq
+				}
+				j++
+			}
+			if j-i >= minParallelRun {
+				if err := replayRun(ops[i:j], s, i, workers); err != nil {
+					return err
+				}
+				i = j
+				continue
+			}
+			// Small run: not worth the fan-out, fall through op by op.
 		}
 		s.PrimeReplay(op.Seq, op.Out)
 		if err := Apply(op, s, vm, true); err != nil {
@@ -49,8 +133,95 @@ func Replay(records [][]byte, s *object.Store, vm *version.Manager) error {
 		if cur := s.Seq(); cur > maxSeq {
 			maxSeq = cur // pre-Seq logs replay in append order
 		}
+		i++
 	}
 	s.FinishReplay(maxSeq, maxSur)
+	return nil
+}
+
+// decodeAll decodes records into ops on `workers` goroutines (records
+// are independent; only application has ordering constraints).
+func decodeAll(records [][]byte, ops []*oplog.Op, workers int) error {
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(records) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(records) {
+			hi = len(records)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				op, err := oplog.Decode(records[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("wal: record %d: %w", i, err)
+					return
+				}
+				ops[i] = op
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayRun applies one run of shard-local ops, partitioned by owning
+// shard, one goroutine per non-empty partition (bounded by workers via
+// partition interleaving). base is the run's first global record index,
+// for error reporting. On concurrent failures the error of the earliest
+// record wins, matching what a serial replay would have reported first.
+func replayRun(run []*oplog.Op, s *object.Store, base, workers int) error {
+	nshards := s.Shards()
+	byShard := make([][]int, nshards)
+	for i, op := range run {
+		si := s.ShardIndex(op.Sur)
+		byShard[si] = append(byShard[si], i)
+	}
+	if workers > nshards {
+		workers = nshards
+	}
+	type fail struct {
+		idx int
+		err error
+	}
+	fails := make([]*fail, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for si := w; si < nshards; si += workers {
+				for _, i := range byShard[si] {
+					if err := applyShardLocal(run[i], s); err != nil {
+						if fails[w] == nil || i < fails[w].idx {
+							fails[w] = &fail{idx: i, err: err}
+						}
+						break // this shard's tail depends on the failed op
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var first *fail
+	for _, f := range fails {
+		if f != nil && (first == nil || f.idx < first.idx) {
+			first = f
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("wal: record %d: %w", base+first.idx, first.err)
+	}
 	return nil
 }
 
