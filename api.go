@@ -349,6 +349,85 @@ func (db *Database) VisibleComponents(root Surrogate) ([]Portion, error) {
 	return inherit.VisibleComponents(db.store, root)
 }
 
+// ---- snapshot reads ----
+
+// SnapshotView is a pinned, read-only view of the database at one
+// sequence point. Every method resolves against MVCC version chains,
+// lock-free and without ever blocking writers: a long scan over a view
+// observes the exact state at its pin while mutations proceed at full
+// speed. Views are refcount-pinned — call Release when done so the
+// version sweeper can reclaim the chain nodes retained for the pin.
+type SnapshotView struct {
+	snap *object.Snapshot
+}
+
+// SnapshotView pins the current sequence point and returns a consistent
+// view of it. The pin itself briefly takes the store's shard read locks
+// (the same order writers use), so it lands between operations.
+func (db *Database) SnapshotView() *SnapshotView {
+	return &SnapshotView{snap: db.store.Snapshot()}
+}
+
+// Seq returns the pinned sequence point.
+func (v *SnapshotView) Seq() uint64 { return v.snap.Seq() }
+
+// Release unpins the view. The view must not be used afterwards.
+func (v *SnapshotView) Release() { v.snap.Release() }
+
+// Snapshot exposes the underlying store snapshot (for store-level APIs).
+func (v *SnapshotView) Snapshot() *object.Snapshot { return v.snap }
+
+// Exists reports whether the surrogate was live at the pin.
+func (v *SnapshotView) Exists(sur Surrogate) bool { return v.snap.Exists(sur) }
+
+// TypeOf returns the type name of an object visible at the pin.
+func (v *SnapshotView) TypeOf(sur Surrogate) (string, error) { return v.snap.TypeOf(sur) }
+
+// GetAttr reads an attribute at the pin with full view-semantics
+// inheritance resolution.
+func (v *SnapshotView) GetAttr(sur Surrogate, name string) (Value, error) {
+	return v.snap.GetAttr(sur, name)
+}
+
+// Members lists a local subclass at the pin (following inheritance).
+func (v *SnapshotView) Members(sur Surrogate, name string) ([]Surrogate, error) {
+	return v.snap.Members(sur, name)
+}
+
+// Class lists a database-level class extent at the pin.
+func (v *SnapshotView) Class(name string) ([]Surrogate, error) { return v.snap.Class(name) }
+
+// ClassNames lists the database-level classes that existed at the pin.
+func (v *SnapshotView) ClassNames() []string { return v.snap.ClassNames() }
+
+// Surrogates lists every object visible at the pin, ascending.
+func (v *SnapshotView) Surrogates() []Surrogate { return v.snap.Surrogates() }
+
+// Ancestors lists the abstraction hierarchy above an object at the pin.
+func (v *SnapshotView) Ancestors(sur Surrogate) []Surrogate {
+	return inherit.Ancestors(v.snap, sur)
+}
+
+// Descendants lists every object inheriting from sur at the pin.
+func (v *SnapshotView) Descendants(sur Surrogate) []Surrogate {
+	return inherit.Descendants(v.snap, sur)
+}
+
+// PendingAdaptations reports the adaptations pending at the pin.
+func (v *SnapshotView) PendingAdaptations() []Adaptation {
+	return inherit.PendingAdaptations(v.snap)
+}
+
+// Expand materializes the component tree of a composite at the pin.
+func (v *SnapshotView) Expand(root Surrogate) (*Expansion, error) {
+	return inherit.Expand(v.snap, root)
+}
+
+// VisibleComponents computes the component closure at the pin.
+func (v *SnapshotView) VisibleComponents(root Surrogate) ([]Portion, error) {
+	return inherit.VisibleComponents(v.snap, root)
+}
+
 // ---- queries ----
 
 // Eval evaluates a constraint-language expression against one object,

@@ -41,6 +41,10 @@ type jsonReport struct {
 	// recovery timings. BytesRatio is deterministic (encoded bytes, not
 	// wall time), so CI can assert on it.
 	Checkpoint *checkpointReport `json:"checkpoint,omitempty"`
+	// MVCC is the snapshot-read probe: read costs at a pin, writer
+	// throughput under a continuous closure scan, sweeper counters and
+	// the pinned-export determinism check (see mvcc_probe.go).
+	MVCC *mvccReport `json:"mvcc,omitempty"`
 }
 
 // checkpointReport is the `checkpoint` section of the JSON report.
@@ -127,6 +131,9 @@ func runJSON(expFilter string) error {
 		return err
 	}
 	if err := checkpointProbes(&report); err != nil {
+		return err
+	}
+	if err := mvccProbes(&report); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(os.Stdout)

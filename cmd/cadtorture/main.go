@@ -36,6 +36,7 @@ func main() {
 	rounds := flag.Int("rounds", 0, "matrix+fuzz rounds to run (0 = forever)")
 	writers := flag.Int("writers", 4, "concurrent writers per workload")
 	ops := flag.Int("ops", 400, "operation attempts per writer")
+	longReaders := flag.Int("longreaders", 1, "continuous snapshot closure scanners per workload (0 = off)")
 	fuzz := flag.Int("fuzz", 16, "tail-fuzz variants per round")
 	artifacts := flag.String("artifacts", "", "directory that keeps failing rounds' evidence")
 	verbose := flag.Bool("v", false, "log every round")
@@ -54,10 +55,11 @@ func main() {
 			fatal(err)
 		}
 		d := &crash.Driver{
-			BaseDir: base,
-			Seed:    *seed + int64(round)*1_000_003,
-			Writers: *writers,
-			Ops:     *ops,
+			BaseDir:     base,
+			Seed:        *seed + int64(round)*1_000_003,
+			Writers:     *writers,
+			Ops:         *ops,
+			LongReaders: *longReaders,
 			Command: func() *exec.Cmd {
 				exe, err := os.Executable()
 				if err != nil {

@@ -48,10 +48,11 @@ func newDriver(t *testing.T) *crash.Driver {
 		seed = n
 	}
 	return &crash.Driver{
-		BaseDir: t.TempDir(),
-		Seed:    seed,
-		Writers: 4,
-		Ops:     250,
+		BaseDir:     t.TempDir(),
+		Seed:        seed,
+		Writers:     4,
+		Ops:         250,
+		LongReaders: 1,
 		Command: func() *exec.Cmd {
 			return exec.Command(os.Args[0], "-test.run=^TestCrashMatrixWorker$", "-test.v")
 		},

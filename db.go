@@ -183,6 +183,12 @@ type CheckpointStats struct {
 	// LastError describes the most recent checkpoint failure; cleared by
 	// the next successful checkpoint.
 	LastError string `json:"last_error,omitempty"`
+	// LockHoldNs is the wall time the last checkpoint held the store's
+	// exclusive lock (journal rotation plus snapshot pin); MaxLockHoldNs
+	// is the worst case since Open. Segment encoding happens off-lock on
+	// an MVCC snapshot, so these measure the whole stop-the-world window.
+	LockHoldNs    int64 `json:"lock_hold_ns"`
+	MaxLockHoldNs int64 `json:"max_lock_hold_ns"`
 }
 
 // RecoveryStats describes the recovery work the last Open performed.
@@ -713,12 +719,14 @@ func (db *Database) noteCheckpoint(written, skipped int, bytes uint64, err error
 }
 
 // Checkpoint compacts the journal into the incremental checkpoint: it
-// rotates the journal under the store's exclusive lock, then — with
-// writers running again — encodes a segment for every shard dirtied
-// since its last encoded segment, writes the manifest binding segments
-// to the new journal epoch, and garbage-collects what the manifest no
-// longer references. Concurrent mutations block only for the rotation
-// and the in-memory capture of the dirty shards' records.
+// rotates the journal and pins an MVCC snapshot under the store's
+// exclusive lock, then — with writers running again — exports the dirty
+// shards' records from the snapshot, encodes a segment for every shard
+// dirtied since its last encoded segment, writes the manifest binding
+// segments to the new journal epoch, and garbage-collects what the
+// manifest no longer references. Concurrent mutations block only for
+// the journal rotation itself (Stats().Checkpoint.LockHoldNs); the
+// record capture runs on the snapshot, off the lock.
 func (db *Database) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -733,10 +741,9 @@ func (db *Database) checkpointLocked() error {
 		return fmt.Errorf("cadcam: database closed")
 	}
 	next := db.epoch + 1
-	var ex *object.StoreExport
 	var vs *version.ManagerState
 	swapped := false
-	err := db.store.WithExclusiveExport(db.ckptBaseline, func(x *object.StoreExport) error {
+	pc, err := db.store.PinCheckpoint(db.ckptBaseline, func() error {
 		// Version mutations go through db.mu (held) and store mutations
 		// are excluded, so both exports are mutually consistent — and no
 		// Enqueue can race the pipeline drain below.
@@ -770,7 +777,6 @@ func (db *Database) checkpointLocked() error {
 		// top of the previous checkpoint.
 		_ = old.Close()
 		swapped = true
-		ex = x
 		return fpCheckpointGap.Hit()
 	})
 	if swapped {
@@ -785,6 +791,19 @@ func (db *Database) checkpointLocked() error {
 		db.noteCheckpoint(0, 0, 0, err)
 		return err
 	}
+	db.statMu.Lock()
+	db.ckptStats.LockHoldNs = pc.LockHoldNs
+	if pc.LockHoldNs > db.ckptStats.MaxLockHoldNs {
+		db.ckptStats.MaxLockHoldNs = pc.LockHoldNs
+	}
+	db.statMu.Unlock()
+	// The flush above drained every record at or below the pin into the
+	// outgoing log, and the swap directs everything after it to the new
+	// one, so the snapshot's records are exactly the state the rotated
+	// journal chain reproduces. Writers are live again: the export walks
+	// the version chains at the pinned sequence while they mutate.
+	ex := pc.Snap.ExportShards(pc.Marks, pc.Dirty)
+	pc.Snap.Release()
 	return db.publishCheckpoint(next, ex, vs)
 }
 

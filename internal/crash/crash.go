@@ -49,6 +49,12 @@ type Config struct {
 	// CheckpointEvery > 0 makes writer 0 checkpoint after that many of
 	// its own operation attempts.
 	CheckpointEvery int
+	// LongReaders is the number of concurrent snapshot-scan goroutines:
+	// each continuously pins a view and walks the full component closure
+	// of every visible object while the writers run, checking that the
+	// pinned state never moves. They exercise the MVCC read path under
+	// the same crash schedule as the writers.
+	LongReaders int
 	// Unbind opens the database with the DeleteUnbind policy, letting
 	// transmitter deletes cascade into detaches instead of erroring.
 	Unbind bool
@@ -110,8 +116,20 @@ func RunWorkload(cfg Config) error {
 			errs[w] = runWriter(db, cfg, w, reg)
 		}(w)
 	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readerErrs := make([]error, cfg.LongReaders)
+	for r := 0; r < cfg.LongReaders; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			readerErrs[r] = runLongReader(db, stop)
+		}(r)
+	}
 	wg.Wait()
-	for _, err := range errs {
+	close(stop)
+	readers.Wait()
+	for _, err := range append(errs, readerErrs...) {
 		if err != nil {
 			db.Close()
 			return err
@@ -125,6 +143,38 @@ func RunWorkload(cfg Config) error {
 		return nil
 	}
 	return db.Close()
+}
+
+// runLongReader is the long-scan read mix: pin a snapshot view, walk
+// the component closure of every object visible at the pin, re-list the
+// visible set, release, repeat. The pinned set must never move while the
+// writers churn — any error or shift is a snapshot-isolation bug, not an
+// expected race.
+func runLongReader(db *cadcam.Database, stop <-chan struct{}) error {
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		v := db.SnapshotView()
+		surs := v.Surrogates()
+		for _, sur := range surs {
+			if _, err := v.TypeOf(sur); err != nil {
+				v.Release()
+				return fmt.Errorf("crash: long reader: %v visible at snapshot %d but TypeOf failed: %w", sur, v.Seq(), err)
+			}
+			if _, err := v.VisibleComponents(sur); err != nil {
+				v.Release()
+				return fmt.Errorf("crash: long reader: closure of %v at snapshot %d: %w", sur, v.Seq(), err)
+			}
+		}
+		if again := v.Surrogates(); len(again) != len(surs) {
+			v.Release()
+			return fmt.Errorf("crash: long reader: snapshot %d visible set moved %d -> %d during scan", v.Seq(), len(surs), len(again))
+		}
+		v.Release()
+	}
 }
 
 // registry shares successfully created surrogates between writers so the

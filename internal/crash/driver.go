@@ -63,6 +63,9 @@ type Driver struct {
 	Seed int64
 	// Writers and Ops size each round's workload.
 	Writers, Ops int
+	// LongReaders adds that many continuous snapshot-scan goroutines to
+	// every round's workload (see Config.LongReaders).
+	LongReaders int
 	// Command builds the worker process for a round. The driver adds the
 	// config and failpoint environment itself.
 	Command func() *exec.Cmd
@@ -165,9 +168,10 @@ func (d *Driver) runRound(i int, r round) (fired bool, err error) {
 		cfg := Config{
 			Dir:     filepath.Join(d.BaseDir, fmt.Sprintf("r%03d-a%d", i, a)),
 			AckDir:  filepath.Join(d.BaseDir, fmt.Sprintf("r%03d-a%d-ack", i, a)),
-			Seed:    d.Seed + int64(i)*7919 + int64(a)*104729,
-			Writers: d.Writers,
-			Ops:     d.Ops * (a + 1), // longer workloads on retry reach rarer sites
+			Seed:        d.Seed + int64(i)*7919 + int64(a)*104729,
+			Writers:     d.Writers,
+			Ops:         d.Ops * (a + 1), // longer workloads on retry reach rarer sites
+			LongReaders: d.LongReaders,
 		}
 		if r.checkpt {
 			cfg.CheckpointEvery = 20
@@ -255,7 +259,8 @@ func (d *Driver) fail(r round, cfg Config, output []byte, cause error) error {
 func (d *Driver) RunTailFuzz(rounds int) (err error) {
 	cleanDir := filepath.Join(d.BaseDir, "tailfuzz-clean")
 	ackDir := cleanDir + "-ack"
-	cfg := Config{Dir: cleanDir, AckDir: ackDir, Seed: d.Seed, Writers: d.Writers, Ops: d.Ops}
+	cfg := Config{Dir: cleanDir, AckDir: ackDir, Seed: d.Seed, Writers: d.Writers, Ops: d.Ops,
+		LongReaders: d.LongReaders}
 	if err := os.MkdirAll(cleanDir, 0o755); err != nil {
 		return err
 	}

@@ -11,13 +11,33 @@ import (
 
 	"cadcam/internal/domain"
 	"cadcam/internal/object"
+	"cadcam/internal/schema"
+)
+
+// Source is the read surface the traversals run against. Both the live
+// *object.Store and a pinned *object.Snapshot satisfy it, so every
+// report in this package can be computed either against the moving
+// present or against a consistent sequence point while writers proceed.
+type Source interface {
+	Get(sur domain.Surrogate) (*object.Object, error)
+	GetAttr(sur domain.Surrogate, name string) (domain.Value, error)
+	Members(sur domain.Surrogate, name string) ([]domain.Surrogate, error)
+	Surrogates() []domain.Surrogate
+	Catalog() *schema.Catalog
+	BindingsOfInheritor(inheritor domain.Surrogate) map[string]*object.Binding
+	BindingsOfTransmitter(transmitter domain.Surrogate) []*object.Binding
+}
+
+var (
+	_ Source = (*object.Store)(nil)
+	_ Source = (*object.Snapshot)(nil)
 )
 
 // Ancestors returns the abstraction hierarchy above an object: every
 // transmitter reachable by walking bindings upward, in breadth-first
 // order starting with the direct transmitters. For a gate implementation
 // this is [its interface, the interface's super-interface, ...].
-func Ancestors(s *object.Store, sur domain.Surrogate) []domain.Surrogate {
+func Ancestors(s Source, sur domain.Surrogate) []domain.Surrogate {
 	var out []domain.Surrogate
 	seen := map[domain.Surrogate]bool{sur: true}
 	frontier := []domain.Surrogate{sur}
@@ -42,7 +62,7 @@ func Ancestors(s *object.Store, sur domain.Surrogate) []domain.Surrogate {
 // Descendants returns every inheritor reachable by walking bindings
 // downward: all implementations and composites whose data depends on this
 // object, in breadth-first order.
-func Descendants(s *object.Store, sur domain.Surrogate) []domain.Surrogate {
+func Descendants(s Source, sur domain.Surrogate) []domain.Surrogate {
 	var out []domain.Surrogate
 	seen := map[domain.Surrogate]bool{sur: true}
 	frontier := []domain.Surrogate{sur}
@@ -71,16 +91,29 @@ type Adaptation struct {
 	Updates     int64 // total permeable transmitter updates so far
 }
 
-// PendingAdaptations scans the store for bindings flagged by the
+// PendingAdaptations scans the source for bindings flagged by the
 // notification bookkeeping (§2: informing the user that adaptations are
-// necessary). Results are ordered by inheritor surrogate.
-func PendingAdaptations(s *object.Store) []Adaptation {
+// necessary). Results are ordered by inheritor surrogate. The flag is
+// read through GetAttr rather than the binding's live bookkeeping, so a
+// snapshot source reports the adaptations that were pending at its
+// sequence point, not at scan time.
+func PendingAdaptations(s Source) []Adaptation {
 	var out []Adaptation
 	for _, sur := range s.Surrogates() {
 		bs := s.BindingsOfInheritor(sur)
 		for _, rel := range sortedKeys(bs) {
 			b := bs[rel]
-			if !b.NeedsAdaptation() {
+			lastV, err := s.GetAttr(b.Obj.Surrogate(), object.AttrLastUpdateSeq)
+			if err != nil {
+				continue
+			}
+			ackV, err := s.GetAttr(b.Obj.Surrogate(), object.AttrAcknowledgedSeq)
+			if err != nil {
+				continue
+			}
+			last, _ := domain.AsInt(lastV)
+			ack, _ := domain.AsInt(ackV)
+			if last <= ack {
 				continue
 			}
 			n, _ := s.GetAttr(b.Obj.Surrogate(), object.AttrTransmitterUpdates)
@@ -124,7 +157,7 @@ type Portion struct {
 // expanded recursively (an interface whose data flows from a
 // super-interface contributes that portion too). The result is
 // deterministic: ordered by (object, rel).
-func VisibleComponents(s *object.Store, root domain.Surrogate) ([]Portion, error) {
+func VisibleComponents(s Source, root domain.Surrogate) ([]Portion, error) {
 	o, err := s.Get(root)
 	if err != nil {
 		return nil, err
@@ -177,7 +210,7 @@ func VisibleComponents(s *object.Store, root domain.Surrogate) ([]Portion, error
 
 // subobjectsOf lists the members of every own (non-inherited) subclass and
 // sub-relationship of an object.
-func subobjectsOf(s *object.Store, sur domain.Surrogate) ([]domain.Surrogate, error) {
+func subobjectsOf(s Source, sur domain.Surrogate) ([]domain.Surrogate, error) {
 	o, err := s.Get(sur)
 	if err != nil {
 		return nil, err
@@ -255,7 +288,7 @@ func (e *Expansion) Leaves() []domain.Surrogate {
 // "sub:<class>" children and bound transmitters as inher-rel children.
 // Shared components appear once per usage path but cycles are impossible
 // (bindings are acyclic).
-func Expand(s *object.Store, root domain.Surrogate) (*Expansion, error) {
+func Expand(s Source, root domain.Surrogate) (*Expansion, error) {
 	o, err := s.Get(root)
 	if err != nil {
 		return nil, err

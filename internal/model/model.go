@@ -232,6 +232,7 @@ func (m *Model) Apply(op *oplog.Op) error {
 			return fmt.Errorf("model: duplicate class %q", op.Name)
 		}
 		m.classes[op.Name] = op.Name2
+		m.bumpSeq(op.Seq)
 		return nil
 
 	case oplog.KindNewObject:
@@ -243,6 +244,7 @@ func (m *Model) Apply(op *oplog.Op) error {
 		}
 		m.objects[op.Out] = &Object{Sur: op.Out, TypeName: op.Name, OwnerClass: op.Name2}
 		m.bumpSur(op.Out)
+		m.bumpSeq(op.Seq)
 		return nil
 
 	case oplog.KindNewSubobject:
@@ -297,6 +299,7 @@ func (m *Model) Apply(op *oplog.Op) error {
 			Sur: op.Out, TypeName: elem, Parent: op.Sur, ParentSub: op.Name,
 		}
 		m.bumpSur(op.Out)
+		m.bumpSeq(op.Seq)
 		return nil
 
 	case oplog.KindSetAttr:
@@ -358,6 +361,7 @@ func (m *Model) Apply(op *oplog.Op) error {
 		if ack > b.AckSeq {
 			b.AckSeq = ack
 		}
+		m.bumpSeq(op.Seq)
 		return nil
 
 	case oplog.KindDelete:

@@ -68,14 +68,14 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 			"Transmitter": domain.Ref(transmitter),
 			"Inheritor":   domain.Ref(inheritor),
 		},
-		subclasses: make(map[string]*Class),
-		subrels:    make(map[string]*Class),
-		book:       &bindingBook{},
+		book: &bindingBook{},
 	}
-	obj.initAttrs(nil)
+	obj.initClasses()
+	obj.initAttrs(nil, 0)
 	s.shardOf(sur).objects[sur] = obj
 	s.markDirty(sur)
 	b := &Binding{Obj: obj, Rel: rel, Transmitter: transmitter, Inheritor: inheritor}
+	obj.binding = b
 	ish := s.shardOf(inheritor)
 	m := ish.byInheritor[inheritor]
 	if m == nil {
@@ -86,6 +86,9 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 	tsh := s.shardOf(transmitter)
 	tsh.byTransmitter[transmitter] = append(tsh.byTransmitter[transmitter], b)
 	seq := s.seq.Add(1)
+	s.publishObj(obj, seq)
+	s.snapPushBindIn(inheritor, seq)
+	s.snapPushBindOut(transmitter, seq)
 	// Binding changes every route through the inheritor: null routes
 	// memoized while unbound must revalidate. All such routes carry the
 	// inheritor in their chain, so its shard epoch covers them.
@@ -128,15 +131,16 @@ func (s *Store) Unbind(relType string, inheritor domain.Surrogate) error {
 	if err := s.guardLocked(inheritor); err != nil {
 		return err
 	}
-	s.removeBindingLocked(b)
 	seq := s.seq.Add(1)
+	s.removeBindingLocked(b, seq)
 	s.emit(&oplog.Op{Kind: oplog.KindUnbind, Name: relType, Sur: inheritor, Seq: seq})
 	return nil
 }
 
 // removeBindingLocked dissolves a binding from both indexes and drops its
-// relationship object. Callers hold all shard write locks.
-func (s *Store) removeBindingLocked(b *Binding) {
+// relationship object, at the dissolving operation's sequence. Callers
+// hold all shard write locks.
+func (s *Store) removeBindingLocked(b *Binding, seq uint64) {
 	ish := s.shardOf(b.Inheritor)
 	delete(ish.byInheritor[b.Inheritor], b.Rel.Name)
 	if len(ish.byInheritor[b.Inheritor]) == 0 {
@@ -154,6 +158,10 @@ func (s *Store) removeBindingLocked(b *Binding) {
 		delete(tsh.byTransmitter, b.Transmitter)
 	}
 	delete(s.shardOf(b.Obj.sur).objects, b.Obj.sur)
+	// Snapshot side: the binding object dies at seq; both indexes version.
+	s.retireObj(b.Obj, seq)
+	s.snapPushBindIn(b.Inheritor, seq)
+	s.snapPushBindOut(b.Transmitter, seq)
 	// The binding object disappears from its shard's durable state.
 	s.markDirty(b.Obj.sur)
 	// Every route resolved through this binding carries the inheritor in
@@ -218,17 +226,21 @@ func (s *Store) Acknowledge(relType string, inheritor domain.Surrogate) error {
 	if b == nil {
 		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
 	}
-	ack := b.Obj.book.lastSeq.Load()
-	casMax(&b.Obj.book.ackSeq, ack)
+	_, ack, _ := b.Obj.book.now()
+	seq := s.seq.Add(1)
+	if b.Obj.book.acknowledge(seq, s.ceiling(), ack) {
+		s.shardOf(b.Obj.sur).retained.Add(1)
+	}
 	s.markDirty(b.Obj.sur)
-	s.emit(&oplog.Op{Kind: oplog.KindAcknowledge, Name: relType, Sur: inheritor, Num: ack})
+	s.emit(&oplog.Op{Kind: oplog.KindAcknowledge, Name: relType, Sur: inheritor, Num: ack, Seq: seq})
 	return nil
 }
 
 // AcknowledgeAt applies a journaled acknowledgement: AcknowledgedSeq is
-// raised to at least seq. Recovery uses it to replay Acknowledge ops with
-// the value they resolved to live.
-func (s *Store) AcknowledgeAt(relType string, inheritor domain.Surrogate, seq int64) error {
+// raised to at least ack, as op sequence opSeq (0 for legacy journals
+// that did not record one). Recovery uses it to replay Acknowledge ops
+// with the value they resolved to live.
+func (s *Store) AcknowledgeAt(relType string, inheritor domain.Surrogate, ack int64, opSeq uint64) error {
 	sh := s.shardOf(inheritor)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -236,7 +248,9 @@ func (s *Store) AcknowledgeAt(relType string, inheritor domain.Surrogate, seq in
 	if b == nil {
 		return fmt.Errorf("%w: %s in %s", ErrNotBound, inheritor, relType)
 	}
-	casMax(&b.Obj.book.ackSeq, seq)
+	if b.Obj.book.acknowledge(opSeq, s.ceiling(), ack) {
+		s.shardOf(b.Obj.sur).retained.Add(1)
+	}
 	s.markDirty(b.Obj.sur)
 	return nil
 }

@@ -205,6 +205,7 @@ type StoreStats struct {
 	Routes        uint64 // approximate number of stored routes
 	Shards        int    // shard count
 	PerShard      []ShardStats
+	MVCC          MVCCStats // snapshot pins and version-chain GC (mvcc.go)
 }
 
 // Stats snapshots the cache counters. Each shard's tuple is read under
@@ -233,6 +234,7 @@ func (s *Store) Stats() StoreStats {
 		st.Epoch += p.Epoch
 		st.Routes += p.Routes
 	}
+	st.MVCC = s.mvccStats()
 	return st
 }
 

@@ -76,7 +76,7 @@ func (s *Store) checkConstraintsLocked(o *Object) []ConstraintViolation {
 		if sr.Where == nil {
 			continue
 		}
-		cls, ok := o.subrels[sr.Name]
+		cls, ok := o.relMap()[sr.Name]
 		if !ok {
 			continue
 		}

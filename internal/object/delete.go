@@ -64,7 +64,7 @@ func (s *Store) Delete(sur domain.Surrogate) error {
 		seq := s.seq.Add(1)
 		n := notifier{s: s, seq: seq}
 		for _, b := range detach {
-			s.removeBindingLocked(b)
+			s.removeBindingLocked(b, seq)
 			n.events = append(n.events, UpdateEvent{
 				Rel:         b.Rel.Name,
 				Binding:     b.Obj.sur,
@@ -87,15 +87,19 @@ func (s *Store) Delete(sur domain.Surrogate) error {
 			}
 		}
 		for _, member := range members {
-			s.removeObjectLocked(member)
+			s.removeObjectLocked(member, seq)
 		}
+		ceil := s.ceiling()
 		for _, ps := range touched {
 			if po, ok := s.obj(ps.parent); ok {
-				po.modSeq = seq
+				if po.pushModSeq(seq, ceil) {
+					s.shardOf(ps.parent).retained.Add(1)
+				}
 				s.markDirty(ps.parent)
 			}
 			n.notify(ps.parent, ps.sub)
 		}
+		s.commitClassHist(seq)
 		s.emit(&oplog.Op{Kind: oplog.KindDelete, Sur: sur, Seq: seq})
 		return n.queue(), nil
 	}()
@@ -114,14 +118,14 @@ func (s *Store) collectCascadeLocked(o *Object, acc map[domain.Surrogate]bool) {
 		return
 	}
 	acc[o.sur] = true
-	for _, cls := range o.subclasses {
+	for _, cls := range o.subMap() {
 		for _, m := range cls.Members() {
 			if mo, ok := s.obj(m); ok {
 				s.collectCascadeLocked(mo, acc)
 			}
 		}
 	}
-	for _, cls := range o.subrels {
+	for _, cls := range o.relMap() {
 		for _, m := range cls.Members() {
 			if mo, ok := s.obj(m); ok {
 				s.collectCascadeLocked(mo, acc)
@@ -138,10 +142,13 @@ func (s *Store) collectCascadeLocked(o *Object, acc map[domain.Surrogate]bool) {
 	// it (handled in removeObjectLocked via removeBindingLocked).
 }
 
-// removeObjectLocked unlinks one object from every index. Bindings are
-// dissolved; classes and parents forget the member. Callers hold all
-// shard and stripe write locks.
-func (s *Store) removeObjectLocked(sur domain.Surrogate) {
+// removeObjectLocked unlinks one object from every index, at the deleting
+// operation's sequence. seq == 0 marks the rollback of an object created
+// by the running operation and never published to snapshot readers (a
+// failed where-restriction); such objects have no bindings to dissolve.
+// Bindings are dissolved; classes and parents forget the member. Callers
+// hold all shard and stripe write locks.
+func (s *Store) removeObjectLocked(sur domain.Surrogate, seq uint64) {
 	sh := s.shardOf(sur)
 	o, ok := sh.objects[sur]
 	if !ok {
@@ -153,7 +160,7 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate) {
 		if _, isInher := s.cat.InherRelType(o.typeName); isInher {
 			if ref, ok := o.participants["Inheritor"].(domain.Ref); ok {
 				if b := s.bindingLocked(domain.Surrogate(ref), o.typeName); b != nil && b.Obj == o {
-					s.removeBindingLocked(b)
+					s.removeBindingLocked(b, seq)
 				}
 			}
 		}
@@ -161,11 +168,11 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate) {
 	// Dissolve bindings in both roles.
 	if m, ok := sh.byInheritor[sur]; ok {
 		for _, b := range copyBindings(m) {
-			s.removeBindingLocked(b)
+			s.removeBindingLocked(b, seq)
 		}
 	}
 	for _, b := range append([]*Binding(nil), sh.byTransmitter[sur]...) {
-		s.removeBindingLocked(b)
+		s.removeBindingLocked(b, seq)
 	}
 	// Forget participant index entries for this object, and the reverse
 	// edges its own participants hold.
@@ -179,19 +186,28 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate) {
 	if o.ownerClass != "" {
 		if cls, ok := s.lookupClass(o.ownerClass); ok {
 			cls.remove(sur)
+			s.touchClass(cls)
 		}
 	}
 	if o.parent != 0 {
 		if po, ok := s.obj(o.parent); ok {
-			if cls, ok := po.subclasses[o.parentSub]; ok {
+			if cls, ok := po.subMap()[o.parentSub]; ok {
 				cls.remove(sur)
+				s.touchClass(cls)
 			}
-			if cls, ok := po.subrels[o.parentSub]; ok {
+			if cls, ok := po.relMap()[o.parentSub]; ok {
 				cls.remove(sur)
+				s.touchClass(cls)
 			}
 		}
 	}
 	delete(sh.objects, sur)
+	if seq > 0 {
+		s.retireObj(o, seq)
+	} else {
+		// Rollback of an unpublished object: nothing to retire.
+		sh.snapObjs.Delete(sur)
+	}
 	s.markDirty(sur)
 	// Routes from or through the dead object must not be served again;
 	// every such route carries sur in its chain, so its shard's epoch
@@ -217,9 +233,10 @@ func (s *Store) unindexParticipantLocked(rel domain.Surrogate, v domain.Value) {
 }
 
 // deleteRelLocked removes a just-created relationship object again (used
-// to roll back a failed where-restriction check).
+// to roll back a failed where-restriction check). The object was never
+// published to snapshot readers, so the removal carries no sequence.
 func (s *Store) deleteRelLocked(o *Object) {
-	s.removeObjectLocked(o.sur)
+	s.removeObjectLocked(o.sur, 0)
 }
 
 func copyBindings(m map[string]*Binding) []*Binding {

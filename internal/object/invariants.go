@@ -72,10 +72,10 @@ func (s *Store) CheckInvariants() []string {
 				report("%s has dead parent %s", sur, o.parent)
 			} else {
 				in := false
-				if cls, ok := po.subclasses[o.parentSub]; ok && cls.Contains(sur) {
+				if cls, ok := po.subMap()[o.parentSub]; ok && cls.Contains(sur) {
 					in = true
 				}
-				if cls, ok := po.subrels[o.parentSub]; ok && cls.Contains(sur) {
+				if cls, ok := po.relMap()[o.parentSub]; ok && cls.Contains(sur) {
 					in = true
 				}
 				if !in {
@@ -83,7 +83,7 @@ func (s *Store) CheckInvariants() []string {
 				}
 			}
 		}
-		for name, cls := range o.subclasses {
+		for name, cls := range o.subMap() {
 			for _, m := range cls.items() {
 				mo, ok := s.obj(m)
 				if !ok {
@@ -95,7 +95,7 @@ func (s *Store) CheckInvariants() []string {
 				}
 			}
 		}
-		for name, cls := range o.subrels {
+		for name, cls := range o.relMap() {
 			for _, m := range cls.items() {
 				mo, ok := s.obj(m)
 				if !ok {

@@ -81,8 +81,13 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 		if seq == 0 {
 			seq = s.seq.Add(1)
 		}
-		b.store(v)
-		o.modSeq = seq
+		ceil := s.ceiling()
+		if b.put(seq, &v, ceil) {
+			sh.retained.Add(1)
+		}
+		if o.pushModSeq(seq, ceil) {
+			sh.retained.Add(1)
+		}
 		s.markDirty(sur)
 		n := notifier{s: s, seq: seq}
 		n.notify(sur, name)
@@ -115,11 +120,16 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 	if seq == 0 {
 		seq = s.seq.Add(1)
 	}
-	o.setAttr(name, v)
+	ceil := s.ceiling()
+	if n := o.setAttr(name, v, seq, ceil); n > 0 {
+		sh.retained.Add(uint64(n))
+	}
 	if b, ok := o.attrMap()[name]; ok {
 		b.decl = a // arm the fast path for subsequent writes
 	}
-	o.modSeq = seq
+	if o.pushModSeq(seq, ceil) {
+		sh.retained.Add(1)
+	}
 	s.markDirty(sur)
 	n := notifier{s: s, seq: seq}
 	n.notify(sur, name)
@@ -163,8 +173,14 @@ func (s *Store) setRelAttrLocked(o *Object, name string, v domain.Value, replayS
 	if seq == 0 {
 		seq = s.seq.Add(1)
 	}
-	o.setAttr(name, v)
-	o.modSeq = seq
+	ceil := s.ceiling()
+	sh := s.shardOf(o.sur)
+	if n := o.setAttr(name, v, seq, ceil); n > 0 {
+		sh.retained.Add(uint64(n))
+	}
+	if o.pushModSeq(seq, ceil) {
+		sh.retained.Add(1)
+	}
 	s.markDirty(o.sur)
 	if replaySeq == 0 {
 		s.emit(&oplog.Op{Kind: oplog.KindSetAttr, Sur: o.sur, Name: name, Value: v, Seq: seq})
@@ -297,12 +313,16 @@ func (s *Store) getRelAttrLocked(o *Object, name string) (domain.Value, error) {
 	}
 	if o.book != nil {
 		switch name {
-		case AttrTransmitterUpdates:
-			return domain.Int(o.book.updates.Load()), nil
-		case AttrLastUpdateSeq:
-			return domain.Int(o.book.lastSeq.Load()), nil
-		case AttrAcknowledgedSeq:
-			return domain.Int(o.book.ackSeq.Load()), nil
+		case AttrTransmitterUpdates, AttrLastUpdateSeq, AttrAcknowledgedSeq:
+			upd, last, ack := o.book.now()
+			switch name {
+			case AttrTransmitterUpdates:
+				return domain.Int(upd), nil
+			case AttrLastUpdateSeq:
+				return domain.Int(last), nil
+			default:
+				return domain.Int(ack), nil
+			}
 		}
 	}
 	if v, ok := o.attr(name); ok {
@@ -350,11 +370,11 @@ func (s *Store) Members(sur domain.Surrogate, name string) ([]domain.Surrogate, 
 }
 
 func (s *Store) membersLocked(o *Object, name string) ([]domain.Surrogate, error) {
-	if cls, ok := o.subrels[name]; ok {
+	if cls, ok := o.relMap()[name]; ok {
 		return cls.Members(), nil
 	}
 	if o.isRel {
-		if cls, ok := o.subclasses[name]; ok {
+		if cls, ok := o.subMap()[name]; ok {
 			return cls.Members(), nil
 		}
 		if s.cat.RelMemberName(o.typeName, name) {
@@ -394,10 +414,9 @@ func (s *Store) resolveMembersLocked(o *Object, name string) (*route, error) {
 			return nil, fmt.Errorf("%w: %s has no subclass %q", ErrNoSuchClass, cur.typeName, name)
 		}
 		if !sd.Inherited() {
-			// cur.subclasses[name] may be nil (not materialized yet);
-			// materialization bumps cur's shard epoch, invalidating this
-			// route.
-			return s.memoMembers(o.sur, name, cur.subclasses[name], chain), nil
+			// cur's class may be nil (not materialized yet); materialization
+			// bumps cur's shard epoch, invalidating this route.
+			return s.memoMembers(o.sur, name, cur.subMap()[name], chain), nil
 		}
 		b := s.bindingLocked(cur.sur, sd.Via)
 		if b == nil {
@@ -456,8 +475,9 @@ func (n *notifier) notify(transmitter domain.Surrogate, member string) {
 		if !b.Rel.Inherits(member) {
 			continue
 		}
-		b.Obj.book.updates.Add(1)
-		casMax(&b.Obj.book.lastSeq, int64(n.seq))
+		if b.Obj.book.noteUpdate(n.seq, n.s.ceiling()) {
+			n.s.shardOf(b.Obj.sur).retained.Add(1)
+		}
 		// The bookkeeping is durable state of the binding object, which may
 		// live in a shard other than the caller's: its segment must be
 		// re-encoded at the next checkpoint.

@@ -1,0 +1,942 @@
+package object
+
+// Multi-version concurrency control: copy-on-write version chains.
+//
+// Every mutable slot that a snapshot reader may traverse — attribute
+// slots, per-object modification sequences, binding bookkeeping, the
+// binding indexes and class membership — is a chain of immutable version
+// nodes stamped with the operation's global sequence number (oplog.Op.Seq).
+// A Snapshot pins a store-wide sequence point S; a reader at S walks a
+// chain from the head to the first node with at <= S, lock-free, while
+// writers keep prepending new heads at full speed.
+//
+// Chains stay short without pins: a writer consults the pin ceiling (the
+// highest pinned sequence) and *replaces* the head when no pin can still
+// read it (head.at > ceiling), reusing the head's tail — so with zero pins
+// every chain is exactly one node, the legacy in-place behaviour. With k
+// live pins a slot accumulates at most one retained node per distinct pin
+// sequence. A low-water-mark sweep (SweepVersions) trims retained nodes
+// and unlinks deleted objects once the pins that needed them release.
+//
+// Correctness of "first node with at <= S": a pin's sequence S is read
+// under all shard read locks, so every operation is entirely before the
+// pin (seq <= S, fully published) or entirely after (seq > S). Chains may
+// interleave nodes of commuting cross-shard operations out of sequence
+// order, but all nodes a reader at S skips were published after its pin
+// and all nodes at or below its stop point were published before it.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/schema"
+)
+
+// ---------------------------------------------------------------------------
+// Attribute slots
+
+// aver is one version of an attribute slot. v == nil is a tombstone: the
+// attribute was removed (set to null) at sequence at. prev is atomic only
+// so the sweep can cut tails under a reader walking the chain; nodes are
+// otherwise immutable once published.
+type aver struct {
+	at   uint64
+	v    *domain.Value
+	prev atomic.Pointer[aver]
+}
+
+// attrBox is one attribute slot: a version chain plus the memoized schema
+// declaration. The head is swapped atomically so the lock-free resolution
+// cache hit path (and cross-shard expression evaluation) reads a
+// consistent value without synchronization, while a writer holding only
+// its own shard lock publishes in place — no whole-map copy per write.
+type attrBox struct {
+	head atomic.Pointer[aver]
+	// decl memoizes the schema declaration this slot was validated
+	// against, letting repeated writes skip the effective-type lookups.
+	// Accessed only under the owning shard's write lock.
+	decl *schema.EffAttr
+}
+
+func newAttrBoxAt(v domain.Value, at uint64) *attrBox {
+	b := &attrBox{}
+	b.head.Store(&aver{at: at, v: &v})
+	return b
+}
+
+// load returns the live (head) value; ok is false on a tombstone head.
+func (b *attrBox) load() (domain.Value, bool) {
+	h := b.head.Load()
+	if h == nil || h.v == nil {
+		return nil, false
+	}
+	return *h.v, true
+}
+
+// at returns the value visible at sequence point s (absent if the slot
+// did not exist, or held a tombstone, at s). Lock-free.
+func (b *attrBox) at(s uint64) (domain.Value, bool) {
+	for n := b.head.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= s {
+			if n.v == nil {
+				return nil, false
+			}
+			return *n.v, true
+		}
+	}
+	return nil, false
+}
+
+// put publishes a new version stamped at. ceil is the current pin
+// ceiling: the old head is kept on the chain only if a pin may still read
+// it (head.at <= ceil); otherwise the new head reuses the old tail, so an
+// unpinned slot never grows. Serialized by the owning shard's write lock.
+// Reports whether the chain grew.
+func (b *attrBox) put(at uint64, v *domain.Value, ceil uint64) bool {
+	h := b.head.Load()
+	n := &aver{at: at, v: v}
+	grew := false
+	if h != nil {
+		if h.at <= ceil && h.at < at {
+			n.prev.Store(h)
+			grew = true
+		} else {
+			n.prev.Store(h.prev.Load())
+		}
+	}
+	b.head.Store(n)
+	return grew
+}
+
+// ---------------------------------------------------------------------------
+// Per-object modification sequence
+
+// mver is one retained historic modSeq value (the value IS at: modSeq is
+// always set to the mutating operation's sequence).
+type mver struct {
+	at   uint64
+	prev atomic.Pointer[mver]
+}
+
+// pushModSeq advances the object's modSeq to seq, retaining the previous
+// value on the history chain while a pin may still read it. Serialized by
+// the owning shard's write lock (or the all-shard lock).
+func (o *Object) pushModSeq(seq, ceil uint64) bool {
+	cur := o.modSeq.Load()
+	grew := false
+	if cur != 0 && cur <= ceil && cur < seq {
+		n := &mver{at: cur}
+		n.prev.Store(o.modPrev.Load())
+		o.modPrev.Store(n)
+		grew = true
+	}
+	o.modSeq.Store(seq)
+	return grew
+}
+
+// modAt returns the modification sequence visible at s.
+func (o *Object) modAt(s uint64) uint64 {
+	if cur := o.modSeq.Load(); cur <= s {
+		return cur
+	}
+	for n := o.modPrev.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= s {
+			return n.at
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Binding bookkeeping
+
+// bookNode is one version of a binding's system bookkeeping. Values are
+// absolute (not deltas); concurrent cross-shard pushes converge through a
+// CAS loop on the head, so the head always reflects every push published
+// so far even when nodes land out of sequence order.
+type bookNode struct {
+	at   uint64
+	upd  int64
+	last int64
+	ack  int64
+	prev atomic.Pointer[bookNode]
+}
+
+// bindingBook holds the system bookkeeping of one inheritance binding as
+// a version chain. Transmitter updates fan out across shards while the
+// writer holds only its own shard lock, so pushes must commute: each push
+// derives the new absolutes from the current head and retries on CAS
+// failure — concurrent updates reach the same final head in any order,
+// which journal replay depends on.
+type bindingBook struct {
+	head atomic.Pointer[bookNode]
+}
+
+// now returns the live bookkeeping values.
+func (bk *bindingBook) now() (upd, last, ack int64) {
+	if h := bk.head.Load(); h != nil {
+		return h.upd, h.last, h.ack
+	}
+	return 0, 0, 0
+}
+
+// at returns the bookkeeping values visible at sequence point s.
+func (bk *bindingBook) at(s uint64) (upd, last, ack int64) {
+	for n := bk.head.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= s {
+			return n.upd, n.last, n.ack
+		}
+	}
+	return 0, 0, 0
+}
+
+// push publishes new absolutes derived from the current head by f,
+// stamped at. Keep/replace of the old head follows the same ceiling rule
+// as attribute slots. Reports whether the chain grew.
+func (bk *bindingBook) push(at, ceil uint64, f func(upd, last, ack int64) (int64, int64, int64)) bool {
+	for {
+		h := bk.head.Load()
+		var upd, last, ack int64
+		if h != nil {
+			upd, last, ack = h.upd, h.last, h.ack
+		}
+		u, l, a := f(upd, last, ack)
+		n := &bookNode{at: at, upd: u, last: l, ack: a}
+		grew := false
+		if h != nil {
+			if h.at <= ceil && h.at < at {
+				n.prev.Store(h)
+				grew = true
+			} else {
+				n.prev.Store(h.prev.Load())
+			}
+		}
+		if bk.head.CompareAndSwap(h, n) {
+			return grew
+		}
+	}
+}
+
+// noteUpdate records one permeable transmitter update at seq.
+func (bk *bindingBook) noteUpdate(seq, ceil uint64) bool {
+	return bk.push(seq, ceil, func(upd, last, ack int64) (int64, int64, int64) {
+		if int64(seq) > last {
+			last = int64(seq)
+		}
+		return upd + 1, last, ack
+	})
+}
+
+// acknowledge raises AcknowledgedSeq to at least ack, at op sequence seq.
+func (bk *bindingBook) acknowledge(seq, ceil uint64, ack int64) bool {
+	return bk.push(seq, ceil, func(u, l, a int64) (int64, int64, int64) {
+		if ack > a {
+			a = ack
+		}
+		return u, l, a
+	})
+}
+
+// seed installs the base version (Import).
+func (bk *bindingBook) seed(upd, last, ack int64) {
+	bk.head.Store(&bookNode{at: 0, upd: upd, last: last, ack: ack})
+}
+
+// ---------------------------------------------------------------------------
+// Binding indexes
+
+// ibVer is one version of an inheritor's binding set (rel-type name ->
+// binding). The set map is immutable once published.
+type ibVer struct {
+	at   uint64
+	set  map[string]*Binding
+	prev atomic.Pointer[ibVer]
+}
+
+// ibChain versions one inheritor's bindings for snapshot readers. Pushed
+// under the all-shard lock (every binding mutation is store-exclusive).
+type ibChain struct{ head atomic.Pointer[ibVer] }
+
+func (c *ibChain) push(at, ceil uint64, set map[string]*Binding) bool {
+	h := c.head.Load()
+	n := &ibVer{at: at, set: set}
+	grew := false
+	if h != nil {
+		if h.at <= ceil && h.at < at {
+			n.prev.Store(h)
+			grew = true
+		} else {
+			n.prev.Store(h.prev.Load())
+		}
+	}
+	c.head.Store(n)
+	return grew
+}
+
+func (c *ibChain) at(s uint64) map[string]*Binding {
+	for n := c.head.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= s {
+			return n.set
+		}
+	}
+	return nil
+}
+
+// tbVer / tbChain: the transmitter-side index (binding list), same rules.
+type tbVer struct {
+	at   uint64
+	list []*Binding
+	prev atomic.Pointer[tbVer]
+}
+
+type tbChain struct{ head atomic.Pointer[tbVer] }
+
+func (c *tbChain) push(at, ceil uint64, list []*Binding) bool {
+	h := c.head.Load()
+	n := &tbVer{at: at, list: list}
+	grew := false
+	if h != nil {
+		if h.at <= ceil && h.at < at {
+			n.prev.Store(h)
+			grew = true
+		} else {
+			n.prev.Store(h.prev.Load())
+		}
+	}
+	c.head.Store(n)
+	return grew
+}
+
+func (c *tbChain) at(s uint64) []*Binding {
+	for n := c.head.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= s {
+			return n.list
+		}
+	}
+	return nil
+}
+
+// snapPushBindIn publishes the inheritor's current binding set to its
+// snapshot chain at sequence at. Callers hold all shard write locks.
+func (s *Store) snapPushBindIn(inheritor domain.Surrogate, at uint64) {
+	sh := s.shardOf(inheritor)
+	live := sh.byInheritor[inheritor]
+	ceil := s.ceiling()
+	if ceil == 0 && len(live) == 0 {
+		// No pin can read the old set and the new one is empty: drop the key.
+		sh.snapBindIn.Delete(inheritor)
+		return
+	}
+	set := make(map[string]*Binding, len(live))
+	for k, v := range live {
+		set[k] = v
+	}
+	v, _ := sh.snapBindIn.LoadOrStore(inheritor, &ibChain{})
+	if v.(*ibChain).push(at, ceil, set) {
+		sh.retained.Add(1)
+	}
+}
+
+// snapPushBindOut is snapPushBindIn for the transmitter-side index.
+func (s *Store) snapPushBindOut(transmitter domain.Surrogate, at uint64) {
+	sh := s.shardOf(transmitter)
+	live := sh.byTransmitter[transmitter]
+	ceil := s.ceiling()
+	if ceil == 0 && len(live) == 0 {
+		sh.snapBindOut.Delete(transmitter)
+		return
+	}
+	list := append([]*Binding(nil), live...)
+	v, _ := sh.snapBindOut.LoadOrStore(transmitter, &tbChain{})
+	if v.(*tbChain).push(at, ceil, list) {
+		sh.retained.Add(1)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Class membership history
+
+// cver is one version of a class's membership. The slice is the class's
+// published COW membership slice at commit time — shared, never copied.
+type cver struct {
+	at      uint64
+	members []domain.Surrogate
+	prev    atomic.Pointer[cver]
+}
+
+// pushHist publishes the class's current membership at sequence at.
+// Callers hold all shard and stripe write locks (membership only changes
+// store-exclusively).
+func (c *Class) pushHist(at, ceil uint64) bool {
+	h := c.hist.Load()
+	n := &cver{at: at, members: c.items()}
+	grew := false
+	if h != nil {
+		if h.at <= ceil && h.at < at {
+			n.prev.Store(h)
+			grew = true
+		} else {
+			n.prev.Store(h.prev.Load())
+		}
+	}
+	c.hist.Store(n)
+	return grew
+}
+
+// membersAt returns the membership visible at s. A nil history means the
+// membership never changed after the base state (creation or import), so
+// the live slice is the answer for every pinnable s; an exhausted walk
+// means the class was first populated after s.
+func (c *Class) membersAt(s uint64) []domain.Surrogate {
+	h := c.hist.Load()
+	if h == nil {
+		return c.items()
+	}
+	for n := h; n != nil; n = n.prev.Load() {
+		if n.at <= s {
+			return n.members
+		}
+	}
+	return nil
+}
+
+// touchClass records a class whose membership the running store-exclusive
+// operation mutates; commitClassHist publishes one history version per
+// touched class at the operation's sequence. Guarded by the all-shard
+// lock (single mutator).
+func (s *Store) touchClass(c *Class) {
+	for _, t := range s.touched {
+		if t == c {
+			return
+		}
+	}
+	// First mutation since the base state: preserve the pre-import
+	// membership for readers below the first explicit version. Classes
+	// populated by Import get their base version seeded there; classes
+	// born empty need none (an exhausted walk reads empty).
+	s.touched = append(s.touched, c)
+}
+
+func (s *Store) commitClassHist(seq uint64) {
+	if len(s.touched) == 0 {
+		return
+	}
+	ceil := s.ceiling()
+	for _, c := range s.touched {
+		if c.pushHist(seq, ceil) {
+			s.mvcc.classRetained.Add(1)
+		}
+	}
+	s.touched = s.touched[:0]
+}
+
+// abortClassTouches drops the touch set after a rolled-back operation
+// (the live membership was restored, so no history version is due).
+func (s *Store) abortClassTouches() {
+	s.touched = s.touched[:0]
+}
+
+// publishObj stamps a newly created object with its creating sequence and
+// makes it visible to snapshot readers. Called at the operation's commit
+// point, under the locks the creation ran under, so a snapshot pinned
+// before the operation never observes it mid-flight.
+func (s *Store) publishObj(o *Object, seq uint64) {
+	o.createdSeq = seq
+	s.shardOf(o.sur).snapObjs.Store(o.sur, o)
+}
+
+// retireObj marks an object deleted at seq for snapshot readers. With no
+// live pin the snapshot entry is dropped eagerly (nothing can read it and
+// any later pin sees a higher sequence); otherwise the entry stays dead
+// until the sweep reclaims it. Callers hold the store-exclusive lock.
+func (s *Store) retireObj(o *Object, seq uint64) {
+	sh := s.shardOf(o.sur)
+	if s.ceiling() == 0 {
+		sh.snapObjs.Delete(o.sur)
+		return
+	}
+	o.deletedSeq.Store(seq)
+	sh.retained.Add(1)
+}
+
+// visibleAt reports whether the object existed at sequence point s.
+func (o *Object) visibleAt(s uint64) bool {
+	if o.createdSeq > s {
+		return false
+	}
+	d := o.deletedSeq.Load()
+	return d == 0 || d > s
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot pins
+
+// mvccState is the store's pin registry and GC bookkeeping.
+type mvccState struct {
+	mu   sync.Mutex
+	pins map[*Snapshot]uint64
+
+	// ceilA is the highest pinned sequence (0: none) — the write-side
+	// "keep the old head" test. lowA is the lowest pinned sequence
+	// (MaxUint64: none) — the sweep's low-water mark.
+	ceilA atomic.Uint64
+	lowA  atomic.Uint64
+
+	taken    atomic.Uint64
+	released atomic.Uint64
+
+	gcMu          sync.Mutex // admits one sweep; TryLock paces overlapping triggers
+	gcRuns        atomic.Uint64
+	reclaimed     atomic.Uint64
+	classRetained atomic.Uint64
+	sweepStamp    atomic.Uint64 // retention counter total at the last sweep
+	extraGauge    atomic.Uint64 // residual non-head version nodes at the last sweep
+	deadGauge     atomic.Uint64 // residual dead (deleted but pinned) objects at the last sweep
+}
+
+func (m *mvccState) recalcLocked() {
+	var ceil uint64
+	low := uint64(math.MaxUint64)
+	for _, s := range m.pins {
+		if s > ceil {
+			ceil = s
+		}
+		if s < low {
+			low = s
+		}
+	}
+	m.ceilA.Store(ceil)
+	m.lowA.Store(low)
+}
+
+// ceiling returns the highest pinned sequence (0 when nothing is pinned).
+// Writers consult it on every chain put; reads are a single atomic load.
+func (s *Store) ceiling() uint64 { return s.mvcc.ceilA.Load() }
+
+// lowWater returns the lowest pinned sequence (MaxUint64 when nothing is
+// pinned): versions only a lower sequence point could read are garbage.
+func (s *Store) lowWater() uint64 { return s.mvcc.lowA.Load() }
+
+// Snapshot is a pinned store-wide sequence point. All read methods
+// traverse version chains lock-free at the pinned sequence; writers are
+// never blocked by a live snapshot, they only retain old versions for it.
+// Release the snapshot (refcounted) to let the sweep reclaim them.
+type Snapshot struct {
+	s       *Store
+	seq     uint64
+	nextSur uint64
+	// epochs are the per-shard structure epochs at pin time: a memoized
+	// resolution route whose stamps match them was valid exactly at the
+	// pin, so snapshot reads may reuse the live route cache.
+	epochs []uint64
+	refs   atomic.Int64
+}
+
+// Snapshot pins the current sequence point. It briefly takes all shard
+// read locks (the same order every writer uses), so the pin lands between
+// operations: every op is entirely visible or entirely invisible.
+func (s *Store) Snapshot() *Snapshot {
+	s.rlockAll()
+	sn := s.pinLocked()
+	s.runlockAll()
+	return sn
+}
+
+// Seq returns the pinned sequence point.
+func (sn *Snapshot) Seq() uint64 { return sn.seq }
+
+// NextSur returns the surrogate counter at the pin.
+func (sn *Snapshot) NextSur() uint64 { return sn.nextSur }
+
+// Acquire adds a reference; every Acquire needs a matching Release.
+func (sn *Snapshot) Acquire() *Snapshot {
+	sn.refs.Add(1)
+	return sn
+}
+
+// Release drops one reference; the last release unpins the sequence point
+// and, if no other pin remains, triggers a version sweep when retained
+// garbage exists.
+func (sn *Snapshot) Release() {
+	if sn.refs.Add(-1) != 0 {
+		return
+	}
+	s := sn.s
+	m := &s.mvcc
+	m.mu.Lock()
+	delete(m.pins, sn)
+	m.released.Add(1)
+	m.recalcLocked()
+	remaining := len(m.pins)
+	m.mu.Unlock()
+	if remaining == 0 && s.retainedTotal() != m.sweepStamp.Load() {
+		s.SweepVersions()
+	}
+}
+
+func (s *Store) retainedTotal() uint64 {
+	n := s.mvcc.classRetained.Load()
+	for i := range s.shards {
+		n += s.shards[i].retained.Load()
+	}
+	return n
+}
+
+// MVCCStats reports the snapshot-pin and version-chain counters.
+type MVCCStats struct {
+	Pins          int64  `json:"pins"`           // live pins right now
+	Taken         uint64 `json:"taken"`          // snapshots pinned, lifetime
+	Released      uint64 `json:"released"`       // snapshots fully released, lifetime
+	Retained      uint64 `json:"retained"`       // version nodes kept alive for a pin, lifetime
+	Reclaimed     uint64 `json:"reclaimed"`      // nodes and dead objects freed by sweeps
+	GCRuns        uint64 `json:"gc_runs"`        // completed sweeps
+	ExtraVersions uint64 `json:"extra_versions"` // non-head version nodes left after the last sweep
+	DeadObjects   uint64 `json:"dead_objects"`   // deleted-but-pinned objects left after the last sweep
+	LowWater      uint64 `json:"low_water"`      // current sweep low-water mark (MaxUint64: no pins)
+}
+
+func (s *Store) mvccStats() MVCCStats {
+	m := &s.mvcc
+	m.mu.Lock()
+	pins := int64(len(m.pins))
+	m.mu.Unlock()
+	return MVCCStats{
+		Pins:          pins,
+		Taken:         m.taken.Load(),
+		Released:      m.released.Load(),
+		Retained:      s.retainedTotal(),
+		Reclaimed:     m.reclaimed.Load(),
+		GCRuns:        m.gcRuns.Load(),
+		ExtraVersions: m.extraGauge.Load(),
+		DeadObjects:   m.deadGauge.Load(),
+		LowWater:      m.lowA.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Version sweep (GC)
+
+// SweepVersions trims every version chain to the low-water mark over the
+// live pins and unlinks deleted objects no pin can still see. With no
+// pins it restores the single-version-per-slot steady state. It takes one
+// shard write lock at a time (never the store-exclusive lock), so it runs
+// concurrently with reads and with writers on other shards. Returns the
+// number of reclaimed nodes/objects; 0 if another sweep is running.
+func (s *Store) SweepVersions() uint64 {
+	if !s.mvcc.gcMu.TryLock() {
+		return 0
+	}
+	defer s.mvcc.gcMu.Unlock()
+	stamp := s.retainedTotal()
+	low := s.lowWater()
+	var extras, dead, rec uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.snapObjs.Range(func(k, v any) bool {
+			o := v.(*Object)
+			if d := o.deletedSeq.Load(); d != 0 {
+				if d <= low {
+					sh.snapObjs.Delete(k)
+					rec++
+					return true
+				}
+				dead++
+			}
+			var tombs []string
+			for name, b := range o.attrMap() {
+				e, r, headDead := trimAver(&b.head, low)
+				extras += e
+				rec += r
+				if headDead && o.deletedSeq.Load() == 0 {
+					tombs = append(tombs, name)
+				}
+			}
+			if len(tombs) > 0 {
+				o.removeBoxes(tombs)
+				rec += uint64(len(tombs))
+			}
+			e, r := trimMver(o, low)
+			extras += e
+			rec += r
+			if o.book != nil {
+				e, r := trimBook(&o.book.head, low)
+				extras += e
+				rec += r
+			}
+			for _, c := range o.subMap() {
+				e, r := trimCver(&c.hist, low)
+				extras += e
+				rec += r
+			}
+			for _, c := range o.relMap() {
+				e, r := trimCver(&c.hist, low)
+				extras += e
+				rec += r
+			}
+			return true
+		})
+		sh.snapBindIn.Range(func(k, v any) bool {
+			c := v.(*ibChain)
+			e, r, empty := trimIb(&c.head, low)
+			extras += e
+			rec += r
+			if empty {
+				sh.snapBindIn.Delete(k)
+			}
+			return true
+		})
+		sh.snapBindOut.Range(func(k, v any) bool {
+			c := v.(*tbChain)
+			e, r, empty := trimTb(&c.head, low)
+			extras += e
+			rec += r
+			if empty {
+				sh.snapBindOut.Delete(k)
+			}
+			return true
+		})
+		sh.mu.Unlock()
+	}
+	s.snapClasses.Range(func(k, v any) bool {
+		c := v.(*Class)
+		st := s.stripeOf(c.name)
+		st.mu.Lock()
+		e, r := trimCver(&c.hist, low)
+		st.mu.Unlock()
+		extras += e
+		rec += r
+		return true
+	})
+	m := &s.mvcc
+	m.extraGauge.Store(extras)
+	m.deadGauge.Store(dead)
+	m.reclaimed.Add(rec)
+	m.gcRuns.Add(1)
+	m.sweepStamp.Store(stamp)
+	return rec
+}
+
+// trimAver cuts an attribute chain below the first node readable at low
+// (every remaining pin has S >= low, so nothing deeper is reachable).
+// Returns (surviving non-head nodes, reclaimed nodes, head-is-dead): the
+// last result marks a single tombstone head no pin distinguishes from an
+// absent slot, so the caller may drop the whole box.
+func trimAver(head *atomic.Pointer[aver], low uint64) (extras, rec uint64, headDead bool) {
+	h := head.Load()
+	var boundary *aver
+	depth := uint64(0)
+	for n := h; n != nil; n = n.prev.Load() {
+		if n.at <= low {
+			boundary = n
+			break
+		}
+		depth++
+	}
+	if boundary != nil {
+		for n := boundary.prev.Load(); n != nil; n = n.prev.Load() {
+			rec++
+		}
+		boundary.prev.Store(nil)
+	}
+	if h != nil {
+		for n := h.prev.Load(); n != nil; n = n.prev.Load() {
+			extras++
+		}
+		headDead = h.v == nil && h.prev.Load() == nil && h.at <= low
+	}
+	_ = depth
+	return extras, rec, headDead
+}
+
+func trimMver(o *Object, low uint64) (extras, rec uint64) {
+	if o.modSeq.Load() <= low {
+		for n := o.modPrev.Load(); n != nil; n = n.prev.Load() {
+			rec++
+		}
+		o.modPrev.Store(nil)
+		return 0, rec
+	}
+	var boundary *mver
+	for n := o.modPrev.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= low {
+			boundary = n
+			break
+		}
+	}
+	if boundary != nil {
+		for n := boundary.prev.Load(); n != nil; n = n.prev.Load() {
+			rec++
+		}
+		boundary.prev.Store(nil)
+	}
+	for n := o.modPrev.Load(); n != nil; n = n.prev.Load() {
+		extras++
+	}
+	return extras, rec
+}
+
+func trimBook(head *atomic.Pointer[bookNode], low uint64) (extras, rec uint64) {
+	var boundary *bookNode
+	for n := head.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= low {
+			boundary = n
+			break
+		}
+	}
+	if boundary != nil {
+		for n := boundary.prev.Load(); n != nil; n = n.prev.Load() {
+			rec++
+		}
+		boundary.prev.Store(nil)
+	}
+	if h := head.Load(); h != nil {
+		for n := h.prev.Load(); n != nil; n = n.prev.Load() {
+			extras++
+		}
+	}
+	return extras, rec
+}
+
+func trimCver(head *atomic.Pointer[cver], low uint64) (extras, rec uint64) {
+	var boundary *cver
+	for n := head.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= low {
+			boundary = n
+			break
+		}
+	}
+	if boundary != nil {
+		for n := boundary.prev.Load(); n != nil; n = n.prev.Load() {
+			rec++
+		}
+		boundary.prev.Store(nil)
+	}
+	if h := head.Load(); h != nil {
+		for n := h.prev.Load(); n != nil; n = n.prev.Load() {
+			extras++
+		}
+	}
+	return extras, rec
+}
+
+func trimIb(head *atomic.Pointer[ibVer], low uint64) (extras, rec uint64, empty bool) {
+	var boundary *ibVer
+	for n := head.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= low {
+			boundary = n
+			break
+		}
+	}
+	if boundary != nil {
+		for n := boundary.prev.Load(); n != nil; n = n.prev.Load() {
+			rec++
+		}
+		boundary.prev.Store(nil)
+	}
+	if h := head.Load(); h != nil {
+		for n := h.prev.Load(); n != nil; n = n.prev.Load() {
+			extras++
+		}
+		empty = len(h.set) == 0 && h.prev.Load() == nil && h.at <= low
+	}
+	return extras, rec, empty
+}
+
+func trimTb(head *atomic.Pointer[tbVer], low uint64) (extras, rec uint64, empty bool) {
+	var boundary *tbVer
+	for n := head.Load(); n != nil; n = n.prev.Load() {
+		if n.at <= low {
+			boundary = n
+			break
+		}
+	}
+	if boundary != nil {
+		for n := boundary.prev.Load(); n != nil; n = n.prev.Load() {
+			rec++
+		}
+		boundary.prev.Store(nil)
+	}
+	if h := head.Load(); h != nil {
+		for n := h.prev.Load(); n != nil; n = n.prev.Load() {
+			extras++
+		}
+		empty = len(h.list) == 0 && h.prev.Load() == nil && h.at <= low
+	}
+	return extras, rec, empty
+}
+
+// removeBoxes drops attribute slots whose whole history is a tombstone
+// (COW map swap, safe under the owning shard's write lock).
+func (o *Object) removeBoxes(names []string) {
+	old := o.attrMap()
+	m := make(map[string]*attrBox, len(old))
+	for k, b := range old {
+		drop := false
+		for _, n := range names {
+			if n == k {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			m[k] = b
+		}
+	}
+	o.attrs.Store(&m)
+}
+
+// seedSnapshotState publishes the base (at = 0) versions after an import:
+// every object, binding index entry and populated class becomes visible
+// to any snapshot at its imported state. Callers hold all locks.
+func (s *Store) seedSnapshotState() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for sur, o := range sh.objects {
+			sh.snapObjs.Store(sur, o)
+			for _, c := range o.subMap() {
+				if c.Len() > 0 && c.hist.Load() == nil {
+					c.pushHist(0, 0)
+				}
+			}
+			for _, c := range o.relMap() {
+				if c.Len() > 0 && c.hist.Load() == nil {
+					c.pushHist(0, 0)
+				}
+			}
+		}
+		for sur := range sh.byInheritor {
+			s.snapPushBindIn(sur, 0)
+		}
+		for sur := range sh.byTransmitter {
+			s.snapPushBindOut(sur, 0)
+		}
+	}
+	for i := range s.stripes {
+		for name, c := range s.stripes[i].classes {
+			s.snapClasses.Store(name, c)
+			if c.Len() > 0 && c.hist.Load() == nil {
+				c.pushHist(0, 0)
+			}
+		}
+	}
+}
+
+// surrogatesAt returns the surrogates visible at the pinned sequence, in
+// ascending order.
+func (sn *Snapshot) surrogatesAt() []domain.Surrogate {
+	var out []domain.Surrogate
+	for i := range sn.s.shards {
+		sn.s.shards[i].snapObjs.Range(func(k, v any) bool {
+			if v.(*Object).visibleAt(sn.seq) {
+				out = append(out, k.(domain.Surrogate))
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -6,8 +6,8 @@
 //
 // The Store is the unit of consistency: all operations go through it and
 // it is safe for concurrent use. Higher layers add transactions
-// (internal/txn), versioning (internal/version) and persistence
-// (internal/storage).
+// (internal/txn), versioning (internal/version), persistence
+// (internal/storage) and snapshot isolation for long reads (mvcc.go).
 package object
 
 import (
@@ -17,55 +17,6 @@ import (
 	"cadcam/internal/domain"
 	"cadcam/internal/schema"
 )
-
-// attrBox is one attribute slot. The slot's value is swapped atomically so
-// the lock-free resolution-cache hit path (and cross-shard expression
-// evaluation) reads a consistent value without synchronization, while a
-// writer holding only its own shard lock updates in place — no whole-map
-// copy per write.
-type attrBox struct {
-	p atomic.Pointer[domain.Value]
-	// decl memoizes the schema declaration this slot was validated
-	// against, letting repeated writes skip the effective-type lookups.
-	// Effective types are immutable once the catalog is built, and a slot
-	// only ever exists for a non-inherited declared attribute. nil on
-	// slots created before the declaration was resolved (Import, initial
-	// attrs); backfilled by the first SetAttr. Accessed only under the
-	// owning shard's write lock.
-	decl *schema.EffAttr
-}
-
-func newAttrBox(v domain.Value) *attrBox {
-	b := &attrBox{}
-	b.p.Store(&v)
-	return b
-}
-
-func (b *attrBox) load() domain.Value { return *b.p.Load() }
-
-func (b *attrBox) store(v domain.Value) { b.p.Store(&v) }
-
-// bindingBook holds the system bookkeeping of one inheritance binding as
-// atomics. Transmitter updates fan out across shards while the writer
-// holds only the transmitter's shard lock, so the counters must commute:
-// updates is a plain atomic add, and the sequence fields converge by
-// compare-and-swap to the maximum — concurrent updates reach the same
-// final state in any order, which journal replay depends on.
-type bindingBook struct {
-	updates atomic.Int64
-	lastSeq atomic.Int64
-	ackSeq  atomic.Int64
-}
-
-// casMax raises a to at least v.
-func casMax(a *atomic.Int64, v int64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}
 
 // Object is one object or relationship object. All mutation goes through
 // the Store; the accessor methods here are read-only snapshots and must
@@ -78,17 +29,26 @@ type Object struct {
 
 	// attrs points at the current attribute slot map. Published maps are
 	// immutable; adding or removing a key replaces the map copy-on-write
-	// under the owning shard's lock, while overwriting an existing
-	// attribute swaps the slot's value atomically in place. Either way a
+	// under the owning shard's lock, while writing an existing attribute
+	// pushes a new version onto the slot's chain in place. Either way a
 	// lock-free reader sees complete values, never partial writes.
 	attrs        atomic.Pointer[map[string]*attrBox]
 	participants map[string]domain.Value // rel objects: role -> Ref or *Set
-	subclasses   map[string]*Class
-	subrels      map[string]*Class
+
+	// subclasses and subrels are copy-on-write maps: a class, once
+	// materialized, is never removed from them, so a snapshot reader that
+	// finds a class materialized after its pin simply reads an empty
+	// membership at its sequence — the same answer as not finding it.
+	subclasses atomic.Pointer[map[string]*Class]
+	subrels    atomic.Pointer[map[string]*Class]
 
 	// book is the binding bookkeeping; non-nil exactly on inheritance
 	// binding objects.
 	book *bindingBook
+	// binding backlinks the Binding on inheritance binding objects
+	// (snapshot export classifies records through it); nil otherwise.
+	// Set once under the all-shard lock before the object is published.
+	binding *Binding
 
 	parent     domain.Surrogate // 0 for top-level objects
 	parentSub  string           // subclass of the parent that holds this object
@@ -96,8 +56,16 @@ type Object struct {
 
 	// modSeq is the store sequence of the last direct mutation (attribute
 	// write, subclass membership change); used for optimistic checkin.
-	// Guarded by the owning shard's lock.
-	modSeq uint64
+	// modPrev retains prior values for snapshot pins (see mvcc.go).
+	modSeq  atomic.Uint64
+	modPrev atomic.Pointer[mver]
+
+	// createdSeq is the sequence of the creating operation, written before
+	// the object is published to snapshot readers (0 for imported base
+	// state). deletedSeq is set by the deleting operation; a snapshot at S
+	// sees the object iff createdSeq <= S < deletedSeq.
+	createdSeq uint64
+	deletedSeq atomic.Uint64
 }
 
 // attrMap returns the current attribute slot map; callers must treat the
@@ -109,24 +77,73 @@ func (o *Object) attrMap() map[string]*attrBox {
 	return nil
 }
 
-// initAttrs publishes the initial attribute map of a new object.
-func (o *Object) initAttrs(m map[string]domain.Value) {
+// initAttrs publishes the initial attribute map of a new object, stamped
+// at the given creation sequence (0 for imported base state).
+func (o *Object) initAttrs(m map[string]domain.Value, at uint64) {
 	boxes := make(map[string]*attrBox, len(m))
 	for k, v := range m {
-		boxes[k] = newAttrBox(v)
+		boxes[k] = newAttrBoxAt(v, at)
 	}
 	o.attrs.Store(&boxes)
 }
 
-// attr loads one attribute value; the second result reports presence.
+// initClasses publishes empty subclass/subrel maps.
+func (o *Object) initClasses() {
+	sub := make(map[string]*Class)
+	rel := make(map[string]*Class)
+	o.subclasses.Store(&sub)
+	o.subrels.Store(&rel)
+}
+
+// subMap returns the current local-subclass map (immutable; COW).
+func (o *Object) subMap() map[string]*Class {
+	if p := o.subclasses.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// relMap returns the current relationship-subclass map (immutable; COW).
+func (o *Object) relMap() map[string]*Class {
+	if p := o.subrels.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// putSub publishes a newly materialized local subclass (COW map swap,
+// under the all-shard lock).
+func (o *Object) putSub(name string, c *Class) {
+	old := o.subMap()
+	m := make(map[string]*Class, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[name] = c
+	o.subclasses.Store(&m)
+}
+
+// putSubrel publishes a newly materialized relationship subclass.
+func (o *Object) putSubrel(name string, c *Class) {
+	old := o.relMap()
+	m := make(map[string]*Class, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[name] = c
+	o.subrels.Store(&m)
+}
+
+// attr loads one attribute's live value; the second result reports
+// presence (a tombstone head reads as absent).
 func (o *Object) attr(name string) (domain.Value, bool) {
 	if b, ok := o.attrMap()[name]; ok {
-		return b.load(), true
+		return b.load()
 	}
 	return nil, false
 }
 
-// attrValues materializes the attribute map as plain values (snapshots).
+// attrValues materializes the live attribute map as plain values.
 func (o *Object) attrValues() map[string]domain.Value {
 	m := o.attrMap()
 	if len(m) == 0 {
@@ -134,20 +151,38 @@ func (o *Object) attrValues() map[string]domain.Value {
 	}
 	out := make(map[string]domain.Value, len(m))
 	for k, b := range m {
-		out[k] = b.load()
+		if v, ok := b.load(); ok {
+			out[k] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
-// setAttr sets name to v. Setting an existing attribute swaps the slot in
-// place; adding a key (or removing one — a null value deletes the
-// attribute, keeping snapshots free of null entries) publishes a map copy.
-// Callers hold the owning shard's write lock.
-func (o *Object) setAttr(name string, v domain.Value) {
+// setAttr sets name to v at the given operation sequence. Setting an
+// existing attribute pushes a version onto the slot's chain in place;
+// adding a key publishes a map copy; a null value pushes a tombstone when
+// a snapshot pin may still read the old value, otherwise deletes the key
+// (keeping snapshots free of null entries). ceil is the current pin
+// ceiling. Callers hold the owning shard's write lock. Reports how many
+// version nodes were retained for pins.
+func (o *Object) setAttr(name string, v domain.Value, at, ceil uint64) int {
 	old := o.attrMap()
 	if domain.IsNull(v) {
-		if _, ok := old[name]; !ok {
-			return
+		b, ok := old[name]
+		if !ok {
+			return 0
+		}
+		if h := b.head.Load(); h != nil && (h.at <= ceil || h.prev.Load() != nil) {
+			// A pin may read the current value — or the chain carries
+			// retained tail nodes a pin still needs: tombstone the slot
+			// instead of dropping the box.
+			if b.put(at, nil, ceil) {
+				return 1
+			}
+			return 0
 		}
 		m := make(map[string]*attrBox, len(old))
 		for k, x := range old {
@@ -156,18 +191,21 @@ func (o *Object) setAttr(name string, v domain.Value) {
 			}
 		}
 		o.attrs.Store(&m)
-		return
+		return 0
 	}
 	if b, ok := old[name]; ok {
-		b.store(v)
-		return
+		if b.put(at, &v, ceil) {
+			return 1
+		}
+		return 0
 	}
 	m := make(map[string]*attrBox, len(old)+1)
 	for k, x := range old {
 		m[k] = x
 	}
-	m[name] = newAttrBox(v)
+	m[name] = newAttrBoxAt(v, at)
 	o.attrs.Store(&m)
+	return 0
 }
 
 // Surrogate returns the system-wide identifier.
@@ -196,6 +234,11 @@ type Class struct {
 	// index map is only touched by writers holding the store write locks.
 	members atomic.Pointer[[]domain.Surrogate]
 	index   map[domain.Surrogate]int
+
+	// hist versions the membership for snapshot readers (see mvcc.go);
+	// createdSeq stamps database-level class creation.
+	hist       atomic.Pointer[cver]
+	createdSeq uint64
 }
 
 func newClass(name, elemType string) *Class {
@@ -289,8 +332,11 @@ const (
 // inheritor last acknowledged (the consistency-control reading of the
 // binding attributes).
 func (b *Binding) NeedsAdaptation() bool {
-	bk := b.Obj.book
-	return bk != nil && bk.lastSeq.Load() > bk.ackSeq.Load()
+	if b.Obj.book == nil {
+		return false
+	}
+	_, last, ack := b.Obj.book.now()
+	return last > ack
 }
 
 // sortedNames returns map keys in sorted order for deterministic output.

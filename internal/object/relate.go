@@ -27,6 +27,10 @@ func (s *Store) Relate(relType string, parts Participants) (domain.Surrogate, er
 		return 0, err
 	}
 	seq := s.seq.Add(1)
+	if o, ok := s.obj(sur); ok {
+		s.publishObj(o, seq)
+	}
+	s.commitClassHist(seq)
 	s.emit(&oplog.Op{Kind: oplog.KindRelate, Name: relType, Parts: parts, Out: sur, Seq: seq})
 	return sur, nil
 }
@@ -63,10 +67,16 @@ func (s *Store) RelateIn(owner domain.Surrogate, subrel string, parts Participan
 				if ro, ok := s.obj(sur); ok {
 					s.deleteRelLocked(ro)
 				}
+				// The add and remove net to no membership change.
+				s.abortClassTouches()
 				return false, 0, werr
 			}
 		}
 		seq := s.seq.Add(1)
+		if ro, ok := s.obj(sur); ok {
+			s.publishObj(ro, seq)
+		}
+		s.commitClassHist(seq)
 		n := notifier{s: s, seq: seq}
 		n.notify(owner, subrel)
 		s.emit(&oplog.Op{Kind: oplog.KindRelateIn, Sur: owner, Name: subrel, Parts: parts, Out: sur, Seq: seq})
@@ -133,10 +143,9 @@ func (s *Store) relateLocked(relType string, parts Participants, owner domain.Su
 		typeName:     relType,
 		isRel:        true,
 		participants: assigned,
-		subclasses:   make(map[string]*Class),
-		subrels:      make(map[string]*Class),
 	}
-	o.initAttrs(nil)
+	o.initClasses()
+	o.initAttrs(nil, 0)
 	s.shardOf(sur).objects[sur] = o
 	s.markDirty(sur)
 	for _, v := range assigned {
@@ -144,12 +153,13 @@ func (s *Store) relateLocked(relType string, parts Participants, owner domain.Su
 	}
 	if owner != 0 {
 		oo, _ := s.obj(owner)
-		cls, ok := oo.subrels[subrel]
+		cls, ok := oo.relMap()[subrel]
 		if !ok {
 			cls = newClass(subrel, relType)
-			oo.subrels[subrel] = cls
+			oo.putSubrel(subrel, cls)
 		}
 		cls.add(o.sur)
+		s.touchClass(cls)
 		o.parent = owner
 		o.parentSub = subrel
 	}
@@ -275,8 +285,8 @@ func (s *Store) ParticipantsOf(rel domain.Surrogate) []domain.Surrogate {
 
 // NewRelSubobject creates a subobject inside a relationship object's local
 // subclass — the bolt and nut living inside a ScrewingType relationship
-// (§5). The operation consumes no sequence number; its journal record
-// carries the new surrogate.
+// (§5). Its journal record carries the new surrogate and the operation's
+// sequence number.
 func (s *Store) NewRelSubobject(rel domain.Surrogate, subclass string) (domain.Surrogate, error) {
 	s.lockAll()
 	defer s.unlockAll()
@@ -305,13 +315,17 @@ func (s *Store) NewRelSubobject(rel domain.Surrogate, subclass string) (domain.S
 		o := s.newObjectLocked(mt, false)
 		o.parent = rel
 		o.parentSub = subclass
-		cls, ok := ro.subclasses[subclass]
+		cls, ok := ro.subMap()[subclass]
 		if !ok {
 			cls = newClass(subclass, sc.ElemType)
-			ro.subclasses[subclass] = cls
+			ro.putSub(subclass, cls)
 		}
 		cls.add(o.sur)
-		s.emit(&oplog.Op{Kind: oplog.KindNewRelSubobject, Sur: rel, Name: subclass, Out: o.sur})
+		s.touchClass(cls)
+		seq := s.seq.Add(1)
+		s.publishObj(o, seq)
+		s.commitClassHist(seq)
+		s.emit(&oplog.Op{Kind: oplog.KindNewRelSubobject, Sur: rel, Name: subclass, Out: o.sur, Seq: seq})
 		return o.sur, nil
 	}
 	return 0, fmt.Errorf("%w: %s has no subclass %q", ErrNoSuchClass, ro.typeName, subclass)

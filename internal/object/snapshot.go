@@ -81,14 +81,17 @@ func (s *Store) exportLocked() *StoreState {
 	bindingSurs := s.bindingSursLocked()
 	for _, sur := range surs {
 		if b, isBinding := bindingSurs[sur]; isBinding {
-			st.Bindings = append(st.Bindings, bindingRecord(sur, b))
+			st.Bindings = append(st.Bindings, bindingRecord(sur, b, liveSeq))
 			continue
 		}
 		o, _ := s.obj(sur)
-		st.Objects = append(st.Objects, objectRecord(o))
+		st.Objects = append(st.Objects, objectRecord(o, liveSeq))
 	}
 	return st
 }
+
+// liveSeq reads a version chain at its head: the live state.
+const liveSeq = ^uint64(0)
 
 // baseStateLocked captures the non-partitioned part of the state: classes
 // and the global counters, no object or binding records.
@@ -120,15 +123,17 @@ func (s *Store) bindingSursLocked() map[domain.Surrogate]*Binding {
 	return bindingSurs
 }
 
-func bindingRecord(sur domain.Surrogate, b *Binding) BindingRecord {
-	attrs := copyAttrs(b.Obj.attrMap())
+// bindingRecord captures one binding as visible at sequence point at
+// (liveSeq for the live state).
+func bindingRecord(sur domain.Surrogate, b *Binding, at uint64) BindingRecord {
+	attrs := copyBoxAttrsAt(b.Obj.attrMap(), at)
 	if attrs == nil {
 		attrs = make(map[string]domain.Value, 3)
 	}
-	bk := b.Obj.book
-	attrs[AttrTransmitterUpdates] = domain.Int(bk.updates.Load())
-	attrs[AttrLastUpdateSeq] = domain.Int(bk.lastSeq.Load())
-	attrs[AttrAcknowledgedSeq] = domain.Int(bk.ackSeq.Load())
+	upd, last, ack := b.Obj.book.at(at)
+	attrs[AttrTransmitterUpdates] = domain.Int(upd)
+	attrs[AttrLastUpdateSeq] = domain.Int(last)
+	attrs[AttrAcknowledgedSeq] = domain.Int(ack)
 	return BindingRecord{
 		Sur:         sur,
 		RelType:     b.Rel.Name,
@@ -138,7 +143,8 @@ func bindingRecord(sur domain.Surrogate, b *Binding) BindingRecord {
 	}
 }
 
-func objectRecord(o *Object) ObjectRecord {
+// objectRecord captures one object as visible at sequence point at.
+func objectRecord(o *Object, at uint64) ObjectRecord {
 	return ObjectRecord{
 		Sur:          o.sur,
 		TypeName:     o.typeName,
@@ -146,8 +152,8 @@ func objectRecord(o *Object) ObjectRecord {
 		Parent:       o.parent,
 		ParentSub:    o.parentSub,
 		OwnerClass:   o.ownerClass,
-		ModSeq:       o.modSeq,
-		Attrs:        copyAttrs(o.attrMap()),
+		ModSeq:       o.modAt(at),
+		Attrs:        copyBoxAttrsAt(o.attrMap(), at),
 		Participants: copyAttrs(o.participants),
 	}
 }
@@ -202,29 +208,40 @@ func (s *Store) WithExclusiveExport(baseline []uint64, f func(ex *StoreExport) e
 		sort.Slice(surs, func(a, b int) bool { return surs[a] < surs[b] })
 		for _, sur := range surs {
 			if b, isBinding := bindingSurs[sur]; isBinding {
-				se.Bindings = append(se.Bindings, bindingRecord(sur, b))
+				se.Bindings = append(se.Bindings, bindingRecord(sur, b, liveSeq))
 				continue
 			}
-			se.Objects = append(se.Objects, objectRecord(sh.objects[sur]))
+			se.Objects = append(se.Objects, objectRecord(sh.objects[sur], liveSeq))
 		}
 	}
 	return f(ex)
 }
 
-func copyAttrs[M map[string]domain.Value | map[string]*attrBox](m M) map[string]domain.Value {
+func copyAttrs(m map[string]domain.Value) map[string]domain.Value {
 	if len(m) == 0 {
 		return nil
 	}
 	out := make(map[string]domain.Value, len(m))
-	switch m := any(m).(type) {
-	case map[string]domain.Value:
-		for k, v := range m {
+	for k, v := range m {
+		out[k] = v.Copy()
+	}
+	return out
+}
+
+// copyBoxAttrsAt deep-copies the attribute values visible at sequence
+// point at, skipping slots that are absent (tombstoned) there.
+func copyBoxAttrsAt(m map[string]*attrBox, at uint64) map[string]domain.Value {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]domain.Value, len(m))
+	for k, b := range m {
+		if v, ok := b.at(at); ok {
 			out[k] = v.Copy()
 		}
-	case map[string]*attrBox:
-		for k, b := range m {
-			out[k] = b.load().Copy()
-		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -258,12 +275,11 @@ func (s *Store) importObject(r *ObjectRecord) error {
 		parent:       r.Parent,
 		parentSub:    r.ParentSub,
 		ownerClass:   r.OwnerClass,
-		modSeq:       r.ModSeq,
 		participants: copyAttrs(r.Participants),
-		subclasses:   make(map[string]*Class),
-		subrels:      make(map[string]*Class),
 	}
-	o.initAttrs(copyAttrs(r.Attrs))
+	o.modSeq.Store(r.ModSeq)
+	o.initClasses()
+	o.initAttrs(copyAttrs(r.Attrs), 0)
 	s.shardOf(r.Sur).objects[r.Sur] = o
 	return nil
 }
@@ -375,10 +391,13 @@ func (s *Store) ImportParallel(st *StoreState, workers int) error {
 			return fmt.Errorf("object: snapshot inheritor %s missing", r.Inheritor)
 		}
 		attrs := copyAttrs(r.Attrs)
+		if attrs == nil {
+			attrs = make(map[string]domain.Value)
+		}
 		book := &bindingBook{}
-		book.updates.Store(takeInt(attrs, AttrTransmitterUpdates))
-		book.lastSeq.Store(takeInt(attrs, AttrLastUpdateSeq))
-		book.ackSeq.Store(takeInt(attrs, AttrAcknowledgedSeq))
+		book.seed(takeInt(attrs, AttrTransmitterUpdates),
+			takeInt(attrs, AttrLastUpdateSeq),
+			takeInt(attrs, AttrAcknowledgedSeq))
 		obj := &Object{
 			sur:      r.Sur,
 			typeName: r.RelType,
@@ -387,11 +406,10 @@ func (s *Store) ImportParallel(st *StoreState, workers int) error {
 				"Transmitter": domain.Ref(r.Transmitter),
 				"Inheritor":   domain.Ref(r.Inheritor),
 			},
-			subclasses: make(map[string]*Class),
-			subrels:    make(map[string]*Class),
-			book:       book,
+			book: book,
 		}
-		obj.initAttrs(attrs)
+		obj.initClasses()
+		obj.initAttrs(attrs, 0)
 		if _, dup := s.obj(r.Sur); dup {
 			return fmt.Errorf("object: duplicate surrogate %s in snapshot", r.Sur)
 		}
@@ -406,12 +424,14 @@ func (s *Store) ImportParallel(st *StoreState, workers int) error {
 			return fmt.Errorf("object: duplicate binding for %s in %s", r.Inheritor, r.RelType)
 		}
 		b := &Binding{Obj: obj, Rel: rel, Transmitter: r.Transmitter, Inheritor: r.Inheritor}
+		obj.binding = b
 		m[r.RelType] = b
 		tsh := s.shardOf(r.Transmitter)
 		tsh.byTransmitter[r.Transmitter] = append(tsh.byTransmitter[r.Transmitter], b)
 	}
 	s.nextSur.Store(st.NextSur)
 	s.seq.Store(st.Seq)
+	s.seedSnapshotState()
 	s.bumpAllEpochs()
 	return nil
 }
@@ -435,18 +455,18 @@ func takeInt(m map[string]domain.Value, key string) int64 {
 func (s *Store) linkSubobjectLocked(parent, child *Object) error {
 	name := child.parentSub
 	if child.isRel {
-		cls, ok := parent.subrels[name]
+		cls, ok := parent.relMap()[name]
 		if !ok {
 			cls = newClass(name, child.typeName)
-			parent.subrels[name] = cls
+			parent.putSubrel(name, cls)
 		}
 		cls.add(child.sur)
 		return nil
 	}
-	cls, ok := parent.subclasses[name]
+	cls, ok := parent.subMap()[name]
 	if !ok {
 		cls = newClass(name, child.typeName)
-		parent.subclasses[name] = cls
+		parent.putSub(name, cls)
 	}
 	cls.add(child.sur)
 	return nil

@@ -113,6 +113,22 @@ type shard struct {
 	// shards while holding only one shard lock.
 	dirty atomic.Uint64
 
+	// Snapshot-side indexes (mvcc.go). Live reads never touch them; they
+	// are parallel structures a pinned Snapshot traverses lock-free:
+	//
+	//   snapObjs    sur -> *Object, inserted at the creating operation's
+	//               commit point (createdSeq already stamped) and retained
+	//               past deletion until the sweep unlinks dead entries.
+	//   snapBindIn  inheritor sur -> *ibChain (versions of byInheritor)
+	//   snapBindOut transmitter sur -> *tbChain (versions of byTransmitter)
+	//
+	// retained counts version nodes and dead objects kept alive for pins;
+	// the sweep pacing compares its total against the last sweep.
+	snapObjs    sync.Map
+	snapBindIn  sync.Map
+	snapBindOut sync.Map
+	retained    atomic.Uint64
+
 	hits, misses, invalidations atomic.Uint64
 
 	_ [64]byte // avoid false sharing between neighbouring shards
@@ -173,6 +189,16 @@ type Store struct {
 	// non-nil result vetoes the mutation. The database facade uses it to
 	// write-protect frozen versions.
 	guard func(sur domain.Surrogate) error
+
+	// mvcc is the snapshot-pin registry and version-GC state (mvcc.go).
+	mvcc mvccState
+	// snapClasses mirrors the database-level classes for lock-free
+	// snapshot lookup (Class.createdSeq gates visibility).
+	snapClasses sync.Map
+	// touched collects classes whose membership the running
+	// store-exclusive operation mutates; commitClassHist publishes their
+	// history versions at the operation's sequence. All-shard lock only.
+	touched []*Class
 }
 
 // NewStore creates an empty store over a validated catalog with the
@@ -193,6 +219,7 @@ func NewStoreShards(cat *schema.Catalog, shards int) (*Store, error) {
 		shards = DefaultShards
 	}
 	s := &Store{cat: cat, shards: make([]shard, shards), seed: maphash.MakeSeed()}
+	s.mvcc.lowA.Store(^uint64(0)) // no pins: low-water mark at infinity
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.objects = make(map[domain.Surrogate]*Object)
@@ -426,7 +453,7 @@ func (s *Store) ModSeq(sur domain.Surrogate) (uint64, error) {
 	if !ok {
 		return 0, noObject(sur)
 	}
-	return o.modSeq, nil
+	return o.modSeq.Load(), nil
 }
 
 // DefineClass creates a database-level class holding objects of the given
@@ -448,8 +475,12 @@ func (s *Store) DefineClass(name, elemType string) error {
 			return fmt.Errorf("%w: %q", ErrNoSuchType, elemType)
 		}
 	}
-	st.classes[name] = newClass(name, elemType)
-	s.emit(&oplog.Op{Kind: oplog.KindDefineClass, Name: name, Name2: elemType})
+	c := newClass(name, elemType)
+	seq := s.seq.Add(1)
+	c.createdSeq = seq
+	st.classes[name] = c
+	s.snapClasses.Store(name, c)
+	s.emit(&oplog.Op{Kind: oplog.KindDefineClass, Name: name, Name2: elemType, Seq: seq})
 	return nil
 }
 
@@ -504,8 +535,12 @@ func (s *Store) NewObject(typeName, className string) (domain.Surrogate, error) 
 	if cls != nil {
 		cls.add(o.sur)
 		o.ownerClass = className
+		s.touchClass(cls)
 	}
-	s.emit(&oplog.Op{Kind: oplog.KindNewObject, Name: typeName, Name2: className, Out: o.sur})
+	seq := s.seq.Add(1)
+	s.publishObj(o, seq)
+	s.commitClassHist(seq)
+	s.emit(&oplog.Op{Kind: oplog.KindNewObject, Name: typeName, Name2: className, Out: o.sur, Seq: seq})
 	return o.sur, nil
 }
 
@@ -538,8 +573,11 @@ func (s *Store) NewSubobject(parent domain.Surrogate, subclass string) (domain.S
 		o.parent = parent
 		o.parentSub = subclass
 		cls.add(o.sur)
+		s.touchClass(cls)
 		seq := s.seq.Add(1)
-		po.modSeq = seq
+		s.publishObj(o, seq)
+		s.commitClassHist(seq)
+		po.pushModSeq(seq, s.ceiling())
 		s.markDirty(parent)
 		// Gaining a member is a visible change of the subclass: inheritors of
 		// the parent (e.g. implementations of an interface gaining a pin) are
@@ -571,10 +609,10 @@ func (s *Store) subclassOf(o *Object, name string) (*schema.EffSubclass, *Class,
 	if sd.Inherited() {
 		return sd, nil, nil
 	}
-	cls, ok := o.subclasses[name]
+	cls, ok := o.subMap()[name]
 	if !ok {
 		cls = newClass(name, sd.ElemType)
-		o.subclasses[name] = cls
+		o.putSub(name, cls)
 		// Materializing a subclass changes what members routes must point
 		// at: a route memoized before the class existed records "empty".
 		// Any such route has o in its chain, so o's shard epoch covers it.
@@ -600,11 +638,10 @@ func (s *Store) newObjectLocked(t *schema.ObjectType, isRel bool) *Object {
 		sur:          sur,
 		typeName:     t.Name,
 		isRel:        isRel,
-		subclasses:   make(map[string]*Class),
-		subrels:      make(map[string]*Class),
 		participants: nil,
 	}
-	o.initAttrs(nil)
+	o.initClasses()
+	o.initAttrs(nil, 0)
 	s.shardOf(sur).objects[sur] = o
 	s.markDirty(sur)
 	return o

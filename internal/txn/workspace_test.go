@@ -175,3 +175,58 @@ func TestRelatedObjects(t *testing.T) {
 		}
 	}
 }
+
+func TestWorkspaceCheckoutAt(t *testing.T) {
+	m := gateManager(t)
+	a, _ := m.store.NewObject(paperschema.TypePin, "")
+	b, _ := m.store.NewObject(paperschema.TypePin, "")
+
+	ws := m.NewWorkspace("designer")
+	if err := ws.CheckoutAt(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.CheckedOut(); len(got) != 2 {
+		t.Fatalf("checked out = %v", got)
+	}
+	// A write after the pinned checkout conflicts the whole set.
+	if err := m.store.SetAttr(b, "PinId", intVal(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Set(a, "PinId", intVal(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Checkin(); !errors.Is(err, ErrCheckinConflict) {
+		t.Fatalf("checkin should conflict, got %v", err)
+	}
+	ws.Revert()
+
+	// A clean pinned checkout of both commits.
+	if err := ws.CheckoutAt(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Set(a, "PinId", intVal(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Set(b, "PinId", intVal(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Checkin(); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := m.store.GetAttr(a, "PinId")
+	vb, _ := m.store.GetAttr(b, "PinId")
+	if !va.Equal(intVal(3)) || !vb.Equal(intVal(4)) {
+		t.Errorf("published values = %s, %s", va, vb)
+	}
+	// Checkout of a missing object leaves nothing checked out.
+	if err := ws.CheckoutAt(a, 9999); err == nil {
+		t.Fatal("checkout of missing object accepted")
+	}
+	if got := ws.CheckedOut(); len(got) != 0 {
+		t.Errorf("failed CheckoutAt must not leave partial state: %v", got)
+	}
+	// Pins drained.
+	if st := m.store.Stats().MVCC; st.Pins != 0 {
+		t.Errorf("pins = %d after checkout", st.Pins)
+	}
+}

@@ -59,7 +59,7 @@ func applyShardLocal(op *oplog.Op, s *object.Store) error {
 	case oplog.KindSetAttr:
 		return s.SetAttrAt(op.Sur, op.Name, op.Value, op.Seq)
 	case oplog.KindAcknowledge:
-		return s.AcknowledgeAt(op.Name, op.Sur, op.Num)
+		return s.AcknowledgeAt(op.Name, op.Sur, op.Num, op.Seq)
 	}
 	return fmt.Errorf("wal: op kind %d is not shard-local", op.Kind)
 }
@@ -275,7 +275,7 @@ func Apply(op *oplog.Op, s *object.Store, vm *version.Manager, recover bool) err
 			// The op carries the sequence value the live call resolved to;
 			// applying it directly keeps replay independent of how the
 			// concurrent transmitter update was interleaved in the journal.
-			return s.AcknowledgeAt(op.Name, op.Sur, op.Num)
+			return s.AcknowledgeAt(op.Name, op.Sur, op.Num, op.Seq)
 		}
 		return s.Acknowledge(op.Name, op.Sur)
 	case oplog.KindDelete:
