@@ -1,11 +1,14 @@
 package cadcam
 
 import (
+	"strings"
+
 	"cadcam/internal/domain"
 	"cadcam/internal/expr"
 	"cadcam/internal/inherit"
 	"cadcam/internal/object"
 	"cadcam/internal/oplog"
+	"cadcam/internal/query"
 	"cadcam/internal/schema"
 	"cadcam/internal/storage"
 	"cadcam/internal/txn"
@@ -45,6 +48,10 @@ type (
 	Portion = inherit.Portion
 	// Adaptation is a pending inheritor adaptation.
 	Adaptation = inherit.Adaptation
+	// IndexDef describes a secondary attribute index.
+	IndexDef = object.IndexDef
+	// QueryPlan is a costed access path chosen by the query planner.
+	QueryPlan = query.Plan
 )
 
 // Value constructors, re-exported from the domain layer.
@@ -449,6 +456,94 @@ func (db *Database) EvalClass(src string) (Value, error) {
 	}
 	return expr.EvalValue(e, db.store.ClassEnv())
 }
+
+// ---- indexed queries ----
+
+// CreateIndex builds a secondary index over one attribute of a class's
+// members, maintained through every mutation path (attribute writes,
+// inherited-value updates, bind/unbind, class churn, cascade deletes).
+// The definition is journaled; the entries are rebuilt on recovery.
+func (db *Database) CreateIndex(name, className, attrName string) error {
+	if err := db.Err(); err != nil {
+		return err
+	}
+	return db.afterWrite(db.store.CreateIndex(name, className, attrName))
+}
+
+// DropIndex removes a secondary index. Snapshot views pinned before the
+// drop can still plan over it.
+func (db *Database) DropIndex(name string) error {
+	if err := db.Err(); err != nil {
+		return err
+	}
+	return db.afterWrite(db.store.DropIndex(name))
+}
+
+// Indexes lists the live secondary-index definitions, sorted by name.
+func (db *Database) Indexes() []IndexDef { return db.store.Indexes() }
+
+// Query returns the members of a database-level class satisfying a
+// constraint-language predicate, e.g. db.Query("plates", "Width > 4 and
+// Material = \"steel\""). The planner uses a secondary index when one
+// matches a sargable conjunct; results are sorted by surrogate. An empty
+// predicate lists the whole extent. Rows on which the predicate cannot
+// be evaluated do not match.
+func (db *Database) Query(className, where string) ([]Surrogate, error) {
+	out, _, err := query.Run(query.ForStore(db.store), className, where)
+	return out, err
+}
+
+// Plan builds (without running) the access plan Query would use.
+func (db *Database) Plan(className, where string) (*QueryPlan, error) {
+	_, p, err := planOnly(query.ForStore(db.store), className, where)
+	return p, err
+}
+
+// Explain renders the access plan Query would choose, with estimates and
+// rejected alternatives.
+func (db *Database) Explain(className, where string) (string, error) {
+	p, err := db.Plan(className, where)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// planOnly parses and plans without executing.
+func planOnly(src query.Source, className, where string) ([]Surrogate, *QueryPlan, error) {
+	var e expr.Expr
+	if strings.TrimSpace(where) != "" {
+		parsed, err := expr.Parse(where)
+		if err != nil {
+			return nil, nil, err
+		}
+		e = parsed
+	}
+	p, err := query.Build(src, className, e)
+	return nil, p, err
+}
+
+// Query is the snapshot form: it runs entirely against the pin's
+// sequence point — extents, attribute values and index probes — so the
+// result is consistent no matter what writers do concurrently, and
+// identical to what Database.Query returned at the pin.
+func (v *SnapshotView) Query(className, where string) ([]Surrogate, error) {
+	out, _, err := query.Run(query.ForSnapshot(v.snap), className, where)
+	return out, err
+}
+
+// Explain renders the plan a snapshot query would use (only indexes
+// maintained across the pin's sequence point are eligible).
+func (v *SnapshotView) Explain(className, where string) (string, error) {
+	_, p, err := planOnly(query.ForSnapshot(v.snap), className, where)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Indexes lists the index definitions usable at the pin.
+func (v *SnapshotView) Indexes() []IndexDef { return v.snap.Indexes() }
 
 // ---- version operations (journaled under db.mu) ----
 //

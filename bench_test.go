@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"cadcam"
 
@@ -20,6 +21,7 @@ import (
 	"cadcam/internal/expr"
 	"cadcam/internal/inherit"
 	"cadcam/internal/paperschema"
+	"cadcam/internal/query"
 	"cadcam/internal/sim"
 	"cadcam/internal/txn"
 	"cadcam/internal/version"
@@ -920,4 +922,174 @@ func BenchmarkWritersDuringScan(b *testing.B) {
 		close(stop)
 		wg.Wait()
 	})
+}
+
+// ---- E17: indexed queries ----
+
+// envQueryObjects sizes the query benchmarks (CADCAM_QUERY_OBJECTS
+// overrides; EXPERIMENTS.md E17 runs 1_000_000).
+func envQueryObjects(def int) int {
+	if s := os.Getenv("CADCAM_QUERY_OBJECTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// buildQueryDB fills a "gates" class with n SimpleGates, Width = i %
+// 1000 (a point predicate matches 0.1% of the extent), and indexes
+// Width.
+func buildQueryDB(tb testing.TB, n int) *cadcam.Database {
+	tb.Helper()
+	db, err := cadcam.OpenMemory(paperschema.MustGates())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
+	if err := db.DefineClass("gates", paperschema.TypeSimpleGate); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		g, err := db.NewObject(paperschema.TypeSimpleGate, "gates")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := db.SetAttr(g, "Width", cadcam.Int(int64(i%1000))); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := db.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkE17_QueryIndexed times the selective indexed query; compare
+// against BenchmarkE17_QueryFullScan at the same CADCAM_QUERY_OBJECTS.
+func BenchmarkE17_QueryIndexed(b *testing.B) {
+	db := buildQueryDB(b, envQueryObjects(100_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("gates", "Width = 7"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17_QueryFullScan is the naive interpreted full scan over the
+// same extent and predicate (the planner's differential oracle).
+func BenchmarkE17_QueryFullScan(b *testing.B) {
+	db := buildQueryDB(b, envQueryObjects(100_000))
+	where, err := expr.Parse("Width = 7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := query.ForStore(db.Store())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Naive(src, "gates", where); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentSetAttrIndexesPresent8Writers is the satellite
+// guard for the index write hook: 8 writers on unindexed attributes of
+// plain objects while a populated index exists in the store. Compare
+// against BenchmarkConcurrentSetAttr8Writers — the numbers must match,
+// because the hook on this path is one atomic load and a nil check.
+func BenchmarkConcurrentSetAttrIndexesPresent8Writers(b *testing.B) {
+	db := buildQueryDB(b, 10_000)
+	const writers = 8
+	pins := make([]cadcam.Surrogate, writers)
+	for i := range pins {
+		pin, err := db.NewObject(paperschema.TypePin, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pins[i] = pin
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		n := b.N / writers
+		if w < b.N%writers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := db.SetAttr(pins[w], "PinId", cadcam.Int(int64(i))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
+// TestQueryIndexSpeedupLarge is the E17 acceptance check at scale: with
+// CADCAM_QUERY_OBJECTS set (CI uses 1_000_000), the selective indexed
+// query must be at least 10x faster than the naive full scan. Skipped
+// without the env var — building the fixture is too heavy for the
+// ordinary suite.
+func TestQueryIndexSpeedupLarge(t *testing.T) {
+	n := envQueryObjects(0)
+	if n == 0 {
+		t.Skip("set CADCAM_QUERY_OBJECTS to run (CI uses 1000000)")
+	}
+	db := buildQueryDB(t, n)
+	where, err := expr.Parse("Width = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := query.ForStore(db.Store())
+
+	timeOne := func(rounds int, op func() error) float64 {
+		best := 0.0
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			if err := op(); err != nil {
+				t.Fatal(err)
+			}
+			if v := float64(time.Since(t0).Nanoseconds()); best == 0 || v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	scanNs := timeOne(3, func() error {
+		_, err := query.Naive(src, "gates", where)
+		return err
+	})
+	indexNs := timeOne(20, func() error {
+		_, err := db.Query("gates", "Width = 7")
+		return err
+	})
+	speedup := scanNs / indexNs
+	t.Logf("objects=%d scan=%.2fms index=%.2fms speedup=%.1fx",
+		n, scanNs/1e6, indexNs/1e6, speedup)
+	if speedup < 10 {
+		t.Errorf("index speedup = %.1fx, want >= 10x", speedup)
+	}
+	// Both paths agree on the answer, element for element.
+	fast, err := db.Query("gates", "Width = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := query.Naive(src, "gates", where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("planner %d matches, oracle %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, fast[i], slow[i])
+		}
+	}
 }

@@ -45,6 +45,11 @@ type jsonReport struct {
 	// throughput under a continuous closure scan, sweeper counters and
 	// the pinned-export determinism check (see mvcc_probe.go).
 	MVCC *mvccReport `json:"mvcc,omitempty"`
+	// Query is the indexed-query probe: planner-vs-naive-scan speedup,
+	// selectivity sweep and index maintenance overhead (see
+	// query_probe.go). CI gates on index_speedup and the unindexed
+	// SetAttr guard.
+	Query *queryReport `json:"query,omitempty"`
 }
 
 // checkpointReport is the `checkpoint` section of the JSON report.
@@ -134,6 +139,9 @@ func runJSON(expFilter string) error {
 		return err
 	}
 	if err := mvccProbes(&report); err != nil {
+		return err
+	}
+	if err := queryProbes(&report); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -91,6 +91,11 @@ const helpText = `commands:
   pending                     list pending adaptations
   eval   <sur> <expr>         evaluate against an object
   evalc  <expr>               evaluate against the classes
+  index  <name> <class> <attr>  create a secondary index
+  unindex <name>              drop a secondary index
+  indexes                     list secondary indexes
+  query  <class> [predicate]  list class members matching a predicate
+  explain <class> [predicate] show the access plan a query would use
   quit`
 
 func (s *shell) exec(line string) error {
@@ -287,6 +292,41 @@ func (s *shell) exec(line string) error {
 			return err
 		}
 		fmt.Fprintln(s.out, " ", v)
+	case "index":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: index <name> <class> <attr>")
+		}
+		return s.db.CreateIndex(args[0], args[1], args[2])
+	case "unindex":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: unindex <name>")
+		}
+		return s.db.DropIndex(args[0])
+	case "indexes":
+		for _, d := range s.db.Indexes() {
+			fmt.Fprintf(s.out, "  %s: %s.%s\n", d.Name, d.ClassName, d.AttrName)
+		}
+	case "query":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: query <class> [predicate]")
+		}
+		surs, err := s.db.Query(args[0], strings.Join(args[1:], " "))
+		if err != nil {
+			return err
+		}
+		for _, sur := range surs {
+			fmt.Fprintln(s.out, " ", sur)
+		}
+		fmt.Fprintf(s.out, "  (%d match(es))\n", len(surs))
+	case "explain":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: explain <class> [predicate]")
+		}
+		text, err := s.db.Explain(args[0], strings.Join(args[1:], " "))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, "  "+strings.ReplaceAll(strings.TrimRight(text, "\n"), "\n", "\n  ")+"\n")
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}

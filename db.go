@@ -487,6 +487,7 @@ func decodeSegments(dir string, m *wal.Manifest, workers int) (*object.StoreStat
 	parts := len(m.SegEpochs)
 	st := &object.StoreState{
 		Classes: m.Base.Classes,
+		Indexes: m.Base.Indexes,
 		NextSur: m.Base.NextSur,
 		Seq:     m.Base.Seq,
 	}

@@ -49,10 +49,20 @@ type Binding struct {
 	AckSeq      int64
 }
 
+// indexDef is the model's view of one secondary-index definition. Only
+// the definition is modelled: postings are derived state the store
+// rebuilds, and snapshots carry definitions only.
+type indexDef struct {
+	ClassName  string
+	AttrName   string
+	CreatedSeq uint64
+}
+
 // Model is the oracle state.
 type Model struct {
 	cat      *schema.Catalog
 	classes  map[string]string // class name -> element type
+	indexes  map[string]indexDef
 	objects  map[domain.Surrogate]*Object
 	bindings map[domain.Surrogate]*Binding
 	nextSur  uint64
@@ -66,6 +76,7 @@ func New(cat *schema.Catalog) *Model {
 	return &Model{
 		cat:      cat,
 		classes:  make(map[string]string),
+		indexes:  make(map[string]indexDef),
 		objects:  make(map[domain.Surrogate]*Object),
 		bindings: make(map[domain.Surrogate]*Binding),
 	}
@@ -83,6 +94,12 @@ func (m *Model) Load(st *object.StoreState) error {
 			return fmt.Errorf("model: duplicate class %q", c.Name)
 		}
 		m.classes[c.Name] = c.ElemType
+	}
+	for _, ix := range st.Indexes {
+		if _, dup := m.indexes[ix.Name]; dup {
+			return fmt.Errorf("model: duplicate index %q", ix.Name)
+		}
+		m.indexes[ix.Name] = indexDef{ClassName: ix.ClassName, AttrName: ix.AttrName, CreatedSeq: ix.CreatedSeq}
 	}
 	for _, r := range st.Objects {
 		if m.taken(r.Sur) {
@@ -163,6 +180,17 @@ func (m *Model) Export() *object.StoreState {
 	sort.Strings(names)
 	for _, n := range names {
 		st.Classes = append(st.Classes, object.ClassRecord{Name: n, ElemType: m.classes[n]})
+	}
+	ixNames := make([]string, 0, len(m.indexes))
+	for n := range m.indexes {
+		ixNames = append(ixNames, n)
+	}
+	sort.Strings(ixNames)
+	for _, n := range ixNames {
+		d := m.indexes[n]
+		st.Indexes = append(st.Indexes, object.IndexRecord{
+			Name: n, ClassName: d.ClassName, AttrName: d.AttrName, CreatedSeq: d.CreatedSeq,
+		})
 	}
 	surs := make([]domain.Surrogate, 0, len(m.objects)+len(m.bindings))
 	for s := range m.objects {
@@ -369,6 +397,29 @@ func (m *Model) Apply(op *oplog.Op) error {
 
 	case oplog.KindDeletePolicy:
 		m.policy = op.Num
+		return nil
+
+	case oplog.KindCreateIndex:
+		if _, dup := m.indexes[op.Name]; dup {
+			return fmt.Errorf("model: duplicate index %q", op.Name)
+		}
+		if _, ok := m.classes[op.Name2]; !ok {
+			return fmt.Errorf("model: index %q over unknown class %q", op.Name, op.Name2)
+		}
+		attr, ok := op.Value.(domain.Str)
+		if !ok {
+			return fmt.Errorf("model: index %q has no attribute name", op.Name)
+		}
+		m.indexes[op.Name] = indexDef{ClassName: op.Name2, AttrName: string(attr), CreatedSeq: op.Seq}
+		m.bumpSeq(op.Seq)
+		return nil
+
+	case oplog.KindDropIndex:
+		if _, ok := m.indexes[op.Name]; !ok {
+			return fmt.Errorf("model: no index %q", op.Name)
+		}
+		delete(m.indexes, op.Name)
+		m.bumpSeq(op.Seq)
 		return nil
 
 	default:

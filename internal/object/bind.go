@@ -93,6 +93,10 @@ func (s *Store) Bind(relType string, inheritor, transmitter domain.Surrogate) (d
 	// memoized while unbound must revalidate. All such routes carry the
 	// inheritor in their chain, so its shard epoch covers them.
 	s.bumpEpoch(ish)
+	// Inherited values the inheritor (and everything downstream) now
+	// reads through the new binding enter the secondary indexes at seq.
+	s.idxTouch(inheritor)
+	s.idxCommit(seq)
 	s.emit(&oplog.Op{Kind: oplog.KindBind, Name: relType, Sur: inheritor, Sur2: transmitter, Out: obj.sur, Seq: seq})
 	return obj.sur, nil
 }
@@ -133,6 +137,7 @@ func (s *Store) Unbind(relType string, inheritor domain.Surrogate) error {
 	}
 	seq := s.seq.Add(1)
 	s.removeBindingLocked(b, seq)
+	s.idxCommit(seq)
 	s.emit(&oplog.Op{Kind: oplog.KindUnbind, Name: relType, Sur: inheritor, Seq: seq})
 	return nil
 }
@@ -167,6 +172,9 @@ func (s *Store) removeBindingLocked(b *Binding, seq uint64) {
 	// Every route resolved through this binding carries the inheritor in
 	// its chain; bump that shard's epoch.
 	s.bumpEpoch(ish)
+	// The inheritor's inherited values changed with the route; queue its
+	// index recomputation for the operation's idxCommit.
+	s.idxTouch(b.Inheritor)
 }
 
 // BindingOf returns the inheritor's binding under a relationship type.

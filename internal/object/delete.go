@@ -185,19 +185,16 @@ func (s *Store) removeObjectLocked(sur domain.Surrogate, seq uint64) {
 	// Unlink from the owning class or parent.
 	if o.ownerClass != "" {
 		if cls, ok := s.lookupClass(o.ownerClass); ok {
-			cls.remove(sur)
-			s.touchClass(cls)
+			s.classRemove(cls, sur)
 		}
 	}
 	if o.parent != 0 {
 		if po, ok := s.obj(o.parent); ok {
 			if cls, ok := po.subMap()[o.parentSub]; ok {
-				cls.remove(sur)
-				s.touchClass(cls)
+				s.classRemove(cls, sur)
 			}
 			if cls, ok := po.relMap()[o.parentSub]; ok {
-				cls.remove(sur)
-				s.touchClass(cls)
+				s.classRemove(cls, sur)
 			}
 		}
 	}

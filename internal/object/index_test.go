@@ -1,0 +1,291 @@
+package object
+
+import (
+	"errors"
+	"testing"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/paperschema"
+)
+
+func surs(ss ...domain.Surrogate) []domain.Surrogate { return ss }
+
+func sameSurs(a, b []domain.Surrogate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func probe(t *testing.T, s *Store, cls, attr string, lo, hi domain.Value) []domain.Surrogate {
+	t.Helper()
+	out, ok := s.IndexProbe(cls, attr, lo, hi)
+	if !ok {
+		t.Fatalf("IndexProbe(%s.%s): no usable index", cls, attr)
+	}
+	return out
+}
+
+// TestIndexOwnWrites drives the SetAttr hook: create-before-write and
+// build-from-existing paths, bucket moves on overwrite, removal on null.
+func TestIndexOwnWrites(t *testing.T) {
+	s := gateStore(t)
+	if err := s.DefineClass("gates", paperschema.TypeSimpleGate); err != nil {
+		t.Fatal(err)
+	}
+	g1 := mustSur(t)(s.NewObject(paperschema.TypeSimpleGate, "gates"))
+	g2 := mustSur(t)(s.NewObject(paperschema.TypeSimpleGate, "gates"))
+	set(t, s, g1, "Width", domain.Int(4))
+
+	// Build path: g1 already has a value when the index is created.
+	if err := s.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("gates_w", "gates", "Width"); !errors.Is(err, ErrIndexExists) {
+		t.Fatalf("duplicate index: %v", err)
+	}
+	if got := probe(t, s, "gates", "Width", domain.Int(4), domain.Int(4)); !sameSurs(got, surs(g1)) {
+		t.Fatalf("build path: %v", got)
+	}
+
+	// Maintenance path: writes after creation.
+	set(t, s, g2, "Width", domain.Int(7))
+	if got := probe(t, s, "gates", "Width", domain.Int(7), domain.Int(7)); !sameSurs(got, surs(g2)) {
+		t.Fatalf("maintained write: %v", got)
+	}
+	// Range probe spans both.
+	if got := probe(t, s, "gates", "Width", domain.Int(0), nil); !sameSurs(got, surs(g1, g2)) {
+		t.Fatalf("range: %v", got)
+	}
+	// Overwrite moves buckets.
+	set(t, s, g1, "Width", domain.Int(7))
+	if got := probe(t, s, "gates", "Width", domain.Int(4), domain.Int(4)); len(got) != 0 {
+		t.Fatalf("stale bucket after overwrite: %v", got)
+	}
+	if got := probe(t, s, "gates", "Width", domain.Int(7), domain.Int(7)); !sameSurs(got, surs(g1, g2)) {
+		t.Fatalf("moved bucket: %v", got)
+	}
+	// Cross-numeric equality: an Int bound finds Rl-valued rows and vice
+	// versa (Length is Integer; use estimate over the same key space).
+	if est := s.IndexEstimate("gates", "Width", domain.Rl(7), domain.Rl(7)); est != 2 {
+		t.Fatalf("real-bound estimate = %d, want 2", est)
+	}
+	// Null deletes the posting.
+	set(t, s, g1, "Width", domain.NullValue)
+	if got := probe(t, s, "gates", "Width", nil, nil); !sameSurs(got, surs(g2)) {
+		t.Fatalf("null should unindex: %v", got)
+	}
+	// Delete removes the last posting.
+	if err := s.Delete(g2); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe(t, s, "gates", "Width", nil, nil); len(got) != 0 {
+		t.Fatalf("delete should unindex: %v", got)
+	}
+}
+
+// TestIndexInheritedValues drives the notifier and bind/unbind hooks: an
+// index over an attribute the members inherit must track transmitter
+// writes, binds and unbinds.
+func TestIndexInheritedValues(t *testing.T) {
+	s := gateStore(t)
+	if err := s.DefineClass("impls", paperschema.TypeGateImplementation); err != nil {
+		t.Fatal(err)
+	}
+	i1 := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, "impls"))
+	i2 := mustSur(t)(s.NewObject(paperschema.TypeGateImplementation, "impls"))
+	iface := mustSur(t)(s.NewObject(paperschema.TypeGateInterface, ""))
+	set(t, s, iface, "Length", domain.Int(4))
+
+	if err := s.CreateIndex("impls_len", "impls", "Length"); err != nil {
+		t.Fatal(err)
+	}
+	// Unbound inheritors have null Length: nothing indexed.
+	if got := probe(t, s, "impls", "Length", nil, nil); len(got) != 0 {
+		t.Fatalf("unbound inheritors indexed: %v", got)
+	}
+	// Bind recomputes the inheritor's entry.
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, i1, iface); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Bind(paperschema.RelAllOfGateInterface, i2, iface); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe(t, s, "impls", "Length", domain.Int(4), domain.Int(4)); !sameSurs(got, surs(i1, i2)) {
+		t.Fatalf("bind did not index inherited values: %v", got)
+	}
+	// A transmitter write re-indexes every inheritor (notifier hook).
+	set(t, s, iface, "Length", domain.Int(9))
+	if got := probe(t, s, "impls", "Length", domain.Int(9), domain.Int(9)); !sameSurs(got, surs(i1, i2)) {
+		t.Fatalf("transmitter write not propagated: %v", got)
+	}
+	if got := probe(t, s, "impls", "Length", domain.Int(4), domain.Int(4)); len(got) != 0 {
+		t.Fatalf("stale inherited posting: %v", got)
+	}
+	// Unbind drops the inherited value again.
+	if err := s.Unbind(paperschema.RelAllOfGateInterface, i1); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe(t, s, "impls", "Length", nil, nil); !sameSurs(got, surs(i2)) {
+		t.Fatalf("unbind not reflected: %v", got)
+	}
+}
+
+// TestIndexSnapshotProbe pins a snapshot and checks index reads at the
+// pin stay put while the live index moves on.
+func TestIndexSnapshotProbe(t *testing.T) {
+	s := gateStore(t)
+	if err := s.DefineClass("gates", paperschema.TypeSimpleGate); err != nil {
+		t.Fatal(err)
+	}
+	g1 := mustSur(t)(s.NewObject(paperschema.TypeSimpleGate, "gates"))
+	g2 := mustSur(t)(s.NewObject(paperschema.TypeSimpleGate, "gates"))
+	if err := s.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		t.Fatal(err)
+	}
+	set(t, s, g1, "Width", domain.Int(1))
+	set(t, s, g2, "Width", domain.Int(2))
+
+	sn := s.Snapshot()
+	defer sn.Release()
+
+	// Mutate after the pin: move g1, delete g2.
+	set(t, s, g1, "Width", domain.Int(5))
+	if err := s.Delete(g2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := sn.IndexProbe("gates", "Width", domain.Int(1), domain.Int(2))
+	if !ok || !sameSurs(got, surs(g1, g2)) {
+		t.Fatalf("snapshot probe = %v, %v; want both at pre-mutation values", got, ok)
+	}
+	if got, _ := sn.IndexProbe("gates", "Width", domain.Int(5), domain.Int(5)); len(got) != 0 {
+		t.Fatalf("snapshot sees post-pin write: %v", got)
+	}
+	if live := probe(t, s, "gates", "Width", nil, nil); !sameSurs(live, surs(g1)) {
+		t.Fatalf("live probe = %v", live)
+	}
+
+	// An index created after the pin is invisible to it: it was not
+	// maintained across the pin's window.
+	set(t, s, g1, "Length", domain.Int(3))
+	if err := s.CreateIndex("gates_l", "gates", "Length"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sn.IndexProbe("gates", "Length", nil, nil); ok {
+		t.Fatal("snapshot can use an index created after the pin")
+	}
+	if len(sn.Indexes()) != 1 {
+		t.Fatalf("snapshot index defs = %v", sn.Indexes())
+	}
+}
+
+// TestIndexDropAndSweep checks drop semantics with and without pins, and
+// that the sweeper reclaims interval chains and dropped definitions.
+func TestIndexDropAndSweep(t *testing.T) {
+	s := gateStore(t)
+	if err := s.DefineClass("gates", paperschema.TypeSimpleGate); err != nil {
+		t.Fatal(err)
+	}
+	g := mustSur(t)(s.NewObject(paperschema.TypeSimpleGate, "gates"))
+	if err := s.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		t.Fatal(err)
+	}
+	set(t, s, g, "Width", domain.Int(1))
+
+	sn := s.Snapshot()
+	if err := s.DropIndex("gates_w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropIndex("gates_w"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("double drop: %v", err)
+	}
+	// Live probes lose the index immediately; the pin keeps it.
+	if _, ok := s.IndexProbe("gates", "Width", nil, nil); ok {
+		t.Fatal("dropped index still live")
+	}
+	if got, ok := sn.IndexProbe("gates", "Width", nil, nil); !ok || !sameSurs(got, surs(g)) {
+		t.Fatalf("pinned probe after drop = %v, %v", got, ok)
+	}
+	sn.Release()
+	s.SweepVersions()
+	if n := len(s.Indexes()); n != 0 {
+		t.Fatalf("%d index defs survive sweep", n)
+	}
+	// Recreating under the same name works after the drop.
+	if err := s.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe(t, s, "gates", "Width", nil, nil); !sameSurs(got, surs(g)) {
+		t.Fatalf("recreated index: %v", got)
+	}
+}
+
+// TestIndexExportImport round-trips index definitions through StoreState
+// and checks the imported store rebuilds the postings.
+func TestIndexExportImport(t *testing.T) {
+	s := gateStore(t)
+	if err := s.DefineClass("gates", paperschema.TypeSimpleGate); err != nil {
+		t.Fatal(err)
+	}
+	g1 := mustSur(t)(s.NewObject(paperschema.TypeSimpleGate, "gates"))
+	g2 := mustSur(t)(s.NewObject(paperschema.TypeSimpleGate, "gates"))
+	set(t, s, g1, "Width", domain.Int(4))
+	set(t, s, g2, "Width", domain.Int(6))
+	if err := s.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Export()
+	if len(st.Indexes) != 1 || st.Indexes[0].Name != "gates_w" {
+		t.Fatalf("exported indexes = %v", st.Indexes)
+	}
+	s2, err := NewStore(paperschema.MustGates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Import(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := probe(t, s2, "gates", "Width", domain.Int(5), nil); !sameSurs(got, surs(g2)) {
+		t.Fatalf("imported probe: %v", got)
+	}
+	// Maintenance continues after import.
+	set(t, s2, g1, "Width", domain.Int(9))
+	if got := probe(t, s2, "gates", "Width", domain.Int(5), nil); !sameSurs(got, surs(g1, g2)) {
+		t.Fatalf("post-import maintenance: %v", got)
+	}
+}
+
+// TestIndexEstimateAndStats sanity-checks the planner's costing probe.
+func TestIndexEstimateAndStats(t *testing.T) {
+	s := gateStore(t)
+	if err := s.DefineClass("gates", paperschema.TypeSimpleGate); err != nil {
+		t.Fatal(err)
+	}
+	var gs []domain.Surrogate
+	for i := 0; i < 10; i++ {
+		g := mustSur(t)(s.NewObject(paperschema.TypeSimpleGate, "gates"))
+		gs = append(gs, g)
+	}
+	if err := s.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gs {
+		set(t, s, g, "Width", domain.Int(int64(i%5)))
+	}
+	if est := s.IndexEstimate("gates", "Width", domain.Int(2), domain.Int(2)); est != 2 {
+		t.Fatalf("point estimate = %d, want 2", est)
+	}
+	if est := s.IndexEstimate("gates", "Width", domain.Int(3), nil); est != 4 {
+		t.Fatalf("range estimate = %d, want 4", est)
+	}
+	if est := s.IndexEstimate("gates", "Nope", nil, nil); est != -1 {
+		t.Fatalf("missing index estimate = %d, want -1", est)
+	}
+}

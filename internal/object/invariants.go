@@ -24,7 +24,9 @@ import (
 //  5. the participant index matches the participants actually stored on
 //     relationship objects, in both directions;
 //  6. no allocated surrogate exceeds the allocation counter;
-//  7. every object lives in the shard its surrogate hashes to.
+//  7. every object lives in the shard its surrogate hashes to;
+//  8. every live secondary index agrees with a fresh resolution of each
+//     member's attribute value (inherited values included).
 func (s *Store) CheckInvariants() []string {
 	s.rlockAll()
 	defer s.runlockAll()
@@ -228,6 +230,9 @@ func (s *Store) CheckInvariants() []string {
 			}
 		}
 	}
+
+	// 8. secondary indexes match freshly-resolved attribute values.
+	s.idxAudit(report)
 	return bad
 }
 

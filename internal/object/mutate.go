@@ -89,6 +89,7 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 			sh.retained.Add(1)
 		}
 		s.markDirty(sur)
+		s.idxOwn(o, name, v, seq)
 		n := notifier{s: s, seq: seq}
 		n.notify(sur, name)
 		if o.parent != 0 {
@@ -131,6 +132,7 @@ func (s *Store) setAttrShard(sh *shard, sur domain.Surrogate, name string, v dom
 		sh.retained.Add(1)
 	}
 	s.markDirty(sur)
+	s.idxOwn(o, name, v, seq)
 	n := notifier{s: s, seq: seq}
 	n.notify(sur, name)
 	// A subobject update also changes what the parent's subclass shows:
@@ -491,6 +493,8 @@ func (n *notifier) notify(transmitter domain.Surrogate, member string) {
 			Seq:         n.seq,
 			Unbound:     n.unbound,
 		})
+		// An index over the member sees the change through the inheritor.
+		n.s.idxInherited(b.Inheritor, member, n.seq)
 		// The inheritor's own inheritors may see the member through it.
 		n.notify(b.Inheritor, member)
 	}

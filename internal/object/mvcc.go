@@ -421,22 +421,24 @@ func (s *Store) touchClass(c *Class) {
 }
 
 func (s *Store) commitClassHist(seq uint64) {
-	if len(s.touched) == 0 {
-		return
-	}
-	ceil := s.ceiling()
-	for _, c := range s.touched {
-		if c.pushHist(seq, ceil) {
-			s.mvcc.classRetained.Add(1)
+	if len(s.touched) != 0 {
+		ceil := s.ceiling()
+		for _, c := range s.touched {
+			if c.pushHist(seq, ceil) {
+				s.mvcc.classRetained.Add(1)
+			}
 		}
+		s.touched = s.touched[:0]
 	}
-	s.touched = s.touched[:0]
+	s.idxCommit(seq)
 }
 
 // abortClassTouches drops the touch set after a rolled-back operation
-// (the live membership was restored, so no history version is due).
+// (the live membership was restored, so no history version is due), and
+// the queued index maintenance with it.
 func (s *Store) abortClassTouches() {
 	s.touched = s.touched[:0]
+	s.idxAbort()
 }
 
 // publishObj stamps a newly created object with its creating sequence and
@@ -578,7 +580,7 @@ func (sn *Snapshot) Release() {
 }
 
 func (s *Store) retainedTotal() uint64 {
-	n := s.mvcc.classRetained.Load()
+	n := s.mvcc.classRetained.Load() + s.idxRetainedTotal()
 	for i := range s.shards {
 		n += s.shards[i].retained.Load()
 	}
@@ -711,6 +713,7 @@ func (s *Store) SweepVersions() uint64 {
 		rec += r
 		return true
 	})
+	rec += s.idxSweep(low)
 	m := &s.mvcc
 	m.extraGauge.Store(extras)
 	m.deadGauge.Store(dead)

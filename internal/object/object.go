@@ -279,8 +279,18 @@ func (c *Class) add(sur domain.Surrogate) {
 		return
 	}
 	cur := c.items()
-	next := make([]domain.Surrogate, len(cur)+1)
-	copy(next, cur)
+	var next []domain.Surrogate
+	if cap(cur) > len(cur) {
+		// Amortized append: there is a single mutator (membership changes
+		// run store-exclusive), and every published header — live readers'
+		// and history versions' alike — is shorter than or equal to cur, so
+		// nothing ever reads the spare slot being filled. remove always
+		// allocates a fresh array, so no longer header can share this one.
+		next = cur[:len(cur)+1]
+	} else {
+		next = make([]domain.Surrogate, len(cur)+1, 1+2*len(cur))
+		copy(next, cur)
+	}
 	next[len(cur)] = sur
 	c.index[sur] = len(cur)
 	c.members.Store(&next)

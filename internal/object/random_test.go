@@ -34,7 +34,7 @@ func (d *randomDriver) pick() domain.Surrogate {
 
 // step performs one random operation; returns a label for diagnostics.
 func (d *randomDriver) step() string {
-	switch d.rng.Intn(12) {
+	switch d.rng.Intn(16) {
 	case 0:
 		_, _ = d.s.NewObject(paperschema.TypeGateInterfaceI, "")
 		return "new-root"
@@ -75,13 +75,26 @@ func (d *randomDriver) step() string {
 	case 10:
 		_ = d.s.Acknowledge(paperschema.RelAllOfGateInterface, d.pick())
 		return "acknowledge"
-	default:
+	case 11:
 		impl := d.pick()
 		_, _ = d.s.RelateIn(impl, "Wires", object.Participants{
 			"Pin1": domain.Ref(d.pick()),
 			"Pin2": domain.Ref(d.pick()),
 		})
 		return "relate-in"
+	case 12:
+		_ = d.s.DefineClass("pool", paperschema.TypeGateImplementation)
+		return "define-class"
+	case 13:
+		_, _ = d.s.NewObject(paperschema.TypeGateImplementation, "pool")
+		return "new-pooled"
+	case 14:
+		attr := []string{"Length", "Width"}[d.rng.Intn(2)]
+		_ = d.s.CreateIndex("ix"+attr, "pool", attr)
+		return "create-index"
+	default:
+		_ = d.s.DropIndex([]string{"ixLength", "ixWidth"}[d.rng.Intn(2)])
+		return "drop-index"
 	}
 }
 

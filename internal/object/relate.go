@@ -158,8 +158,7 @@ func (s *Store) relateLocked(relType string, parts Participants, owner domain.Su
 			cls = newClass(subrel, relType)
 			oo.putSubrel(subrel, cls)
 		}
-		cls.add(o.sur)
-		s.touchClass(cls)
+		s.classAdd(cls, o.sur)
 		o.parent = owner
 		o.parentSub = subrel
 	}
@@ -320,8 +319,7 @@ func (s *Store) NewRelSubobject(rel domain.Surrogate, subclass string) (domain.S
 			cls = newClass(subclass, sc.ElemType)
 			ro.putSub(subclass, cls)
 		}
-		cls.add(o.sur)
-		s.touchClass(cls)
+		s.classAdd(cls, o.sur)
 		seq := s.seq.Add(1)
 		s.publishObj(o, seq)
 		s.commitClassHist(seq)

@@ -47,9 +47,19 @@ type ClassRecord struct {
 	ElemType string
 }
 
+// IndexRecord describes a secondary-index definition. Only the definition
+// persists: the postings are rebuilt deterministically on import.
+type IndexRecord struct {
+	Name       string
+	ClassName  string
+	AttrName   string
+	CreatedSeq uint64
+}
+
 // StoreState is a complete logical snapshot of a store.
 type StoreState struct {
 	Classes  []ClassRecord
+	Indexes  []IndexRecord
 	Objects  []ObjectRecord
 	Bindings []BindingRecord
 	NextSur  uint64
@@ -106,6 +116,7 @@ func (s *Store) baseStateLocked() *StoreState {
 	for _, name := range sortedNames(classes) {
 		st.Classes = append(st.Classes, ClassRecord{Name: name, ElemType: classes[name].elemType})
 	}
+	st.Indexes = s.indexRecords(liveSeq)
 	return st
 }
 
@@ -431,6 +442,9 @@ func (s *Store) ImportParallel(st *StoreState, workers int) error {
 	}
 	s.nextSur.Store(st.NextSur)
 	s.seq.Store(st.Seq)
+	if err := s.seedIndexState(st.Indexes); err != nil {
+		return err
+	}
 	s.seedSnapshotState()
 	s.bumpAllEpochs()
 	return nil

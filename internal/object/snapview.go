@@ -349,6 +349,7 @@ func (sn *Snapshot) baseState() *StoreState {
 	for _, name := range sortedNames(classes) {
 		st.Classes = append(st.Classes, ClassRecord{Name: name, ElemType: classes[name].elemType})
 	}
+	st.Indexes = sn.s.indexRecords(sn.seq)
 	return st
 }
 

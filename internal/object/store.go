@@ -199,6 +199,16 @@ type Store struct {
 	// store-exclusive operation mutates; commitClassHist publishes their
 	// history versions at the operation's sequence. All-shard lock only.
 	touched []*Class
+
+	// indexes is the copy-on-write secondary-index registry (index.go).
+	// Readers (the SetAttr hot path, probes) load it with one atomic read;
+	// nil means no index was ever created and maintenance costs nothing.
+	indexes atomic.Pointer[idxRegistry]
+	// idxPend and idxRecompute queue index maintenance of the running
+	// store-exclusive operation until its commit sequence is known
+	// (idxCommit / idxAbort). All-shard lock only.
+	idxPend      []idxPend
+	idxRecompute map[domain.Surrogate]bool
 }
 
 // NewStore creates an empty store over a validated catalog with the
@@ -496,6 +506,20 @@ func (s *Store) Class(name string) ([]domain.Surrogate, error) {
 	return c.Members(), nil
 }
 
+// ClassSize returns the member count of a database-level class without
+// materializing the extent, or -1 if no such class exists. It is the
+// query planner's costing probe.
+func (s *Store) ClassSize(name string) int {
+	st := s.stripeOf(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	c, ok := st.classes[name]
+	if !ok {
+		return -1
+	}
+	return c.Len()
+}
+
 // ClassNames lists database-level classes, sorted.
 func (s *Store) ClassNames() []string {
 	var names []string
@@ -533,9 +557,8 @@ func (s *Store) NewObject(typeName, className string) (domain.Surrogate, error) 
 	}
 	o := s.newObjectLocked(t, false)
 	if cls != nil {
-		cls.add(o.sur)
 		o.ownerClass = className
-		s.touchClass(cls)
+		s.classAdd(cls, o.sur)
 	}
 	seq := s.seq.Add(1)
 	s.publishObj(o, seq)
@@ -572,8 +595,7 @@ func (s *Store) NewSubobject(parent domain.Surrogate, subclass string) (domain.S
 		o := s.newObjectLocked(mt, false)
 		o.parent = parent
 		o.parentSub = subclass
-		cls.add(o.sur)
-		s.touchClass(cls)
+		s.classAdd(cls, o.sur)
 		seq := s.seq.Add(1)
 		s.publishObj(o, seq)
 		s.commitClassHist(seq)

@@ -31,6 +31,11 @@ const (
 	KindAddVersion
 	KindSetStatus
 	KindSetDefault
+	// KindCreateIndex journals a secondary-index definition: Name is the
+	// index name, Name2 the class, Value the attribute (as a Str). The
+	// index contents are rebuilt by replay, never logged.
+	KindCreateIndex
+	KindDropIndex
 )
 
 // Op is one journaled operation. Field use depends on Kind; unused fields

@@ -23,9 +23,11 @@ import (
 // temp file, rename) after every referenced segment is durable, so a
 // crash anywhere in a checkpoint leaves either the previous manifest or
 // the new one fully backed by segments.
+// Manifest version 2 adds the secondary-index definitions after the class
+// records; version-1 manifests (no index section) still decode.
 const (
 	manifestMagic   = uint64(0xCADC0FFE)
-	manifestVersion = uint64(1)
+	manifestVersion = uint64(2)
 	segMagic        = uint64(0xCAD5E600)
 	segVersion      = uint64(1)
 )
@@ -60,6 +62,7 @@ func EncodeManifest(m *Manifest) []byte {
 		e.Uvarint(se)
 	}
 	encodeClassRecords(&e, m.Base.Classes)
+	encodeIndexRecords(&e, m.Base.Indexes)
 	e.Uvarint(m.Base.NextSur)
 	e.Uvarint(m.Base.Seq)
 	encodeVersionState(&e, m.Versions)
@@ -76,7 +79,8 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	if r.Uvarint() != manifestMagic {
 		return nil, fmt.Errorf("wal: bad manifest magic")
 	}
-	if v := r.Uvarint(); v != manifestVersion {
+	v := r.Uvarint()
+	if v < 1 || v > manifestVersion {
 		return nil, fmt.Errorf("wal: unsupported manifest version %d", v)
 	}
 	m := &Manifest{Epoch: r.Uvarint(), Base: &object.StoreState{}}
@@ -88,6 +92,9 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 		m.SegEpochs = append(m.SegEpochs, r.Uvarint())
 	}
 	m.Base.Classes = decodeClassRecords(r)
+	if v >= 2 {
+		m.Base.Indexes = decodeIndexRecords(r)
+	}
 	m.Base.NextSur = r.Uvarint()
 	m.Base.Seq = r.Uvarint()
 	m.Versions = decodeVersionState(r)

@@ -72,6 +72,29 @@ func decodeClassRecords(r *codec.Reader) []object.ClassRecord {
 	return classes
 }
 
+func encodeIndexRecords(e *codec.Buf, idxs []object.IndexRecord) {
+	e.Uvarint(uint64(len(idxs)))
+	for _, ix := range idxs {
+		e.Str(ix.Name)
+		e.Str(ix.ClassName)
+		e.Str(ix.AttrName)
+		e.Uvarint(ix.CreatedSeq)
+	}
+}
+
+func decodeIndexRecords(r *codec.Reader) []object.IndexRecord {
+	var idxs []object.IndexRecord
+	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
+		idxs = append(idxs, object.IndexRecord{
+			Name:       r.Str(),
+			ClassName:  r.Str(),
+			AttrName:   r.Str(),
+			CreatedSeq: r.Uvarint(),
+		})
+	}
+	return idxs
+}
+
 func encodeVersionState(e *codec.Buf, vs *version.ManagerState) {
 	e.Uvarint(uint64(len(vs.Designs)))
 	for _, d := range vs.Designs {

@@ -10,9 +10,11 @@ import (
 )
 
 // Snapshot format: magic, format version, store state, version state.
+// Version 2 adds the secondary-index definitions after the class records;
+// the decoder still accepts version-1 blobs (no index section).
 const (
 	snapMagic   = uint64(0xCADCA55E)
-	snapVersion = uint64(1)
+	snapVersion = uint64(2)
 )
 
 // EncodeSnapshot serializes the full logical state of the store and
@@ -25,6 +27,7 @@ func EncodeSnapshot(st *object.StoreState, vs *version.ManagerState) []byte {
 	e.Uvarint(snapVersion)
 
 	encodeClassRecords(&e, st.Classes)
+	encodeIndexRecords(&e, st.Indexes)
 	e.Uvarint(uint64(len(st.Objects)))
 	for i := range st.Objects {
 		encodeObjectRecord(&e, &st.Objects[i])
@@ -61,11 +64,15 @@ func DecodeSnapshotState(b []byte) (*object.StoreState, *version.ManagerState, e
 	if r.Uvarint() != snapMagic {
 		return nil, nil, fmt.Errorf("wal: bad snapshot magic")
 	}
-	if v := r.Uvarint(); v != snapVersion {
+	v := r.Uvarint()
+	if v < 1 || v > snapVersion {
 		return nil, nil, fmt.Errorf("wal: unsupported snapshot version %d", v)
 	}
 	st := &object.StoreState{}
 	st.Classes = decodeClassRecords(r)
+	if v >= 2 {
+		st.Indexes = decodeIndexRecords(r)
+	}
 	for i, n := uint64(0), r.Uvarint(); i < n && r.Err() == nil; i++ {
 		st.Objects = append(st.Objects, decodeObjectRecord(r))
 	}

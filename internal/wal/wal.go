@@ -293,6 +293,14 @@ func Apply(op *oplog.Op, s *object.Store, vm *version.Manager, recover bool) err
 		return lenient(vm.SetStatus(op.Sur, version.Status(op.Name)))
 	case oplog.KindSetDefault:
 		return lenient(vm.SetDefault(op.Name, op.Sur))
+	case oplog.KindCreateIndex:
+		attr := ""
+		if sv, ok := op.Value.(domain.Str); ok {
+			attr = string(sv)
+		}
+		return s.CreateIndex(op.Name, op.Name2, attr)
+	case oplog.KindDropIndex:
+		return s.DropIndex(op.Name)
 	default:
 		return fmt.Errorf("wal: unknown op kind %d", op.Kind)
 	}

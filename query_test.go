@@ -1,0 +1,226 @@
+package cadcam
+
+// Facade-level query acceptance: Database.Query and a concurrently
+// pinned SnapshotView.Query agree while writers run (run under -race),
+// inherited values are visible through the index, and index definitions
+// survive WAL replay and checkpointed restarts.
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cadcam/internal/paperschema"
+)
+
+func sameSurSets(a, b []Surrogate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueryFacade(t *testing.T) {
+	db := memDB(t)
+	defer db.Close()
+	if err := db.DefineClass("gates", paperschema.TypeSimpleGate); err != nil {
+		t.Fatal(err)
+	}
+	var want []Surrogate
+	for i := 0; i < 30; i++ {
+		g, err := db.NewObject(paperschema.TypeSimpleGate, "gates")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SetAttr(g, "Width", Int(int64(i%10))); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 3 {
+			want = append(want, g)
+		}
+	}
+	if err := db.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		t.Fatal(err)
+	}
+	if defs := db.Indexes(); len(defs) != 1 || defs[0].Name != "gates_w" {
+		t.Fatalf("Indexes() = %v", defs)
+	}
+	got, err := db.Query("gates", "Width = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSurSets(got, want) {
+		t.Fatalf("Query = %v, want %v", got, want)
+	}
+	text, err := db.Explain("gates", "Width = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "index scan") || !strings.Contains(text, "gates_w") {
+		t.Fatalf("Explain = %q", text)
+	}
+	plan, err := db.Plan("gates", "Width = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EstCandidates != len(want) {
+		t.Fatalf("EstCandidates = %d, want %d", plan.EstCandidates, len(want))
+	}
+	if err := db.DropIndex("gates_w"); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := db.Query("gates", "Width = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSurSets(got2, want) {
+		t.Fatalf("post-drop Query = %v, want %v", got2, want)
+	}
+}
+
+// TestQueryConcurrentSnapshotAgreement is the headline acceptance check:
+// while writers mutate predicate-neutral state under load, the live
+// Database and a concurrently pinned SnapshotView answer the same
+// indexed query identically, inherited values included.
+func TestQueryConcurrentSnapshotAgreement(t *testing.T) {
+	db := memDB(t)
+	defer db.Close()
+	if err := db.DefineClass("impls", paperschema.TypeGateImplementation); err != nil {
+		t.Fatal(err)
+	}
+	iface, err := db.NewObject(paperschema.TypeGateInterface, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The queried value is inherited: impls get Length from the interface.
+	if err := db.SetAttr(iface, "Length", Int(8)); err != nil {
+		t.Fatal(err)
+	}
+	var want []Surrogate
+	for i := 0; i < 64; i++ {
+		im, err := db.NewObject(paperschema.TypeGateImplementation, "impls")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Bind(paperschema.RelAllOfGateInterface, im, iface); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, im)
+	}
+	if err := db.CreateIndex("impls_len", "impls", "Length"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writers churn attributes the predicate never reads, plus unpooled
+	// objects, so the correct answer stays fixed while the store moves.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				sur := want[(w*8+i)%len(want)]
+				_ = db.SetAttr(sur, "TimeBehavior", Str("t"))
+				if g, err := db.NewObject(paperschema.TypeSimpleGate, ""); err == nil {
+					_ = db.SetAttr(g, "Width", Int(int64(i%50)))
+					_ = db.Delete(g)
+				}
+			}
+		}(w)
+	}
+
+	const where = "Length = 8"
+	for round := 0; round < 40; round++ {
+		view := db.SnapshotView()
+		live, err := db.Query("impls", where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned, err := view.Query("impls", where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view.Release()
+		if !sameSurSets(live, want) {
+			t.Fatalf("round %d: live = %v, want %v", round, live, want)
+		}
+		if !sameSurSets(pinned, want) {
+			t.Fatalf("round %d: pinned = %v, want %v", round, pinned, want)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestQueryIndexSurvivesRestart reopens a disk database twice — once
+// replaying the WAL tail, once from a checkpoint — and expects the index
+// definition back and its postings rebuilt both times.
+func TestQueryIndexSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	db := diskDB(t, dir)
+	if err := db.DefineClass("gates", paperschema.TypeSimpleGate); err != nil {
+		t.Fatal(err)
+	}
+	var want []Surrogate
+	for i := 0; i < 12; i++ {
+		g, err := db.NewObject(paperschema.TypeSimpleGate, "gates")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SetAttr(g, "Width", Int(int64(i%4))); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 1 {
+			want = append(want, g)
+		}
+	}
+	if err := db.CreateIndex("gates_w", "gates", "Width"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen #1: the index definition comes back off the WAL tail.
+	db = diskDB(t, dir)
+	if defs := db.Indexes(); len(defs) != 1 || defs[0].Name != "gates_w" {
+		t.Fatalf("after WAL replay: Indexes() = %v", defs)
+	}
+	got, err := db.Query("gates", "Width = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSurSets(got, want) {
+		t.Fatalf("after WAL replay: Query = %v, want %v", got, want)
+	}
+	if plan, err := db.Plan("gates", "Width = 1"); err != nil || plan.Index != "gates_w" {
+		t.Fatalf("after WAL replay: plan = %+v, err %v", plan, err)
+	}
+	// Checkpoint, then reopen #2: the definition comes back off the
+	// manifest's base state instead.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db = diskDB(t, dir)
+	defer db.Close()
+	if defs := db.Indexes(); len(defs) != 1 || defs[0].Name != "gates_w" {
+		t.Fatalf("after checkpoint: Indexes() = %v", defs)
+	}
+	got, err = db.Query("gates", "Width = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSurSets(got, want) {
+		t.Fatalf("after checkpoint: Query = %v, want %v", got, want)
+	}
+}

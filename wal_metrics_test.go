@@ -1,9 +1,11 @@
 package cadcam_test
 
 import (
+	"sync"
 	"testing"
 
 	"cadcam"
+	"cadcam/internal/paperschema"
 )
 
 // reportWALStats attaches the group-commit pipeline counters to a
@@ -18,4 +20,63 @@ func reportWALStats(b *testing.B, db *cadcam.Database) {
 	b.ReportMetric(float64(w.Syncs)/float64(w.Records), "fsyncs/op")
 	b.ReportMetric(float64(w.Records)/float64(w.Batches), "recs/batch")
 	b.ReportMetric(float64(w.MaxBatch), "max-batch")
+}
+
+// TestWALGroupCommitRegression asserts the group-commit pipeline
+// actually coalesces under concurrency: with 8 durable writers the WAL
+// must average strictly less than one fsync per acknowledged record and
+// strictly more than one record per batch. A regression that serializes
+// writers (one sync each) fails both assertions.
+func TestWALGroupCommitRegression(t *testing.T) {
+	dir := t.TempDir()
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const writers, opsEach = 8, 150
+	pins := make([]cadcam.Surrogate, writers)
+	for i := range pins {
+		if pins[i], err = db.NewObject(paperschema.TypePin, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				if err := db.SetAttr(pins[w], "PinId", cadcam.Int(int64(i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := db.Stats().WAL
+	if s.Records == 0 || s.Batches == 0 || s.Syncs == 0 {
+		t.Fatalf("no pipeline activity recorded: %+v", s)
+	}
+	fsyncsPerOp := float64(s.Syncs) / float64(s.Records)
+	recsPerBatch := float64(s.Records) / float64(s.Batches)
+	t.Logf("records=%d batches=%d syncs=%d fsyncs/op=%.3f recs/batch=%.2f max-batch=%d",
+		s.Records, s.Batches, s.Syncs, fsyncsPerOp, recsPerBatch, s.MaxBatch)
+	if fsyncsPerOp >= 1 {
+		t.Errorf("fsyncs/op = %.3f, want < 1 (group commit is not amortizing the disk)", fsyncsPerOp)
+	}
+	if recsPerBatch <= 1 {
+		t.Errorf("recs/batch = %.2f, want > 1 (writers are not coalescing)", recsPerBatch)
+	}
+	if s.MaxBatch < 2 {
+		t.Errorf("max-batch = %d, want >= 2", s.MaxBatch)
+	}
 }
