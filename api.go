@@ -9,6 +9,7 @@ import (
 	"cadcam/internal/object"
 	"cadcam/internal/oplog"
 	"cadcam/internal/query"
+	"cadcam/internal/repl"
 	"cadcam/internal/schema"
 	"cadcam/internal/storage"
 	"cadcam/internal/txn"
@@ -301,8 +302,12 @@ type StoreStats = object.StoreStats
 // zero for an in-memory database.
 type WALStats = storage.GroupStats
 
+// ReplStats reports the journal shipper's replication counters.
+type ReplStats = repl.ShipperStats
+
 // DBStats combines the store's resolution-cache counters with the WAL
-// pipeline counters and the checkpoint/recovery counters.
+// pipeline counters, the checkpoint/recovery counters, the replication
+// shipper's counters, and the combined sticky-error health probe.
 type DBStats struct {
 	StoreStats
 	WAL WALStats `json:"wal"`
@@ -310,11 +315,18 @@ type DBStats struct {
 	// describes what the last Open replayed. Both zero in-memory.
 	Checkpoint CheckpointStats `json:"checkpoint"`
 	Recovery   RecoveryStats   `json:"recovery"`
+	// Repl is nil until the database ships its journal to a follower.
+	Repl *ReplStats `json:"repl,omitempty"`
+	// Health folds every sticky error state — WAL pipeline, checkpoint,
+	// replication — into one probe, so callers need not know which
+	// subsystem to ask.
+	Health HealthStats `json:"health"`
 }
 
 // Stats returns resolution-cache hit/miss/invalidation counters, the
-// current structure epoch, the WAL group-commit counters, and the
-// checkpoint/recovery counters.
+// current structure epoch, the WAL group-commit counters, the
+// checkpoint/recovery counters, replication counters (when shipping),
+// and the sticky-error health probe.
 func (db *Database) Stats() DBStats {
 	st := DBStats{StoreStats: db.store.Stats()}
 	if db.committer != nil {
@@ -324,6 +336,13 @@ func (db *Database) Stats() DBStats {
 	st.Checkpoint = db.ckptStats
 	st.Recovery = db.recStats
 	db.statMu.Unlock()
+	db.replMu.Lock()
+	if db.shipper != nil {
+		rs := db.shipper.Stats()
+		st.Repl = &rs
+	}
+	db.replMu.Unlock()
+	st.Health = db.Health()
 	return st
 }
 

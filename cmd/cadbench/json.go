@@ -26,9 +26,9 @@ type jsonExperiment struct {
 }
 
 type jsonReport struct {
-	Experiments []jsonExperiment   `json:"experiments"`
+	Experiments  []jsonExperiment   `json:"experiments"`
 	MicroNsPerOp map[string]float64 `json:"micro_ns_per_op"`
-	Cache       *cacheReport       `json:"cache,omitempty"`
+	Cache        *cacheReport       `json:"cache,omitempty"`
 	// WAL is the group-commit pipeline's counters from the durable-write
 	// probe run (batch histogram, fsyncs, stall time).
 	WAL *cadcam.WALStats `json:"wal,omitempty"`
@@ -50,6 +50,11 @@ type jsonReport struct {
 	// query_probe.go). CI gates on index_speedup and the unindexed
 	// SetAttr guard.
 	Query *queryReport `json:"query,omitempty"`
+	// Repl is the replication probe: follower catch-up throughput, live
+	// tail lag, checkpoint-manifest resync and the export divergence
+	// oracle (see repl_probe.go). CI gates on catchup_ops_per_sec,
+	// divergence_detected and final_lag.
+	Repl *replReport `json:"repl,omitempty"`
 }
 
 // checkpointReport is the `checkpoint` section of the JSON report.
@@ -142,6 +147,9 @@ func runJSON(expFilter string) error {
 		return err
 	}
 	if err := queryProbes(&report); err != nil {
+		return err
+	}
+	if err := replProbes(&report); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/wal"
+)
+
+// replProbes measures WAL-shipped replication on a real on-disk primary:
+// cold catch-up throughput of a fresh follower over the journal chain,
+// lag behaviour while tailing a live writer, a checkpoint-manifest
+// resync (the path a follower takes when the journal below the newest
+// checkpoint was garbage-collected), and the divergence oracle — every
+// follower's export must be byte-identical to the primary's. CI gates on
+// catchup_ops_per_sec > 0, divergence_detected == 0 and a bounded
+// final_lag.
+
+// replReport is the `repl` section of the JSON report.
+type replReport struct {
+	// Cold catch-up: records a fresh follower applied from the existing
+	// chain and the rate it applied them at.
+	CatchupRecords   uint64  `json:"catchup_records"`
+	CatchupMs        float64 `json:"catchup_ms"`
+	CatchupOpsPerSec float64 `json:"catchup_ops_per_sec"`
+	// Live tail: lag observed while the primary kept writing, and after
+	// the final catch-up wait (must be 0).
+	TailRecords uint64 `json:"tail_records"`
+	MaxLag      uint64 `json:"max_lag"`
+	FinalLag    uint64 `json:"final_lag"`
+	// Resync: checkpoint-manifest resyncs taken by a follower attached
+	// after the journal below the checkpoint was garbage-collected.
+	Resyncs uint64 `json:"resyncs"`
+	// DivergenceDetected is 1 if any follower export differed from the
+	// primary's byte-for-byte, else 0.
+	DivergenceDetected int `json:"divergence_detected"`
+}
+
+func replProbes(report *jsonReport) error {
+	dir, err := os.MkdirTemp("", "cadbench-repl-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// Acknowledged-durable writes (SyncEvery 1) so every record is in the
+	// on-disk chain before the follower attaches; eight writers coalesce
+	// into shared group-commit batches exactly like the durable probe.
+	db, err := cadcam.Open(paperschema.MustGates(), cadcam.Options{Dir: dir, SyncEvery: 1})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	pin, err := db.NewObject(paperschema.TypePin, "")
+	if err != nil {
+		return err
+	}
+	const writers, opsEach = 8, 250
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			for i := 0; i < opsEach; i++ {
+				if err := db.SetAttr(pin, "PinId", cadcam.Int(int64(i%64))); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			return fmt.Errorf("probe repl primary write: %w", err)
+		}
+	}
+
+	diverged := func(f *cadcam.Follower) bool {
+		st, vs, _ := f.Repl().Export()
+		got := wal.EncodeSnapshot(st, vs)
+		want := wal.EncodeSnapshot(db.Store().Export(), db.Versions().Export())
+		return !bytes.Equal(got, want)
+	}
+
+	rr := &replReport{}
+
+	// Cold catch-up over the journal chain.
+	t0 := time.Now()
+	f, err := db.AttachFollower(cadcam.FollowerOptions{})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.WaitCaughtUp(30 * time.Second); err != nil {
+		return fmt.Errorf("probe repl catch-up: %w", err)
+	}
+	elapsed := time.Since(t0)
+	rr.CatchupRecords = f.Repl().Applied()
+	rr.CatchupMs = float64(elapsed.Microseconds()) / 1000
+	if s := elapsed.Seconds(); s > 0 {
+		rr.CatchupOpsPerSec = float64(rr.CatchupRecords) / s
+	}
+
+	// Live tail: keep writing and sample the follower's lag.
+	const tailOps = 300
+	for i := 0; i < tailOps; i++ {
+		if err := db.SetAttr(pin, "PinId", cadcam.Int(int64(i%64))); err != nil {
+			return fmt.Errorf("probe repl tail write: %w", err)
+		}
+		if i%25 == 0 {
+			if lag := f.Lag(); lag > rr.MaxLag {
+				rr.MaxLag = lag
+			}
+		}
+	}
+	rr.TailRecords = tailOps
+	if err := f.WaitCaughtUp(30 * time.Second); err != nil {
+		return fmt.Errorf("probe repl tail catch-up: %w", err)
+	}
+	rr.FinalLag = f.Lag()
+	if diverged(f) {
+		rr.DivergenceDetected = 1
+	}
+
+	// Checkpoint-manifest resync: GC the journal below a fresh
+	// checkpoint, then attach a second follower whose start position no
+	// longer exists in the chain.
+	if err := db.Checkpoint(); err != nil {
+		return fmt.Errorf("probe repl checkpoint: %w", err)
+	}
+	f2, err := db.AttachFollower(cadcam.FollowerOptions{})
+	if err != nil {
+		return err
+	}
+	defer f2.Close()
+	if err := f2.WaitCaughtUp(30 * time.Second); err != nil {
+		return fmt.Errorf("probe repl resync catch-up: %w", err)
+	}
+	rr.Resyncs = f2.Stats().Resyncs
+	if diverged(f2) {
+		rr.DivergenceDetected = 1
+	}
+
+	report.Repl = rr
+	return nil
+}

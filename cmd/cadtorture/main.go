@@ -10,6 +10,7 @@
 //	cadtorture                     # soak forever from a random-ish seed
 //	cadtorture -rounds 5 -seed 7   # bounded, deterministic
 //	cadtorture -artifacts /tmp/ct  # keep failing directories
+//	cadtorture -only '^repl/'      # replication rounds only
 //
 // The binary re-executes itself as the workload child; the CADCAM_CRASH_CFG
 // environment variable marks worker mode.
@@ -21,6 +22,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"time"
 
 	"cadcam/internal/crash"
@@ -39,8 +41,17 @@ func main() {
 	longReaders := flag.Int("longreaders", 1, "continuous snapshot closure scanners per workload (0 = off)")
 	fuzz := flag.Int("fuzz", 16, "tail-fuzz variants per round")
 	artifacts := flag.String("artifacts", "", "directory that keeps failing rounds' evidence")
+	only := flag.String("only", "", "regexp restricting matrix rounds to matching failpoints (e.g. ^repl/)")
 	verbose := flag.Bool("v", false, "log every round")
 	flag.Parse()
+
+	var filter *regexp.Regexp
+	if *only != "" {
+		var err error
+		if filter, err = regexp.Compile(*only); err != nil {
+			fatal(fmt.Errorf("bad -only pattern: %w", err))
+		}
+	}
 
 	logf := func(string, ...any) {}
 	if *verbose {
@@ -69,6 +80,7 @@ func main() {
 			},
 			Logf:        logf,
 			ArtifactDir: *artifacts,
+			Filter:      filter,
 		}
 		start := time.Now()
 		if err := d.RunMatrix(); err != nil {

@@ -39,7 +39,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +48,7 @@ import (
 	"cadcam/internal/fault"
 	"cadcam/internal/object"
 	"cadcam/internal/oplog"
+	"cadcam/internal/repl"
 	"cadcam/internal/schema"
 	"cadcam/internal/storage"
 	"cadcam/internal/txn"
@@ -246,6 +246,11 @@ type Database struct {
 	// deterministic replay order — and wait for durability outside it.
 	committer *storage.Group
 
+	// shipper lazily serves read replicas off the journal chain
+	// (replica.go); nil until the first Shipper/AttachFollower call.
+	replMu  sync.Mutex
+	shipper *repl.Shipper
+
 	opsSinceCheckpoint atomic.Int64
 	closed             bool
 }
@@ -315,20 +320,22 @@ func OpenMemory(cat *schema.Catalog) (*Database, error) {
 // SnapshotFilename, WALFilename, ManifestFilename and SegmentFilename
 // name the epoch files a persistent database keeps in its directory.
 // Exported for tools (the crash-matrix harness locates the live journal
-// with them). Snapshot files are the legacy single-blob checkpoint
-// format, still read but no longer written.
-func SnapshotFilename(epoch uint64) string { return fmt.Sprintf("snap-%08d.snap", epoch) }
+// with them); the canonical definitions live in internal/wal, shared
+// with recovery and the replication shipper. Snapshot files are the
+// legacy single-blob checkpoint format, still read but no longer
+// written.
+func SnapshotFilename(epoch uint64) string { return wal.SnapshotFilename(epoch) }
 
 // WALFilename returns the journal file name of an epoch.
-func WALFilename(epoch uint64) string { return fmt.Sprintf("wal-%08d.log", epoch) }
+func WALFilename(epoch uint64) string { return wal.WALFilename(epoch) }
 
 // ManifestFilename returns the checkpoint manifest file name of an epoch.
-func ManifestFilename(epoch uint64) string { return fmt.Sprintf("manifest-%08d.mf", epoch) }
+func ManifestFilename(epoch uint64) string { return wal.ManifestFilename(epoch) }
 
 // SegmentFilename returns the file name of shard partition `part`'s
 // segment encoded at an epoch.
 func SegmentFilename(epoch uint64, part int) string {
-	return fmt.Sprintf("seg-%08d-p%03d.seg", epoch, part)
+	return wal.SegmentFilename(epoch, part)
 }
 
 func (db *Database) snapPath(epoch uint64) string {
@@ -360,178 +367,6 @@ func isEpochFile(name string) bool {
 	return false
 }
 
-// dirState is everything recovery derives from a database directory: the
-// newest decodable checkpoint state (nil for a fresh directory), the
-// journal chain on top of it, and the opened live journal.
-type dirState struct {
-	// stateEpoch is the checkpoint epoch the state was loaded at (0 when
-	// the directory has no checkpoint). fromManifest distinguishes the
-	// incremental manifest+segments format from a legacy snapshot.
-	stateEpoch   uint64
-	fromManifest bool
-	segEpochs    []uint64
-	st           *object.StoreState
-	vs           *version.ManagerState
-	segments     int
-	decodeNs     int64
-
-	// records is the concatenated journal chain: every record of epochs
-	// stateEpoch..liveEpoch in append order. A checkpoint rotates the
-	// journal *before* committing its manifest, so a crashed or failed
-	// checkpoint leaves several consecutive live logs; all of them
-	// replay. log is the opened newest journal; the caller owns it.
-	records   [][]byte
-	liveEpoch uint64
-	log       *storage.Log
-}
-
-// loadDirState locates the newest valid checkpoint in dir, decodes it
-// (segments concurrently, up to `workers` goroutines), and opens the
-// journal chain: the single source of truth for what persistent state a
-// directory holds, shared by recovery and by ScanJournal. A corrupt or
-// half-written checkpoint falls back to the next older one; a torn tail
-// of any journal in the chain is truncated in place (as recovery would).
-func loadDirState(dir string, workers int) (*dirState, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("cadcam: %w", err)
-	}
-	var manifests, snaps []uint64
-	for _, e := range entries {
-		var n uint64
-		if _, err := fmt.Sscanf(e.Name(), "manifest-%d.mf", &n); err == nil {
-			manifests = append(manifests, n)
-		} else if _, err := fmt.Sscanf(e.Name(), "snap-%d.snap", &n); err == nil {
-			snaps = append(snaps, n)
-		}
-	}
-	sort.Slice(manifests, func(i, j int) bool { return manifests[i] > manifests[j] })
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
-
-	ds := &dirState{}
-	t0 := time.Now()
-	for _, e := range manifests {
-		blob, err := storage.ReadSnapshot(filepath.Join(dir, ManifestFilename(e)))
-		if err != nil || blob == nil {
-			continue // corrupt or vanished manifest: fall back
-		}
-		m, err := wal.DecodeManifest(blob)
-		if err != nil || m.Epoch != e {
-			continue
-		}
-		st, err := decodeSegments(dir, m, workers)
-		if err != nil {
-			continue // a referenced segment is missing or corrupt
-		}
-		ds.stateEpoch, ds.fromManifest = e, true
-		ds.segEpochs = m.SegEpochs
-		ds.st, ds.vs = st, m.Versions
-		ds.segments = len(m.SegEpochs)
-		break
-	}
-	if ds.st == nil {
-		// No usable manifest: fall back to the newest legacy snapshot
-		// (pre-incremental directories), then to an empty epoch-0 state.
-		for _, e := range snaps {
-			blob, err := storage.ReadSnapshot(filepath.Join(dir, SnapshotFilename(e)))
-			if err != nil || blob == nil {
-				continue
-			}
-			st, vs, err := wal.DecodeSnapshotState(blob)
-			if err != nil {
-				continue
-			}
-			ds.stateEpoch = e
-			ds.st, ds.vs = st, vs
-			break
-		}
-	}
-	ds.decodeNs = time.Since(t0).Nanoseconds()
-
-	log, records, err := storage.OpenLog(filepath.Join(dir, WALFilename(ds.stateEpoch)))
-	if err != nil {
-		return nil, err
-	}
-	ds.records = records
-	ds.liveEpoch = ds.stateEpoch
-	for {
-		next := filepath.Join(dir, WALFilename(ds.liveEpoch+1))
-		if _, serr := os.Stat(next); serr != nil {
-			break
-		}
-		nlog, nrecs, err := storage.OpenLog(next)
-		if err != nil {
-			log.Close()
-			return nil, err
-		}
-		if err := log.Close(); err != nil {
-			nlog.Close()
-			return nil, err
-		}
-		log = nlog
-		ds.liveEpoch++
-		ds.records = append(ds.records, nrecs...)
-	}
-	ds.log = log
-	return ds, nil
-}
-
-// decodeSegments reads and decodes every segment a manifest references,
-// concurrently, and merges them with the manifest's base state. Any
-// missing or corrupt segment fails the whole checkpoint (the caller
-// falls back to an older one).
-func decodeSegments(dir string, m *wal.Manifest, workers int) (*object.StoreState, error) {
-	parts := len(m.SegEpochs)
-	st := &object.StoreState{
-		Classes: m.Base.Classes,
-		Indexes: m.Base.Indexes,
-		NextSur: m.Base.NextSur,
-		Seq:     m.Base.Seq,
-	}
-	if parts == 0 {
-		return st, nil
-	}
-	objs := make([][]object.ObjectRecord, parts)
-	binds := make([][]object.BindingRecord, parts)
-	errs := make([]error, parts)
-	if workers > parts {
-		workers = parts
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for p := w; p < parts; p += workers {
-				blob, err := storage.ReadSnapshot(filepath.Join(dir, SegmentFilename(m.SegEpochs[p], p)))
-				if err != nil {
-					errs[p] = err
-					continue
-				}
-				if blob == nil {
-					errs[p] = fmt.Errorf("cadcam: segment %d of epoch %d missing", p, m.SegEpochs[p])
-					continue
-				}
-				objs[p], binds[p], errs[p] = wal.DecodeSegment(blob, p)
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	for p := 0; p < parts; p++ {
-		st.Objects = append(st.Objects, objs[p]...)
-		st.Bindings = append(st.Bindings, binds[p]...)
-	}
-	return st, nil
-}
-
 // ScanState is what ScanJournal reads out of a database directory: the
 // decoded checkpoint state (nil for a fresh directory) and the journal
 // records replayed on top of it.
@@ -553,14 +388,14 @@ type ScanState struct {
 // against its model oracle. Like recovery, scanning truncates a torn
 // journal tail in place.
 func ScanJournal(dir string) (*ScanState, error) {
-	ds, err := loadDirState(dir, 0)
+	ds, err := wal.LoadDirState(dir, 0, true)
 	if err != nil {
 		return nil, err
 	}
-	if cerr := ds.log.Close(); cerr != nil {
+	if cerr := ds.Log.Close(); cerr != nil {
 		return nil, cerr
 	}
-	return &ScanState{Epoch: ds.stateEpoch, Store: ds.st, Versions: ds.vs, Records: ds.records}, nil
+	return &ScanState{Epoch: ds.StateEpoch, Store: ds.Store, Versions: ds.Versions, Records: ds.Records}, nil
 }
 
 // recover finds the newest valid checkpoint, imports it (segments
@@ -571,69 +406,69 @@ func ScanJournal(dir string) (*ScanState, error) {
 // committer.
 func (db *Database) recover() (*storage.Log, error) {
 	workers := db.opts.workers()
-	ds, err := loadDirState(db.dir, workers)
+	ds, err := wal.LoadDirState(db.dir, workers, true)
 	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	if ds.st != nil {
-		if err := db.store.ImportParallel(ds.st, workers); err != nil {
-			ds.log.Close()
-			return nil, fmt.Errorf("cadcam: checkpoint epoch %d: %w", ds.stateEpoch, err)
+	if ds.Store != nil {
+		if err := db.store.ImportParallel(ds.Store, workers); err != nil {
+			ds.Log.Close()
+			return nil, fmt.Errorf("cadcam: checkpoint epoch %d: %w", ds.StateEpoch, err)
 		}
-		if err := db.versions.Import(ds.vs); err != nil {
-			ds.log.Close()
-			return nil, fmt.Errorf("cadcam: checkpoint epoch %d: %w", ds.stateEpoch, err)
+		if err := db.versions.Import(ds.Versions); err != nil {
+			ds.Log.Close()
+			return nil, fmt.Errorf("cadcam: checkpoint epoch %d: %w", ds.StateEpoch, err)
 		}
 	}
-	if err := wal.ReplayN(ds.records, db.store, db.versions, workers); err != nil {
-		ds.log.Close()
+	if err := wal.ReplayN(ds.Records, db.store, db.versions, workers); err != nil {
+		ds.Log.Close()
 		return nil, fmt.Errorf("cadcam: %w", err)
 	}
-	db.epoch = ds.liveEpoch
-	if ds.fromManifest && len(ds.segEpochs) == db.store.Shards() {
+	db.epoch = ds.LiveEpoch
+	if ds.FromManifest && len(ds.SegEpochs) == db.store.Shards() {
 		// Segment reuse carries across restarts: the dirty counters
 		// restart at zero, and replaying the journal tail re-dirties
 		// exactly the shards whose on-disk segments are now stale, so the
 		// next checkpoint re-encodes those and keeps the rest.
-		db.manifestEpoch = ds.stateEpoch
-		db.segEpochs = append([]uint64(nil), ds.segEpochs...)
+		db.manifestEpoch = ds.StateEpoch
+		db.segEpochs = append([]uint64(nil), ds.SegEpochs...)
 		db.ckptBaseline = make([]uint64, db.store.Shards())
 	}
 	db.statMu.Lock()
 	db.recStats = RecoveryStats{
-		Segments:  ds.segments,
-		DecodeNs:  ds.decodeNs,
-		ReplayOps: len(ds.records),
+		Segments:  ds.Segments,
+		DecodeNs:  ds.DecodeNs,
+		ReplayOps: len(ds.Records),
 		ReplayNs:  time.Since(t0).Nanoseconds(),
 		Workers:   workers,
 	}
 	db.statMu.Unlock()
 	db.gcStale(ds)
-	return ds.log, nil
+	return ds.Log, nil
 }
 
 // gcStale removes every epoch file the recovered state does not
 // reference: older (or orphaned newer) checkpoints, segments no current
 // manifest points at, and journals below the chain. Best-effort; a
 // leftover file is re-collected by the next recovery or checkpoint.
-func (db *Database) gcStale(ds *dirState) {
+func (db *Database) gcStale(ds *wal.DirState) {
 	entries, err := os.ReadDir(db.dir)
 	if err != nil {
 		return
 	}
 	keep := make(map[string]bool)
-	if ds.st != nil {
-		if ds.fromManifest {
-			keep[ManifestFilename(ds.stateEpoch)] = true
-			for p, se := range ds.segEpochs {
+	if ds.Store != nil {
+		if ds.FromManifest {
+			keep[ManifestFilename(ds.StateEpoch)] = true
+			for p, se := range ds.SegEpochs {
 				keep[SegmentFilename(se, p)] = true
 			}
 		} else {
-			keep[SnapshotFilename(ds.stateEpoch)] = true
+			keep[SnapshotFilename(ds.StateEpoch)] = true
 		}
 	}
-	for e := ds.stateEpoch; e <= ds.liveEpoch; e++ {
+	for e := ds.StateEpoch; e <= ds.LiveEpoch; e++ {
 		keep[WALFilename(e)] = true
 	}
 	for _, e := range entries {

@@ -15,6 +15,7 @@
 package crash
 
 import (
+	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -22,11 +23,13 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"cadcam"
 	"cadcam/internal/object"
 	"cadcam/internal/oplog"
 	"cadcam/internal/paperschema"
+	"cadcam/internal/wal"
 )
 
 // EnvConfig carries the workload configuration to the child process as
@@ -58,6 +61,12 @@ type Config struct {
 	// Unbind opens the database with the DeleteUnbind policy, letting
 	// transmitter deletes cascade into detaches instead of erroring.
 	Unbind bool
+	// Repl attaches an in-process read replica for the whole run: the
+	// follower tails the journal while the writers churn (and while the
+	// replication failpoints fire), and — when the workload ends with a
+	// healthy journal — must converge to a state byte-identical to the
+	// primary's before the process exits.
+	Repl bool
 }
 
 // Options returns the database options for this configuration. Verify
@@ -106,6 +115,14 @@ func RunWorkload(cfg Config) error {
 	if err != nil {
 		return fmt.Errorf("crash: open: %w", err)
 	}
+	var follower *cadcam.Follower
+	if cfg.Repl {
+		follower, err = db.AttachFollower(cadcam.FollowerOptions{})
+		if err != nil {
+			db.Close()
+			return fmt.Errorf("crash: attach follower: %w", err)
+		}
+	}
 	reg := &registry{}
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.Writers)
@@ -135,6 +152,14 @@ func RunWorkload(cfg Config) error {
 			return err
 		}
 	}
+	if follower != nil {
+		err := checkFollower(db, follower)
+		follower.Close()
+		if err != nil {
+			db.Close()
+			return err
+		}
+	}
 	// A sticky journal error (typically an injected one) is an expected
 	// workload ending: writers stopped cleanly, the directory is whatever
 	// survived, and Verify judges it. Close's error would just repeat it.
@@ -143,6 +168,29 @@ func RunWorkload(cfg Config) error {
 		return nil
 	}
 	return db.Close()
+}
+
+// checkFollower is the live half of the divergence oracle: with the
+// writers quiescent and the journal healthy, the replica must catch up
+// — recovering from any replication fault the round injected along the
+// way — and export a state byte-identical to the primary's. A poisoned
+// journal skips the check (the writers stopped mid-stream and the
+// offline verifier judges the directory instead).
+func checkFollower(db *cadcam.Database, follower *cadcam.Follower) error {
+	if db.Err() != nil {
+		return nil
+	}
+	if err := follower.WaitCaughtUp(30 * time.Second); err != nil {
+		return fmt.Errorf("crash: follower never caught up: %w (stats %+v)", err, follower.Stats())
+	}
+	st, vs, applied := follower.Repl().Export()
+	got := wal.EncodeSnapshot(st, vs)
+	want := wal.EncodeSnapshot(db.Store().Export(), db.Versions().Export())
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("crash: replica diverged from live primary at applied seq %d (%d vs %d bytes, stats %+v)",
+			applied, len(got), len(want), follower.Stats())
+	}
+	return nil
 }
 
 // runLongReader is the long-scan read mix: pin a snapshot view, walk

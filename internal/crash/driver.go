@@ -33,6 +33,12 @@ type matrixPoint struct {
 	// ack multiset check: checkpointed ops legitimately leave the
 	// journal).
 	checkpoint bool
+	// repl: the site lives on the replication path, so its rounds run
+	// with an in-process follower attached and, after the standard
+	// verify, replay the surviving directory through a fresh follower
+	// and compare it against the truncated model oracle
+	// (VerifyReplication).
+	repl bool
 }
 
 // matrixPoints must cover every registered failpoint; RunMatrix
@@ -51,6 +57,15 @@ var matrixPoints = []matrixPoint{
 	{name: "db/segment-write", errKind: true, checkpoint: true},
 	{name: "db/manifest-swap", errKind: true, checkpoint: true},
 	{name: "db/segment-gc", errKind: true, checkpoint: true},
+	// Replication path: a follower rides along, and the exit-kind rounds
+	// kill primary and follower together mid-stream. The applier-crash
+	// and resync-gap rounds checkpoint so that a restarted follower must
+	// resync from a real manifest, not just replay epoch 0.
+	{name: "repl/send-torn", errKind: true, repl: true},
+	{name: "repl/send-partial", errKind: true, repl: true},
+	{name: "repl/conn-drop", errKind: true, repl: true},
+	{name: "repl/applier-crash", errKind: true, repl: true, checkpoint: true},
+	{name: "repl/resync-gap", errKind: true, repl: true, checkpoint: true},
 }
 
 // Driver runs the crash matrix: for every registered failpoint it
@@ -74,6 +89,10 @@ type Driver struct {
 	// ArtifactDir, when set, receives a copy of the database directory
 	// and worker output of any failing round.
 	ArtifactDir string
+	// Filter, when set, restricts the matrix to failpoints whose name
+	// matches (the coverage cross-check still spans everything; the
+	// every-point-must-fire check spans only the included points).
+	Filter *regexp.Regexp
 }
 
 func (d *Driver) logf(format string, args ...any) {
@@ -100,7 +119,13 @@ func (d *Driver) RunMatrix() error {
 		return err
 	}
 	var rounds []round
+	included := make([]matrixPoint, 0, len(matrixPoints))
 	for _, p := range matrixPoints {
+		if d.Filter == nil || d.Filter.MatchString(p.name) {
+			included = append(included, p)
+		}
+	}
+	for _, p := range included {
 		for _, hit := range []int{1, 7} {
 			rounds = append(rounds, round{
 				point:   p,
@@ -130,7 +155,7 @@ func (d *Driver) RunMatrix() error {
 			fired[r.point.name] = true
 		}
 	}
-	for _, p := range matrixPoints {
+	for _, p := range included {
 		if !fired[p.name] {
 			return fmt.Errorf("crash: failpoint %s never fired in any round (workload too small?)", p.name)
 		}
@@ -166,8 +191,8 @@ func (d *Driver) runRound(i int, r round) (fired bool, err error) {
 	const attempts = 3
 	for a := 0; a < attempts; a++ {
 		cfg := Config{
-			Dir:     filepath.Join(d.BaseDir, fmt.Sprintf("r%03d-a%d", i, a)),
-			AckDir:  filepath.Join(d.BaseDir, fmt.Sprintf("r%03d-a%d-ack", i, a)),
+			Dir:         filepath.Join(d.BaseDir, fmt.Sprintf("r%03d-a%d", i, a)),
+			AckDir:      filepath.Join(d.BaseDir, fmt.Sprintf("r%03d-a%d-ack", i, a)),
 			Seed:        d.Seed + int64(i)*7919 + int64(a)*104729,
 			Writers:     d.Writers,
 			Ops:         d.Ops * (a + 1), // longer workloads on retry reach rarer sites
@@ -176,6 +201,7 @@ func (d *Driver) runRound(i int, r round) (fired bool, err error) {
 		if r.checkpt {
 			cfg.CheckpointEvery = 20
 		}
+		cfg.Repl = r.point.repl
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return false, err
 		}
@@ -189,6 +215,13 @@ func (d *Driver) runRound(i int, r round) (fired bool, err error) {
 				AckCheck: cfg.CheckpointEvery == 0,
 				Unbind:   cfg.Unbind,
 			})
+			if vErr == nil && r.point.repl {
+				// The replication half of the oracle: a fresh follower on
+				// the surviving directory must reproduce the primary's
+				// serial replay — in full, and truncated at an arbitrary
+				// batch boundary.
+				vErr = VerifyReplication(cfg.Dir, VerifyOptions{Unbind: cfg.Unbind})
+			}
 			if vErr != nil {
 				return false, d.fail(r, cfg, output, vErr)
 			}

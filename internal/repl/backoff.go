@@ -1,0 +1,118 @@
+package repl
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Clock abstracts time so the retry schedule is testable against a fake
+// clock; production code uses the real one.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// ErrDeadline reports that retries have failed continuously for longer
+// than the configured deadline; the caller gives up rather than
+// retrying forever.
+var ErrDeadline = errors.New("repl: retry deadline exceeded")
+
+// BackoffConfig shapes the retry schedule: delays start at Base, double
+// each consecutive failure, and cap at Cap, each jittered uniformly
+// into [d/2, d] so a fleet of followers does not reconnect in
+// lockstep. Deadline bounds how long continuous failure is tolerated,
+// measured from the first failure since the last Reset; zero retries
+// forever. Seed fixes the jitter stream for deterministic tests.
+type BackoffConfig struct {
+	Base     time.Duration
+	Cap      time.Duration
+	Deadline time.Duration
+	Seed     int64
+}
+
+// DefaultBackoff is the schedule used when a config leaves Base/Cap
+// zero: 5ms doubling to a 1s cap.
+const (
+	DefaultBackoffBase = 5 * time.Millisecond
+	DefaultBackoffCap  = time.Second
+)
+
+// Backoff produces the retry delays. Not safe for concurrent use; each
+// retry loop owns one.
+type Backoff struct {
+	cfg     BackoffConfig
+	clock   Clock
+	rng     *rand.Rand
+	attempt int
+	started bool
+	start   time.Time
+}
+
+// NewBackoff builds a schedule from cfg, filling zero fields with the
+// defaults. A nil clock means the real one.
+func NewBackoff(cfg BackoffConfig, clock Clock) *Backoff {
+	if cfg.Base <= 0 {
+		cfg.Base = DefaultBackoffBase
+	}
+	if cfg.Cap <= 0 {
+		cfg.Cap = DefaultBackoffCap
+	}
+	if cfg.Cap < cfg.Base {
+		cfg.Cap = cfg.Base
+	}
+	if clock == nil {
+		clock = realClock{}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Backoff{cfg: cfg, clock: clock, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay to wait before the next attempt, or
+// ErrDeadline once continuous failure has outlived the deadline. The
+// first call after a Reset starts the deadline clock and always
+// returns a delay — a single failure never trips the deadline.
+func (b *Backoff) Next() (time.Duration, error) {
+	now := b.clock.Now()
+	if !b.started {
+		b.started = true
+		b.start = now
+	} else if b.cfg.Deadline > 0 && now.Sub(b.start) >= b.cfg.Deadline {
+		return 0, ErrDeadline
+	}
+	d := b.cfg.Cap
+	if shift := uint(b.attempt); shift < 30 {
+		if base := b.cfg.Base << shift; base < b.cfg.Cap {
+			d = base
+		}
+	}
+	b.attempt++
+	// Jitter into [d/2, d].
+	half := d / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1)), nil
+}
+
+// Sleep waits out the next delay on the backoff's clock.
+func (b *Backoff) Sleep() error {
+	d, err := b.Next()
+	if err != nil {
+		return err
+	}
+	b.clock.Sleep(d)
+	return nil
+}
+
+// Reset reports success: the schedule returns to the base delay and the
+// deadline clock rearms.
+func (b *Backoff) Reset() {
+	b.attempt = 0
+	b.started = false
+}

@@ -1,0 +1,144 @@
+package repl
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when slept on, making the retry schedule
+// fully deterministic.
+type fakeClock struct {
+	now   time.Time
+	slept []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.slept = append(c.slept, d)
+	c.now = c.now.Add(d)
+}
+
+// TestBackoffSchedule: delays double from Base, each jittered into
+// [nominal/2, nominal], and stop growing at Cap.
+func TestBackoffSchedule(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBackoff(BackoffConfig{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 1}, clock)
+	nominals := []time.Duration{10, 20, 40, 80, 80, 80} // ms
+	for i, nom := range nominals {
+		d, err := b.Next()
+		if err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+		nomd := nom * time.Millisecond
+		if d < nomd/2 || d > nomd {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", i, d, nomd/2, nomd)
+		}
+	}
+}
+
+// TestBackoffJitterBounds: jitter stays in [d/2, d] and actually varies.
+func TestBackoffJitterBounds(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBackoff(BackoffConfig{Base: 100 * time.Millisecond, Cap: 100 * time.Millisecond, Seed: 7}, clock)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("draw %d: %v outside [50ms, 100ms]", i, d)
+		}
+		seen[d] = true
+		b.Reset()
+	}
+	if len(seen) < 10 {
+		t.Errorf("jitter produced only %d distinct delays in 200 draws", len(seen))
+	}
+}
+
+// TestBackoffDeadline: continuous failure past the deadline yields
+// ErrDeadline; the very first failure never does.
+func TestBackoffDeadline(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBackoff(BackoffConfig{Base: 10 * time.Millisecond, Cap: time.Second, Deadline: 100 * time.Millisecond, Seed: 3}, clock)
+	if _, err := b.Next(); err != nil {
+		t.Fatalf("first failure must not trip the deadline: %v", err)
+	}
+	clock.Sleep(99 * time.Millisecond)
+	if _, err := b.Next(); err != nil {
+		t.Fatalf("inside deadline: %v", err)
+	}
+	clock.Sleep(2 * time.Millisecond) // 101ms since first failure
+	if _, err := b.Next(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("past deadline: got %v, want ErrDeadline", err)
+	}
+}
+
+// TestBackoffResetOnSuccess: a success returns the schedule to the base
+// delay and rearms the deadline clock.
+func TestBackoffResetOnSuccess(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBackoff(BackoffConfig{Base: 10 * time.Millisecond, Cap: time.Second, Deadline: 50 * time.Millisecond, Seed: 5}, clock)
+	for i := 0; i < 3; i++ {
+		if _, err := b.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Sleep(49 * time.Millisecond)
+	b.Reset()
+	clock.Sleep(10 * time.Second) // long healthy stretch; deadline must not fire
+	d, err := b.Next()
+	if err != nil {
+		t.Fatalf("deadline not rearmed by Reset: %v", err)
+	}
+	if d > 10*time.Millisecond {
+		t.Errorf("post-reset delay %v, want back at base (<= 10ms)", d)
+	}
+	// And it escalates again from there.
+	d2, err := b.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 > 20*time.Millisecond || d2 < 10*time.Millisecond {
+		t.Errorf("second post-reset delay %v, want (10ms, 20ms]", d2)
+	}
+}
+
+// TestBackoffSleepUsesClock: Sleep waits out exactly the delays Next
+// produces, on the injected clock.
+func TestBackoffSleepUsesClock(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBackoff(BackoffConfig{Base: 8 * time.Millisecond, Cap: 8 * time.Millisecond, Seed: 2}, clock)
+	for i := 0; i < 4; i++ {
+		if err := b.Sleep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(clock.slept) != 4 {
+		t.Fatalf("slept %d times, want 4", len(clock.slept))
+	}
+	for i, d := range clock.slept {
+		if d < 4*time.Millisecond || d > 8*time.Millisecond {
+			t.Errorf("sleep %d: %v outside [4ms, 8ms]", i, d)
+		}
+	}
+}
+
+// TestBackoffDefaults: zero config gets the documented defaults and a
+// cap below base is raised to base.
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(BackoffConfig{Seed: 9}, newFakeClock())
+	if b.cfg.Base != DefaultBackoffBase || b.cfg.Cap != DefaultBackoffCap {
+		t.Errorf("defaults: base %v cap %v", b.cfg.Base, b.cfg.Cap)
+	}
+	b2 := NewBackoff(BackoffConfig{Base: time.Second, Cap: time.Millisecond, Seed: 9}, newFakeClock())
+	if b2.cfg.Cap != time.Second {
+		t.Errorf("cap below base not raised: %v", b2.cfg.Cap)
+	}
+}

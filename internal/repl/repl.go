@@ -1,0 +1,79 @@
+// Package repl ships the primary's write-ahead journal to read replicas.
+//
+// A primary-side Shipper tails the sealed group-commit frames of a
+// database directory (via the same chain reader recovery uses, so both
+// always agree on batch boundaries) and streams them over a pluggable
+// Conn transport. A follower-side Follower replays the stream into a
+// read-only store with the recovery replayer and serves MVCC snapshots
+// at its applied sequence.
+//
+// Every transport edge is defended: frames carry the journal's CRC
+// framing, so torn or bit-flipped messages are detected and the
+// follower reconnects rather than applying garbage; stream sequence
+// numbers catch dropped, duplicated and reordered batches — duplicates
+// and overlaps are skipped idempotently, gaps force a resynchronization
+// from the primary's newest checkpoint manifest; connection failures
+// retry under capped exponential backoff with jitter and an optional
+// deadline. Reads are bounded-staleness: ViewWithin returns an explicit
+// lag error instead of a silently stale snapshot.
+package repl
+
+import (
+	"errors"
+	"fmt"
+
+	"cadcam/internal/fault"
+)
+
+// Failpoints covering the replication path, armed via CADCAM_FAILPOINTS
+// like every other point in the system:
+//
+//	repl/send-torn      – ship only a prefix of an encoded frame, then
+//	                      crash or error (a torn network write)
+//	repl/send-partial   – drop the tail records of a batch while
+//	                      advancing the stream sequence (a lost datagram
+//	                      the framing alone cannot see)
+//	repl/conn-drop      – fail the connection before a send
+//	repl/applier-crash  – crash or fail the follower mid-batch, after
+//	                      replaying only half the records
+//	repl/resync-gap     – force the shipper down the checkpoint-resync
+//	                      path as if the follower's position was GC'd
+var (
+	fpSendTorn     = fault.New("repl/send-torn")
+	fpSendPartial  = fault.New("repl/send-partial")
+	fpConnDrop     = fault.New("repl/conn-drop")
+	fpApplierCrash = fault.New("repl/applier-crash")
+	fpResyncGap    = fault.New("repl/resync-gap")
+)
+
+// Error is the typed error every replication failure wraps: Op names
+// the stage ("dial", "handshake", "recv", "decode", "apply", "resync",
+// "ship") and Err the cause.
+type Error struct {
+	Op  string
+	Err error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("repl: %s: %v", e.Op, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// ErrMaxLag is the base error of LagError; errors.Is(err, ErrMaxLag)
+// identifies a bounded-staleness rejection.
+var ErrMaxLag = errors.New("repl: replica lag exceeds bound")
+
+// LagError reports that a follower is further behind the primary than
+// the caller's staleness bound allows.
+type LagError struct {
+	Lag    uint64 // records behind the shipped stream
+	MaxLag uint64 // the caller's bound
+}
+
+func (e *LagError) Error() string {
+	return fmt.Sprintf("repl: replica %d records behind (bound %d)", e.Lag, e.MaxLag)
+}
+func (e *LagError) Unwrap() error { return ErrMaxLag }
+
+// ErrStreamGap reports records missing from the replication stream; the
+// follower resynchronizes from a checkpoint rather than serving a
+// diverged state.
+var ErrStreamGap = errors.New("repl: stream sequence gap")

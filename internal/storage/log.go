@@ -76,26 +76,36 @@ func OpenLog(path string) (*Log, [][]byte, error) {
 	return &Log{f: f, path: path, size: validSize, syncEvery: 1}, records, nil
 }
 
-// scan reads records until EOF or a torn/corrupt tail. It distinguishes a
-// torn tail (incomplete final record: tolerated) from interior corruption
-// (checksum mismatch followed by more data: fatal).
-func scan(f *os.File) ([][]byte, int64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, err
-	}
-	info, err := f.Stat()
-	if err != nil {
-		return nil, 0, err
-	}
-	total := info.Size()
-	var records [][]byte
-	var offset int64
+// Frame is one intact CRC frame of a log: the byte range it occupies and
+// the logical records its payload carries (batch frames expanded). Frame
+// boundaries are the atomic commit units of the log — a group-commit
+// batch lands as exactly one frame — which makes them the shipping units
+// of replication too.
+type Frame struct {
+	// Offset is the byte offset of the frame header; End is the offset
+	// just past the frame (the next frame's Offset).
+	Offset, End int64
+	// Records are the frame's logical records, batch frames expanded.
+	Records [][]byte
+}
+
+// ScanFrames reads intact frames from r, starting at byte offset `from`
+// (which must be a frame boundary) and stopping at `total` (the file
+// size). It returns the frames and the offset just past the last intact
+// one. A torn frame at the tail is not an error — scanning stops before
+// it; a corrupt frame with more data behind it is interior corruption
+// and fails with ErrCorrupt. This is the one frame-boundary scanner:
+// recovery (via OpenLog) and the replication shipper both sit on it, so
+// they can never disagree about where a batch starts or ends.
+func ScanFrames(r io.ReaderAt, from, total int64) ([]Frame, int64, error) {
+	var frames []Frame
+	offset := from
 	header := make([]byte, headerSize)
 	for offset < total {
 		if total-offset < headerSize {
 			break // torn header
 		}
-		if _, err := io.ReadFull(f, header); err != nil {
+		if _, err := r.ReadAt(header, offset); err != nil {
 			return nil, 0, err
 		}
 		length := binary.LittleEndian.Uint32(header[0:4])
@@ -104,7 +114,7 @@ func scan(f *os.File) ([][]byte, int64, error) {
 			break // torn payload
 		}
 		payload := make([]byte, length)
-		if _, err := io.ReadFull(f, payload); err != nil {
+		if _, err := r.ReadAt(payload, offset+headerSize); err != nil {
 			return nil, 0, err
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
@@ -113,6 +123,7 @@ func scan(f *os.File) ([][]byte, int64, error) {
 			}
 			return nil, 0, fmt.Errorf("%w at offset %d", ErrCorrupt, offset)
 		}
+		records := [][]byte{payload}
 		if len(payload) > 0 && payload[0] == BatchMarker {
 			// A CRC-valid batch frame is atomic: either the whole batch
 			// replays or (torn, handled above) none of it does.
@@ -120,13 +131,54 @@ func scan(f *os.File) ([][]byte, int64, error) {
 			if err != nil {
 				return nil, 0, fmt.Errorf("%w at offset %d: %v", ErrCorrupt, offset, err)
 			}
-			records = append(records, sub...)
-		} else {
-			records = append(records, payload)
+			records = sub
 		}
-		offset += headerSize + int64(length)
+		end := offset + headerSize + int64(length)
+		frames = append(frames, Frame{Offset: offset, End: end, Records: records})
+		offset = end
 	}
-	return records, offset, nil
+	return frames, offset, nil
+}
+
+// ReadFrames scans the intact frames of the log at path from byte offset
+// `from` without opening the file for writing and without truncating a
+// torn tail — the read-only view a replication shipper takes of a live
+// primary's journal (OpenLog would truncate bytes the primary is about
+// to complete). A `from` beyond the current size returns no frames; a
+// missing file returns an os.ErrNotExist-wrapped error.
+func ReadFrames(path string, from int64) ([]Frame, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	if from > info.Size() {
+		return nil, from, nil
+	}
+	return ScanFrames(f, from, info.Size())
+}
+
+// scan reads records until EOF or a torn/corrupt tail. It distinguishes a
+// torn tail (incomplete final record: tolerated) from interior corruption
+// (checksum mismatch followed by more data: fatal).
+func scan(f *os.File) ([][]byte, int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	frames, end, err := ScanFrames(f, 0, info.Size())
+	if err != nil {
+		return nil, 0, err
+	}
+	var records [][]byte
+	for _, fr := range frames {
+		records = append(records, fr.Records...)
+	}
+	return records, end, nil
 }
 
 // frameBatch packs payloads into one batch-frame payload:

@@ -1,0 +1,185 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cadcam/internal/object"
+	"cadcam/internal/storage"
+	"cadcam/internal/version"
+)
+
+// DirState is everything a reader derives from a database directory: the
+// newest decodable checkpoint state (nil Store for a fresh directory)
+// and the journal chain on top of it. Recovery, journal scanning and the
+// replication shipper's resync path all load directories through here,
+// so they can never disagree about which checkpoint is newest or what
+// the chain replays.
+type DirState struct {
+	// StateEpoch is the checkpoint epoch the state was loaded at (0 when
+	// the directory has no checkpoint). FromManifest distinguishes the
+	// incremental manifest+segments format from a legacy snapshot.
+	StateEpoch   uint64
+	FromManifest bool
+	SegEpochs    []uint64
+	Store        *object.StoreState
+	Versions     *version.ManagerState
+	Segments     int
+	DecodeNs     int64
+
+	// Records is the concatenated journal chain: every record of epochs
+	// StateEpoch..LiveEpoch in append order. A checkpoint rotates the
+	// journal *before* committing its manifest, so a crashed or failed
+	// checkpoint leaves several consecutive live logs; all of them
+	// replay. Log is the opened newest journal (the caller owns it) when
+	// the directory was loaded for writing, nil in read-only mode.
+	Records   [][]byte
+	LiveEpoch uint64
+	Log       *storage.Log
+}
+
+// LoadDirState locates the newest valid checkpoint in dir, decodes it
+// (segments concurrently, up to `workers` goroutines; <= 0 means
+// GOMAXPROCS), and reads the journal chain on top. A corrupt or
+// half-written checkpoint falls back to the next older one.
+//
+// openLive selects the consumer: recovery (true) opens the newest
+// journal for appending and truncates torn tails in place, exactly as a
+// restart must; a replication shipper (false) scans the chain strictly
+// read-only — a live primary owns those files — and leaves Log nil.
+func LoadDirState(dir string, workers int, openLive bool) (*DirState, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var manifests, snaps []uint64
+	for _, e := range entries {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "manifest-%d.mf", &n); err == nil {
+			manifests = append(manifests, n)
+		} else if _, err := fmt.Sscanf(e.Name(), "snap-%d.snap", &n); err == nil {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Slice(manifests, func(i, j int) bool { return manifests[i] > manifests[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+
+	ds := &DirState{}
+	t0 := time.Now()
+	for _, e := range manifests {
+		blob, err := storage.ReadSnapshot(filepath.Join(dir, ManifestFilename(e)))
+		if err != nil || blob == nil {
+			continue // corrupt or vanished manifest: fall back
+		}
+		m, err := DecodeManifest(blob)
+		if err != nil || m.Epoch != e {
+			continue
+		}
+		st, err := decodeSegments(dir, m, workers)
+		if err != nil {
+			continue // a referenced segment is missing or corrupt
+		}
+		ds.StateEpoch, ds.FromManifest = e, true
+		ds.SegEpochs = m.SegEpochs
+		ds.Store, ds.Versions = st, m.Versions
+		ds.Segments = len(m.SegEpochs)
+		break
+	}
+	if ds.Store == nil {
+		// No usable manifest: fall back to the newest legacy snapshot
+		// (pre-incremental directories), then to an empty epoch-0 state.
+		for _, e := range snaps {
+			blob, err := storage.ReadSnapshot(filepath.Join(dir, SnapshotFilename(e)))
+			if err != nil || blob == nil {
+				continue
+			}
+			st, vs, err := DecodeSnapshotState(blob)
+			if err != nil {
+				continue
+			}
+			ds.StateEpoch = e
+			ds.Store, ds.Versions = st, vs
+			break
+		}
+	}
+	ds.DecodeNs = time.Since(t0).Nanoseconds()
+
+	if openLive {
+		records, live, log, err := OpenChain(dir, ds.StateEpoch)
+		if err != nil {
+			return nil, err
+		}
+		ds.Records, ds.LiveEpoch, ds.Log = records, live, log
+		return ds, nil
+	}
+	frames, pos, err := TailFrames(dir, ChainPos{Epoch: ds.StateEpoch})
+	if err != nil {
+		return nil, err
+	}
+	for _, fr := range frames {
+		ds.Records = append(ds.Records, fr.Records...)
+	}
+	ds.LiveEpoch = pos.Epoch
+	return ds, nil
+}
+
+// decodeSegments reads and decodes every segment a manifest references,
+// concurrently, and merges them with the manifest's base state. Any
+// missing or corrupt segment fails the whole checkpoint (the caller
+// falls back to an older one).
+func decodeSegments(dir string, m *Manifest, workers int) (*object.StoreState, error) {
+	parts := len(m.SegEpochs)
+	st := &object.StoreState{
+		Classes: m.Base.Classes,
+		Indexes: m.Base.Indexes,
+		NextSur: m.Base.NextSur,
+		Seq:     m.Base.Seq,
+	}
+	if parts == 0 {
+		return st, nil
+	}
+	objs := make([][]object.ObjectRecord, parts)
+	binds := make([][]object.BindingRecord, parts)
+	errs := make([]error, parts)
+	if workers > parts {
+		workers = parts
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := w; p < parts; p += workers {
+				blob, err := storage.ReadSnapshot(filepath.Join(dir, SegmentFilename(m.SegEpochs[p], p)))
+				if err != nil {
+					errs[p] = err
+					continue
+				}
+				if blob == nil {
+					errs[p] = fmt.Errorf("wal: segment %d of epoch %d missing", p, m.SegEpochs[p])
+					continue
+				}
+				objs[p], binds[p], errs[p] = DecodeSegment(blob, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for p := 0; p < parts; p++ {
+		st.Objects = append(st.Objects, objs[p]...)
+		st.Bindings = append(st.Bindings, binds[p]...)
+	}
+	return st, nil
+}
