@@ -55,6 +55,13 @@ type jsonReport struct {
 	// oracle (see repl_probe.go). CI gates on catchup_ops_per_sec,
 	// divergence_detected and final_lag.
 	Repl *replReport `json:"repl,omitempty"`
+	// Serve is the wire-protocol probe: concurrent sessions of mixed
+	// traffic through an in-process cadserve server, latency percentiles,
+	// the lost-ack oracle and post-drain leak counters (see
+	// serve_probe.go). CI gates on errors, lost_acks, p99_us and the
+	// *_after_drain counters; the dedicated soak job scales conns to 10k
+	// via `cadbench -serve`.
+	Serve *serveReport `json:"serve,omitempty"`
 }
 
 // checkpointReport is the `checkpoint` section of the JSON report.
@@ -150,6 +157,9 @@ func runJSON(expFilter string) error {
 		return err
 	}
 	if err := replProbes(&report); err != nil {
+		return err
+	}
+	if err := serveProbes(&report, serveBenchDefaults()); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -9,6 +9,7 @@
 //	cadbench -exp E7    # run one experiment
 //	cadbench -list      # list experiments
 //	cadbench -json      # machine-readable smoke run + read-path probes
+//	cadbench -serve     # wire-protocol soak: 10k sessions of mixed traffic
 package main
 
 import (
@@ -43,8 +44,18 @@ func main() {
 	expFlag := flag.String("exp", "", "run a single experiment (e.g. E7)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "suppress experiment output, print a JSON report")
+	serveSoak := flag.Bool("serve", false, "run the wire-protocol load generator (10k sessions by default)")
+	serveConns := flag.Int("serve-conns", 0, "pipe-transport connection count for -serve (0 = 10000 or $CADBENCH_SERVE_CONNS)")
+	serveOps := flag.Int("serve-ops", 0, "mixed-op iterations per -serve session (0 = 20 or $CADBENCH_SERVE_OPS)")
 	flag.Parse()
 
+	if *serveSoak {
+		if err := runServeBench(*jsonOut, *serveConns, *serveOps); err != nil {
+			fmt.Fprintf(os.Stderr, "cadbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := runJSON(*expFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "cadbench: %v\n", err)

@@ -1,0 +1,339 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/domain"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/serve"
+)
+
+// The -serve mode is the wire-protocol load generator: it stands up an
+// in-process cadserve server over a real database and drives it with
+// thousands of concurrent client sessions running mixed
+// read/write/txn/query/snapshot traffic, recording a per-request latency
+// histogram (p50/p99/p999), an acknowledgment oracle (every write the
+// server acknowledged must be readable afterwards — lost_acks counts
+// violations), and the post-drain leak counters (pins, locks, sessions
+// must all be zero). The connection fan-out uses the in-process pipe
+// transport so the soak is bounded by goroutines, not file descriptors;
+// a smaller TCP segment exercises serve.Dial and the stream framing on
+// real sockets. CI gates on serve.errors == 0, serve.lost_acks == 0,
+// serve.p99_us and the leak counters from the -json output.
+
+// serveReport is the `serve` section of the JSON report.
+type serveReport struct {
+	Conns    int `json:"conns"`     // pipe-transport sessions in the soak
+	TCPConns int `json:"tcp_conns"` // additional sessions over real TCP
+	OpsEach  int `json:"ops_each"`  // mixed-op iterations per session
+
+	Requests uint64 `json:"requests"` // client calls issued
+	Errors   uint64 `json:"errors"`   // calls that failed unexpectedly
+	LostAcks uint64 `json:"lost_acks"`
+
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	P999Us    float64 `json:"p999_us"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	DrainMs            float64 `json:"drain_ms"`
+	SessionsAfterDrain int     `json:"sessions_after_drain"`
+	PinsAfterDrain     int64   `json:"pins_after_drain"`
+	LocksAfterDrain    int     `json:"locks_after_drain"`
+	BusyRejected       uint64  `json:"busy_rejected"`
+	PipelineHW         int64   `json:"pipeline_hw"`
+}
+
+// serveBenchConfig sizes one -serve run.
+type serveBenchConfig struct {
+	Conns    int
+	TCPConns int
+	OpsEach  int
+}
+
+func serveBenchDefaults() serveBenchConfig {
+	cfg := serveBenchConfig{Conns: 512, TCPConns: 64, OpsEach: 20}
+	if v := os.Getenv("CADBENCH_SERVE_CONNS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cfg.Conns = n
+		}
+	}
+	if v := os.Getenv("CADBENCH_SERVE_OPS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cfg.OpsEach = n
+		}
+	}
+	return cfg
+}
+
+// serveSession is one client's soak body: create an object, hammer it
+// with acknowledged writes and reads, fold in transactions, snapshots
+// and (on a sampled subset) queries, and verify at the end that the
+// last acknowledged write is the value the database serves.
+func serveSession(c *serve.Client, id int, cfg serveBenchConfig, rec *serveRecorder) {
+	timed := func(op func() error) error {
+		t0 := time.Now()
+		err := op()
+		rec.sample(time.Since(t0))
+		return err
+	}
+	var sur cadcam.Surrogate
+	if err := timed(func() (err error) {
+		sur, err = c.NewObject(paperschema.TypeGateInterface, "benchgates")
+		return err
+	}); err != nil {
+		rec.fail(err)
+		return
+	}
+	lastAcked := int64(-1)
+	for i := 0; i < cfg.OpsEach; i++ {
+		v := int64(id)*1000 + int64(i)
+		if err := timed(func() error { return c.SetAttr(sur, "Width", domain.Int(v)) }); err != nil {
+			rec.fail(err)
+			return
+		}
+		lastAcked = v
+		if err := timed(func() error {
+			got, err := c.GetAttr(sur, "Width")
+			if err == nil && !domain.Int(v).Equal(got) {
+				rec.lostAck()
+			}
+			return err
+		}); err != nil {
+			rec.fail(err)
+			return
+		}
+		if i%5 == 2 {
+			if err := timed(func() error {
+				if _, err := c.Begin(); err != nil {
+					return err
+				}
+				if err := c.SetAttr(sur, "Length", domain.Int(v)); err != nil {
+					_ = c.Abort()
+					return err
+				}
+				return c.Commit()
+			}); err != nil {
+				rec.fail(err)
+				return
+			}
+		}
+		if i%7 == 3 {
+			if err := timed(func() error {
+				h, _, err := c.SnapOpen()
+				if err != nil {
+					return err
+				}
+				if _, err := c.SnapGet(h, sur, "Width"); err != nil {
+					_ = c.SnapClose(h)
+					return err
+				}
+				return c.SnapClose(h)
+			}); err != nil {
+				rec.fail(err)
+				return
+			}
+		}
+		if id%50 == 0 && i%10 == 5 {
+			if err := timed(func() error {
+				_, err := c.Query("probe", "PinId = 1")
+				return err
+			}); err != nil {
+				rec.fail(err)
+				return
+			}
+		}
+	}
+	// The acknowledgment oracle: the last acked write must be served.
+	got, err := c.GetAttr(sur, "Width")
+	if err != nil {
+		rec.fail(err)
+		return
+	}
+	if !domain.Int(lastAcked).Equal(got) {
+		rec.lostAck()
+	}
+}
+
+// serveRecorder collects latency samples and failure counts across all
+// sessions. The sample slice is pre-sized for the whole run, so the
+// append under the mutex is a store, not a reallocation.
+type serveRecorder struct {
+	mu       sync.Mutex
+	samples  []time.Duration
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	lost     atomic.Uint64
+}
+
+func (r *serveRecorder) sample(d time.Duration) {
+	r.requests.Add(1)
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+func (r *serveRecorder) fail(error) { r.errors.Add(1) }
+func (r *serveRecorder) lostAck()   { r.lost.Add(1) }
+
+func (r *serveRecorder) percentiles() (p50, p99, p999 float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(r.samples)-1))
+		return float64(r.samples[idx].Nanoseconds()) / 1000
+	}
+	return at(0.50), at(0.99), at(0.999)
+}
+
+// serveProbes runs the wire-protocol load generator and fills the
+// `serve` section of the report.
+func serveProbes(report *jsonReport, cfg serveBenchConfig) error {
+	db, err := cadcam.OpenMemory(paperschema.MustGates())
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.DefineClass("benchgates", paperschema.TypeGateInterface); err != nil {
+		return err
+	}
+	if err := db.DefineClass("probe", paperschema.TypePin); err != nil {
+		return err
+	}
+	for i := 0; i < 16; i++ {
+		pin, err := db.NewObject(paperschema.TypePin, "probe")
+		if err != nil {
+			return err
+		}
+		if err := db.SetAttr(pin, "PinId", cadcam.Int(int64(i%2))); err != nil {
+			return err
+		}
+	}
+
+	srv, err := serve.New(serve.Config{DB: db, MaxSessions: cfg.Conns + cfg.TCPConns + 16})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(l)
+
+	rec := &serveRecorder{samples: make([]time.Duration, 0, (cfg.Conns+cfg.TCPConns)*(cfg.OpsEach*2+4))}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := serve.DialConn(srv.Pipe(), serve.DialOptions{User: "bench"})
+			if err != nil {
+				rec.fail(err)
+				return
+			}
+			defer c.Close()
+			serveSession(c, g, cfg, rec)
+		}(g)
+	}
+	for g := 0; g < cfg.TCPConns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := serve.Dial(l.Addr().String(), serve.DialOptions{User: "bench-tcp"})
+			if err != nil {
+				rec.fail(err)
+				return
+			}
+			defer c.Close()
+			serveSession(c, cfg.Conns+g, cfg, rec)
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	d0 := time.Now()
+	if err := srv.Shutdown(30 * time.Second); err != nil {
+		return fmt.Errorf("serve drain: %w", err)
+	}
+	drainMs := float64(time.Since(d0).Microseconds()) / 1000
+
+	p50, p99, p999 := rec.percentiles()
+	st := srv.Stats()
+	lt := db.Txns().LockTableStats()
+	report.Serve = &serveReport{
+		Conns:              cfg.Conns,
+		TCPConns:           cfg.TCPConns,
+		OpsEach:            cfg.OpsEach,
+		Requests:           rec.requests.Load(),
+		Errors:             rec.errors.Load(),
+		LostAcks:           rec.lost.Load(),
+		P50Us:              p50,
+		P99Us:              p99,
+		P999Us:             p999,
+		OpsPerSec:          float64(rec.requests.Load()) / elapsed.Seconds(),
+		DrainMs:            drainMs,
+		SessionsAfterDrain: st.Sessions,
+		PinsAfterDrain:     db.Stats().MVCC.Pins,
+		LocksAfterDrain:    lt.Objects + lt.Granted + lt.Queued,
+		BusyRejected:       st.BusyRejected,
+		PipelineHW:         st.PipelineHW,
+	}
+	return nil
+}
+
+// runServeBench is the `cadbench -serve` entry point: the load
+// generator alone, at soak scale by default (10k pipe connections plus
+// a TCP segment), with either a human summary or the JSON report.
+func runServeBench(jsonOut bool, conns, opsEach int) error {
+	cfg := serveBenchDefaults()
+	cfg.Conns = 10000
+	cfg.TCPConns = 256
+	if v := os.Getenv("CADBENCH_SERVE_CONNS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cfg.Conns = n
+		}
+	}
+	if conns > 0 {
+		cfg.Conns = conns
+	}
+	if opsEach > 0 {
+		cfg.OpsEach = opsEach
+	}
+	var report jsonReport
+	if err := serveProbes(&report, cfg); err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&report)
+	}
+	s := report.Serve
+	fmt.Printf("serve soak: %d pipe conns + %d tcp conns, %d mixed ops each\n", s.Conns, s.TCPConns, s.OpsEach)
+	row("requests", fmt.Sprintf("%d (%.0f ops/sec)", s.Requests, s.OpsPerSec))
+	row("errors", fmt.Sprintf("%d", s.Errors))
+	row("lost acks", fmt.Sprintf("%d", s.LostAcks))
+	row("latency p50/p99/p999", fmt.Sprintf("%.1f / %.1f / %.1f µs", s.P50Us, s.P99Us, s.P999Us))
+	row("drain", fmt.Sprintf("%.1f ms", s.DrainMs))
+	row("leaks after drain", fmt.Sprintf("sessions=%d pins=%d locks=%d",
+		s.SessionsAfterDrain, s.PinsAfterDrain, s.LocksAfterDrain))
+	if s.Errors > 0 || s.LostAcks > 0 || s.SessionsAfterDrain != 0 || s.PinsAfterDrain != 0 || s.LocksAfterDrain != 0 {
+		return fmt.Errorf("serve soak failed: errors=%d lost_acks=%d leaks=%d/%d/%d",
+			s.Errors, s.LostAcks, s.SessionsAfterDrain, s.PinsAfterDrain, s.LocksAfterDrain)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Command cadserve serves a cadcam database to many concurrent clients
+// over the binary wire protocol in internal/serve: per-connection
+// sessions own their transactions and pinned snapshots, requests
+// pipeline with ordered responses, admission control sheds write load
+// when the journal stalls, and SIGTERM drains gracefully — stop
+// accepting, finish in-flight requests, abort session transactions,
+// release pins.
+//
+// Usage:
+//
+//	cadserve -addr :7411 -dir data [-schema schema.ddl] [-auth token]
+//	cadserve -addr :7412 -follow primary-data        # read-only replica
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/ddl"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/schema"
+	"cadcam/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "cadserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable server body. When ready is non-nil it receives the
+// bound listener address once the server is accepting.
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("cadserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7411", "listen address")
+	dir := fs.String("dir", "", "persistence directory (empty = in-memory)")
+	schemaPath := fs.String("schema", "", "DDL schema file (empty = built-in paper schema)")
+	follow := fs.String("follow", "", "serve a read-only replica of this primary directory")
+	auth := fs.String("auth", "", "require this token on Hello")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
+	maxSessions := fs.Int("max-sessions", 0, "session cap (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir != "" && *follow != "" {
+		return errors.New("-dir and -follow are mutually exclusive")
+	}
+
+	cat, err := loadSchema(*schemaPath)
+	if err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		AuthToken:   *auth,
+		MaxSessions: *maxSessions,
+		Logf:        log.Printf,
+	}
+	if *follow != "" {
+		fol, err := cadcam.OpenFollower(cat, *follow, cadcam.FollowerOptions{})
+		if err != nil {
+			return err
+		}
+		defer fol.Close()
+		cfg.Follower = fol
+	} else {
+		db, err := cadcam.Open(cat, cadcam.Options{Dir: *dir})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		cfg.DB = db
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("cadserve: listening on %s", l.Addr())
+	if ready != nil {
+		ready <- l.Addr().String()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+
+	select {
+	case sig := <-sigs:
+		log.Printf("cadserve: %v: draining (budget %s)", sig, *drainTimeout)
+		if err := srv.Shutdown(*drainTimeout); err != nil {
+			return err
+		}
+		return <-errCh
+	case err := <-errCh:
+		// Accept loop died on its own; still tear sessions down.
+		srv.Shutdown(*drainTimeout)
+		return err
+	}
+}
+
+// loadSchema parses the DDL file, or falls back to the built-in paper
+// schema when none is given.
+func loadSchema(path string) (*schema.Catalog, error) {
+	if path == "" {
+		return paperschema.MustGates(), nil
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ddl.Parse(string(src))
+}

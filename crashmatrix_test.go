@@ -94,6 +94,25 @@ func TestCrashMatrixRepl(t *testing.T) {
 	}
 }
 
+// TestCrashMatrixServe runs only the wire-protocol rounds of the matrix:
+// every writer's mutations travel through an in-process cadserve session
+// (framing, pipelining, the durability→ack gap), the run ends with a
+// graceful drain over deliberately abandoned transactions, and the kill
+// schedule targets the serve failpoints — dying after an op is durable
+// but before its response, and mid-drain while aborts reclaim session
+// state. Verification is the same oracle as every other round: recovered
+// bytes equal the model replay, and every acked op is in the journal.
+func TestCrashMatrixServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix spawns worker processes; skipped in -short")
+	}
+	d := newDriver(t)
+	d.Filter = regexp.MustCompile(`^serve/`)
+	if err := d.RunMatrix(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCrashTailFuzz attacks byte offsets of the journal of a clean run:
 // clipped tails must recover to the oracle's prefix state, flipped bytes
 // must be rejected cleanly or survive — never panic, never diverge.

@@ -67,6 +67,11 @@ type Config struct {
 	// healthy journal — must converge to a state byte-identical to the
 	// primary's before the process exits.
 	Repl bool
+	// Serve routes every writer through an in-process wire-protocol
+	// server session (internal/serve) instead of direct facade calls,
+	// and ends the run with a graceful drain while transactions are
+	// still open — the schedule the serve failpoints live in.
+	Serve bool
 }
 
 // Options returns the database options for this configuration. Verify
@@ -114,6 +119,17 @@ func RunWorkload(cfg Config) error {
 	db, err := cadcam.Open(paperschema.MustGates(), cfg.Options())
 	if err != nil {
 		return fmt.Errorf("crash: open: %w", err)
+	}
+	if cfg.Serve {
+		if err := runServeWorkload(db, cfg); err != nil {
+			db.Close()
+			return err
+		}
+		if db.Err() != nil {
+			db.Close()
+			return nil
+		}
+		return db.Close()
 	}
 	var follower *cadcam.Follower
 	if cfg.Repl {

@@ -39,6 +39,10 @@ type matrixPoint struct {
 	// and compare it against the truncated model oracle
 	// (VerifyReplication).
 	repl bool
+	// serve: the site lives on the wire-protocol session path, so its
+	// rounds route every writer through an in-process server and end
+	// with a graceful drain over open transactions (Config.Serve).
+	serve bool
 }
 
 // matrixPoints must cover every registered failpoint; RunMatrix
@@ -66,6 +70,13 @@ var matrixPoints = []matrixPoint{
 	{name: "repl/conn-drop", errKind: true, repl: true},
 	{name: "repl/applier-crash", errKind: true, repl: true, checkpoint: true},
 	{name: "repl/resync-gap", errKind: true, repl: true, checkpoint: true},
+	// Wire-protocol session path: writers run through server sessions,
+	// so a kill in the ack gap dies after durability but before the
+	// response (the client must not have acked), and a kill in the
+	// drain-abort window dies mid-reclaim of abandoned transactions.
+	// Both keep checkpointing off so the ack multiset check stays on.
+	{name: "serve/ack-gap", errKind: true, serve: true},
+	{name: "serve/drain-abort", errKind: true, serve: true},
 }
 
 // Driver runs the crash matrix: for every registered failpoint it
@@ -202,6 +213,7 @@ func (d *Driver) runRound(i int, r round) (fired bool, err error) {
 			cfg.CheckpointEvery = 20
 		}
 		cfg.Repl = r.point.repl
+		cfg.Serve = r.point.serve
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return false, err
 		}

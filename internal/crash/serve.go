@@ -1,0 +1,245 @@
+package crash
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/domain"
+	"cadcam/internal/oplog"
+	"cadcam/internal/paperschema"
+	"cadcam/internal/serve"
+)
+
+// runServeWorkload is the serve-mode round body: the same database, but
+// every mutation travels through an in-process wire-protocol server —
+// session framing, pipelining, the acknowledgment gap between durability
+// and response, and finally a graceful drain with transactions still
+// open. The serve failpoints (serve/ack-gap, serve/drain-abort) fire
+// inside this path, so kill-mid-session rounds prove the protocol obeys
+// the same oracle as direct writers: an acked op is in the journal, and
+// an unacked one may or may not be — never the reverse.
+func runServeWorkload(db *cadcam.Database, cfg Config) error {
+	srv, err := serve.New(serve.Config{DB: db})
+	if err != nil {
+		return fmt.Errorf("crash: serve: %w", err)
+	}
+	reg := &registry{}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Writers)
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = runServeWriter(db, srv, cfg, w, reg)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			srv.Shutdown(30 * time.Second)
+			return err
+		}
+	}
+	if err := drainWithOpenTxns(db, srv); err != nil {
+		srv.Shutdown(30 * time.Second)
+		return err
+	}
+	return nil
+}
+
+// drainWithOpenTxns leaves a handful of sessions mid-transaction — each
+// holding a write lock — and then drains the server, so the drain path
+// (and serve/drain-abort inside it) runs against real abandoned state.
+// Each victim locks its own object: the point is teardown under drain,
+// not a lock pile-up.
+func drainWithOpenTxns(db *cadcam.Database, srv *serve.Server) error {
+	const victims = 8
+	for v := 0; v < victims; v++ {
+		if db.Err() != nil {
+			break // journal is sticky-bad; drain judges what is left
+		}
+		c, err := serve.DialConn(srv.Pipe(), serve.DialOptions{User: fmt.Sprintf("victim-%d", v)})
+		if err != nil {
+			break
+		}
+		// Deliberately never closed, committed or aborted: the drain
+		// must reclaim all of it.
+		sur, err := c.NewObject(paperschema.TypeGateInterface, "")
+		if err != nil {
+			continue
+		}
+		if _, err := c.Begin(); err != nil {
+			continue
+		}
+		_ = c.SetAttr(sur, "Width", domain.Int(int64(v)))
+	}
+	if err := srv.Shutdown(30 * time.Second); err != nil {
+		return fmt.Errorf("crash: serve drain: %w", err)
+	}
+	if st := srv.Stats(); st.Sessions != 0 {
+		return fmt.Errorf("crash: serve drain left %d sessions", st.Sessions)
+	}
+	if p := db.Stats().MVCC.Pins; p != 0 {
+		return fmt.Errorf("crash: serve drain left %d MVCC pins", p)
+	}
+	if lt := db.Txns().LockTableStats(); lt.Objects != 0 || lt.Granted != 0 || lt.Queued != 0 {
+		return fmt.Errorf("crash: serve drain left locks: %+v", lt)
+	}
+	return nil
+}
+
+// serveWriter mirrors the direct writer's ack discipline over a client
+// session: only auto-commit mutations are acked (their response implies
+// the statement's durability barrier passed), with exactly the canonical
+// journal keys the direct mix uses. Transaction blocks run unacked —
+// they exercise session transactions and the drain/abort path, and
+// statement inclusion for them is not claimed.
+type serveWriter struct {
+	c   *serve.Client
+	ack *os.File
+	rng *rand.Rand
+	reg *registry
+}
+
+func runServeWriter(db *cadcam.Database, srv *serve.Server, cfg Config, w int, reg *registry) error {
+	ackPath := filepath.Join(cfg.AckDir, fmt.Sprintf("ack-%d.log", w))
+	ack, err := os.OpenFile(ackPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer ack.Close()
+	c, err := serve.DialConn(srv.Pipe(), serve.DialOptions{User: fmt.Sprintf("w%d", w)})
+	if err != nil {
+		return fmt.Errorf("crash: serve dial: %w", err)
+	}
+	defer c.Close()
+	sw := &serveWriter{c: c, ack: ack, reg: reg,
+		rng: rand.New(rand.NewSource(cfg.Seed*1000003 + int64(w)))}
+	for i := 0; i < cfg.Ops; i++ {
+		if db.Err() != nil {
+			return nil // journal is sticky-bad; stop cleanly
+		}
+		if err := sw.step(); err != nil {
+			if errors.Is(err, serve.ErrClientClosed) {
+				return nil // session torn down under us (drain or kill)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *serveWriter) acked(op *oplog.Op) error {
+	_, err := fmt.Fprintf(w.ack, "%s\n", AckKey(op))
+	return err
+}
+
+// fatal filters one call's error: application rejections (including the
+// ack-gap downgrade) just mean "don't ack"; transport failures bubble.
+func fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *serve.RemoteError
+	if errors.As(err, &re) || errors.Is(err, serve.ErrBadRequest) || errors.Is(err, serve.ErrServerBusy) ||
+		errors.Is(err, serve.ErrDraining) {
+		return nil
+	}
+	return err
+}
+
+func (w *serveWriter) step() error {
+	c, rng, reg := w.c, w.rng, w.reg
+	switch rng.Intn(10) {
+	case 0:
+		sur, err := c.NewObject(paperschema.TypeGateInterfaceI, "")
+		if err == nil {
+			reg.add(&reg.ifaceIs, sur)
+			return w.acked(&oplog.Op{Kind: oplog.KindNewObject, Name: paperschema.TypeGateInterfaceI, Out: sur})
+		}
+		return fatal(err)
+	case 1:
+		sur, err := c.NewObject(paperschema.TypeGateInterface, "")
+		if err == nil {
+			reg.add(&reg.ifaces, sur)
+			return w.acked(&oplog.Op{Kind: oplog.KindNewObject, Name: paperschema.TypeGateInterface, Out: sur})
+		}
+		return fatal(err)
+	case 2:
+		sur, err := c.NewObject(paperschema.TypeGateImplementation, "")
+		if err == nil {
+			reg.add(&reg.impls, sur)
+			return w.acked(&oplog.Op{Kind: oplog.KindNewObject, Name: paperschema.TypeGateImplementation, Out: sur})
+		}
+		return fatal(err)
+	case 3:
+		iface := reg.pick(rng, &reg.ifaces)
+		name := [...]string{"Length", "Width"}[rng.Intn(2)]
+		v := domain.Int(int64(rng.Intn(100)))
+		if err := c.SetAttr(iface, name, v); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindSetAttr, Sur: iface, Name: name, Value: v})
+		} else {
+			return fatal(err)
+		}
+	case 4:
+		impl := reg.pick(rng, &reg.impls)
+		v := domain.Int(int64(rng.Intn(100)))
+		if err := c.SetAttr(impl, "TimeBehavior", v); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindSetAttr, Sur: impl, Name: "TimeBehavior", Value: v})
+		} else {
+			return fatal(err)
+		}
+	case 5:
+		inh, tr := reg.pick(rng, &reg.ifaces), reg.pick(rng, &reg.ifaceIs)
+		sur, err := c.Bind(paperschema.RelAllOfGateInterfaceI, inh, tr)
+		if err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindBind, Name: paperschema.RelAllOfGateInterfaceI, Sur: inh, Sur2: tr, Out: sur})
+		}
+		return fatal(err)
+	case 6:
+		inh, tr := reg.pick(rng, &reg.impls), reg.pick(rng, &reg.ifaces)
+		sur, err := c.Bind(paperschema.RelAllOfGateInterface, inh, tr)
+		if err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindBind, Name: paperschema.RelAllOfGateInterface, Sur: inh, Sur2: tr, Out: sur})
+		}
+		return fatal(err)
+	case 7:
+		rel := [...]string{paperschema.RelAllOfGateInterfaceI, paperschema.RelAllOfGateInterface}[rng.Intn(2)]
+		inh := reg.pick(rng, &reg.all)
+		if err := c.Unbind(rel, inh); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindUnbind, Name: rel, Sur: inh})
+		} else {
+			return fatal(err)
+		}
+	case 8:
+		sur := reg.pick(rng, &reg.all)
+		if err := c.Delete(sur); err == nil {
+			return w.acked(&oplog.Op{Kind: oplog.KindDelete, Sur: sur})
+		} else {
+			return fatal(err)
+		}
+	case 9:
+		// A session transaction: begin, write, then commit or abort.
+		// Statements inside it are not acked (their inclusion story is
+		// the transaction's, not the statement response's).
+		if _, err := c.Begin(); err != nil {
+			return fatal(err)
+		}
+		iface := reg.pick(rng, &reg.ifaces)
+		_ = c.SetAttr(iface, "Width", domain.Int(int64(rng.Intn(100))))
+		var err error
+		if rng.Intn(2) == 0 {
+			err = c.Commit()
+		} else {
+			err = c.Abort()
+		}
+		return fatal(err)
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"cadcam/internal/domain"
+	"cadcam/internal/repl"
+)
+
+// DialOptions configure the Hello a new client sends.
+type DialOptions struct {
+	Token    string // auth token (must match the server's AuthToken)
+	User     string // identity stamped on transactions this session begins
+	ReadOnly bool   // ask for a read-only session
+}
+
+// Call is one in-flight pipelined request. The zero Code/Err pairing is
+// resolved when Done() fires.
+type Call struct {
+	Req  *Request
+	Resp *Response
+	Err  error
+	done chan struct{}
+}
+
+// Done returns a channel closed when the response (or a transport
+// failure) has arrived.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Wait blocks for the response and maps its code to a typed error.
+func (c *Call) Wait() (*Response, error) {
+	<-c.done
+	if c.Err != nil {
+		return nil, c.Err
+	}
+	if err := codeError(c.Resp); err != nil {
+		return c.Resp, err
+	}
+	return c.Resp, nil
+}
+
+// Client is a pipelined protocol client. Any number of goroutines may
+// issue requests concurrently; requests are sent in a single order and
+// the server answers in that same order, so responses are matched FIFO
+// and cross-checked against the echoed correlation id.
+type Client struct {
+	conn repl.Conn
+
+	// sendMu serializes senders so the wire order matches the pending
+	// FIFO. It is never held by the read side: a sender blocked in a
+	// backpressured Send must not stop readLoop from draining responses
+	// (that is exactly the deadlock pipelining invites).
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending []*Call
+	closed  bool
+	err     error
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a cadserve listener over TCP and establishes the
+// session.
+func Dial(addr string, opts DialOptions) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := DialConn(repl.StreamConn(nc), opts)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialConn establishes a session over an existing transport (a
+// Server.Pipe() end, a wrapped net.Conn, ...). On error the transport
+// is left to the caller.
+func DialConn(conn repl.Conn, opts DialOptions) (*Client, error) {
+	c := &Client{conn: conn, readerDone: make(chan struct{})}
+	go c.readLoop()
+	var flags byte
+	if opts.ReadOnly {
+		flags |= FlagReadOnly
+	}
+	_, err := c.call(&Request{
+		Kind:  ReqHello,
+		Flags: flags,
+		Snap:  ProtocolVersion,
+		Name:  opts.Token,
+		Name2: opts.User,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Go issues a request without waiting: the returned Call completes when
+// its response arrives. This is the pipelining primitive — issue many,
+// then Wait in order.
+func (c *Client) Go(req *Request) *Call {
+	call := &Call{Req: req, done: make(chan struct{})}
+	c.sendMu.Lock()
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		c.sendMu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		call.Err = err
+		close(call.done)
+		return call
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending = append(c.pending, call)
+	c.mu.Unlock()
+	// Send under sendMu only: a backpressured transport blocks here,
+	// and readLoop keeps draining responses (which is what eventually
+	// unblocks the transport).
+	err := c.conn.Send(req.Encode())
+	c.sendMu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("serve: send: %w", err))
+	}
+	return call
+}
+
+// call issues a request and waits for its typed result.
+func (c *Client) call(req *Request) (*Response, error) {
+	return c.Go(req).Wait()
+}
+
+// readLoop matches responses to pending calls in FIFO order.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		raw, err := c.conn.Recv()
+		if err != nil {
+			c.fail(fmt.Errorf("%w (recv: %v)", ErrClientClosed, err))
+			return
+		}
+		p, err := DecodeResponse(raw)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		if len(c.pending) == 0 {
+			c.mu.Unlock()
+			c.fail(fmt.Errorf("serve: unsolicited response id %d", p.ID))
+			return
+		}
+		call := c.pending[0]
+		c.pending = c.pending[1:]
+		c.mu.Unlock()
+		if p.ID != call.Req.ID {
+			call.Err = fmt.Errorf("serve: response id %d for request id %d", p.ID, call.Req.ID)
+			close(call.done)
+			c.fail(call.Err)
+			return
+		}
+		call.Resp = p
+		close(call.done)
+	}
+}
+
+// fail poisons the client: the transport closes, and every pending and
+// future call resolves with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, call := range pending {
+		call.Err = err
+		close(call.done)
+	}
+}
+
+// Close tears the session down. The server reclaims the session's
+// transaction and pins when it observes the disconnect.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	<-c.readerDone
+	return nil
+}
+
+// --- typed wrappers -------------------------------------------------
+
+// Ping round-trips a liveness probe echoing seq.
+func (c *Client) Ping(seq uint64) (uint64, error) {
+	p, err := c.call(&Request{Kind: ReqPing, Snap: seq})
+	if err != nil {
+		return 0, err
+	}
+	return p.Seq, nil
+}
+
+// Stats fetches the server's counters plus its backend's stats.
+func (c *Client) Stats() (*StatsReply, error) {
+	p, err := c.call(&Request{Kind: ReqStats})
+	if err != nil {
+		return nil, err
+	}
+	var reply StatsReply
+	if err := json.Unmarshal(p.Blob, &reply); err != nil {
+		return nil, fmt.Errorf("serve: stats blob: %w", err)
+	}
+	return &reply, nil
+}
+
+// NewObject creates an object of a type in a class.
+func (c *Client) NewObject(typeName, className string) (domain.Surrogate, error) {
+	p, err := c.call(&Request{Kind: ReqNew, Name: typeName, Name2: className})
+	if err != nil {
+		return 0, err
+	}
+	return p.Sur, nil
+}
+
+// GetAttr reads an attribute, resolving inheritance server-side.
+func (c *Client) GetAttr(sur domain.Surrogate, name string) (domain.Value, error) {
+	p, err := c.call(&Request{Kind: ReqGet, Sur: sur, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return p.Value, nil
+}
+
+// SetAttr writes an attribute.
+func (c *Client) SetAttr(sur domain.Surrogate, name string, v domain.Value) error {
+	_, err := c.call(&Request{Kind: ReqSet, Sur: sur, Name: name, Value: v})
+	return err
+}
+
+// Bind creates an inheritance relationship object.
+func (c *Client) Bind(relType string, inheritor, transmitter domain.Surrogate) (domain.Surrogate, error) {
+	p, err := c.call(&Request{Kind: ReqBind, Name: relType, Sur: inheritor, Sur2: transmitter})
+	if err != nil {
+		return 0, err
+	}
+	return p.Sur, nil
+}
+
+// Unbind severs an inheritance relationship.
+func (c *Client) Unbind(relType string, inheritor domain.Surrogate) error {
+	_, err := c.call(&Request{Kind: ReqUnbind, Name: relType, Sur: inheritor})
+	return err
+}
+
+// Delete removes an object.
+func (c *Client) Delete(sur domain.Surrogate) error {
+	_, err := c.call(&Request{Kind: ReqDelete, Sur: sur})
+	return err
+}
+
+// Begin opens the session transaction and returns its id.
+func (c *Client) Begin() (uint64, error) {
+	p, err := c.call(&Request{Kind: ReqBegin})
+	if err != nil {
+		return 0, err
+	}
+	return p.Seq, nil
+}
+
+// Commit commits the session transaction.
+func (c *Client) Commit() error {
+	_, err := c.call(&Request{Kind: ReqCommit})
+	return err
+}
+
+// Abort rolls the session transaction back.
+func (c *Client) Abort() error {
+	_, err := c.call(&Request{Kind: ReqAbort})
+	return err
+}
+
+// Query runs a declarative query against committed state.
+func (c *Client) Query(className, where string) ([]domain.Surrogate, error) {
+	p, err := c.call(&Request{Kind: ReqQuery, Name: className, Name2: where})
+	if err != nil {
+		return nil, err
+	}
+	return p.Surs, nil
+}
+
+// Explain returns the query plan text.
+func (c *Client) Explain(className, where string) (string, error) {
+	p, err := c.call(&Request{Kind: ReqExplain, Name: className, Name2: where})
+	if err != nil {
+		return "", err
+	}
+	return string(p.Blob), nil
+}
+
+// SnapOpen pins a snapshot server-side; reads through the returned
+// handle see a frozen, consistent state until SnapClose.
+func (c *Client) SnapOpen() (handle, seq uint64, err error) {
+	p, err := c.call(&Request{Kind: ReqSnapOpen})
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint64(p.Sur), p.Seq, nil
+}
+
+// SnapGet reads an attribute at a pinned snapshot.
+func (c *Client) SnapGet(handle uint64, sur domain.Surrogate, name string) (domain.Value, error) {
+	p, err := c.call(&Request{Kind: ReqSnapGet, Snap: handle, Sur: sur, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return p.Value, nil
+}
+
+// SnapClose releases a pinned snapshot.
+func (c *Client) SnapClose(handle uint64) error {
+	_, err := c.call(&Request{Kind: ReqSnapClose, Snap: handle})
+	return err
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed client-visible errors. The server transmits them as response
+// codes; the client maps codes back so callers can errors.Is against
+// them without parsing messages.
+var (
+	// ErrServerBusy reports an admission-control rejection: the WAL
+	// group-commit pipeline is stalled (or the server is at its session
+	// cap) and the server is shedding new write-path work. The request
+	// was not executed; retry with backoff.
+	ErrServerBusy = errors.New("serve: server busy")
+	// ErrReadOnly reports a mutating request on a read-only session
+	// (follower backend, or a session opened with FlagReadOnly).
+	ErrReadOnly = errors.New("serve: session is read-only")
+	// ErrDraining reports a request received while the server drains for
+	// shutdown. The request was not executed.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrAuth reports a rejected Hello (bad token or protocol version).
+	ErrAuth = errors.New("serve: authentication failed")
+	// ErrBadRequest reports a structurally valid frame that is invalid
+	// in the session's state (no Hello yet, unknown snapshot handle,
+	// commit without a transaction, ...).
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrClientClosed reports a call issued on (or outstanding at) a
+	// closed client.
+	ErrClientClosed = errors.New("serve: client closed")
+)
+
+// RemoteError carries a server-side application error (bad surrogate,
+// constraint violation, frozen version, ...) back to the caller.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "serve: remote: " + e.Msg }
+
+// codeError maps a response to the typed error the caller sees.
+func codeError(p *Response) error {
+	switch p.Code {
+	case CodeOK:
+		return nil
+	case CodeBusy:
+		return fmt.Errorf("%w (%s)", ErrServerBusy, p.Msg)
+	case CodeReadOnly:
+		return fmt.Errorf("%w (%s)", ErrReadOnly, p.Msg)
+	case CodeDraining:
+		return fmt.Errorf("%w (%s)", ErrDraining, p.Msg)
+	case CodeAuth:
+		return fmt.Errorf("%w (%s)", ErrAuth, p.Msg)
+	case CodeBadRequest:
+		return fmt.Errorf("%w (%s)", ErrBadRequest, p.Msg)
+	default:
+		return &RemoteError{Msg: p.Msg}
+	}
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"cadcam/internal/domain"
+)
+
+// sampleRequests covers every request kind with representative field
+// shapes: empty and long names, every value kind, zero and large
+// surrogates and handles.
+func sampleRequests() []*Request {
+	return []*Request{
+		{Kind: ReqHello, Snap: ProtocolVersion, Name: "token", Name2: "alice", Flags: FlagReadOnly},
+		{ID: 1, Kind: ReqPing, Snap: 42},
+		{ID: 2, Kind: ReqStats},
+		{ID: 3, Kind: ReqNew, Name: "GateInterface", Name2: "gates"},
+		{ID: 4, Kind: ReqGet, Sur: 7, Name: "Width"},
+		{ID: 5, Kind: ReqSet, Sur: 7, Name: "Width", Value: domain.Int(3)},
+		{ID: 6, Kind: ReqSet, Sur: 7, Name: "Name", Value: domain.Str("x")},
+		{ID: 7, Kind: ReqSet, Sur: 7, Name: "Ratio", Value: domain.Rl(1.5)},
+		{ID: 8, Kind: ReqSet, Sur: 7, Name: "On", Value: domain.Bool(true)},
+		{ID: 9, Kind: ReqSet, Sur: 7, Name: "Dir", Value: domain.Sym("IN")},
+		{ID: 10, Kind: ReqSet, Sur: 7, Name: "Peer", Value: domain.Ref(9)},
+		{ID: 11, Kind: ReqSet, Sur: 7, Name: "Null", Value: nil},
+		{ID: 12, Kind: ReqBind, Name: "AllOfGateInterface", Sur: 3, Sur2: 4},
+		{ID: 13, Kind: ReqUnbind, Name: "AllOfGateInterface", Sur: 3},
+		{ID: 14, Kind: ReqDelete, Sur: ^domain.Surrogate(0)},
+		{ID: 15, Kind: ReqBegin},
+		{ID: 16, Kind: ReqCommit},
+		{ID: 17, Kind: ReqAbort},
+		{ID: 18, Kind: ReqQuery, Name: "gates", Name2: "Width = 3 AND Length > 1"},
+		{ID: 19, Kind: ReqExplain, Name: "gates", Name2: ""},
+		{ID: 20, Kind: ReqSnapOpen},
+		{ID: 21, Kind: ReqSnapGet, Snap: 5, Sur: 7, Name: "Width"},
+		{ID: ^uint64(0), Kind: ReqSnapClose, Snap: ^uint64(0)},
+	}
+}
+
+// sampleResponses covers every response code plus each payload shape a
+// response can carry.
+func sampleResponses() []*Response {
+	return []*Response{
+		{ID: 1, Kind: ReqHello, Seq: ProtocolVersion},
+		{ID: 2, Kind: ReqPing, Seq: 42},
+		{ID: 3, Kind: ReqNew, Sur: 99},
+		{ID: 4, Kind: ReqGet, Value: domain.Int(7)},
+		{ID: 5, Kind: ReqGet, Value: nil},
+		{ID: 6, Kind: ReqBegin, Seq: 12345},
+		{ID: 7, Kind: ReqQuery, Surs: []domain.Surrogate{1, 2, 3, ^domain.Surrogate(0)}},
+		{ID: 8, Kind: ReqQuery, Surs: nil},
+		{ID: 9, Kind: ReqStats, Blob: []byte(`{"server":{}}`)},
+		{ID: 10, Kind: ReqExplain, Blob: []byte("plan:\n  scan gates\n")},
+		{ID: 11, Kind: ReqSet, Code: CodeError, Msg: "no such attribute"},
+		{ID: 12, Kind: ReqSet, Code: CodeBusy, Msg: "journal pipeline stalled"},
+		{ID: 13, Kind: ReqSet, Code: CodeReadOnly, Msg: "read-only session"},
+		{ID: 14, Kind: ReqGet, Code: CodeBadRequest, Msg: "first request must be Hello"},
+		{ID: 15, Kind: ReqSet, Code: CodeDraining, Msg: "server is draining"},
+		{ID: 16, Kind: ReqHello, Code: CodeAuth, Msg: "bad token"},
+		{ID: 17, Kind: ReqSnapOpen, Seq: 88, Sur: 1},
+	}
+}
+
+func valueEq(a, b domain.Value) bool {
+	if domain.IsNull(a) || domain.IsNull(b) {
+		return domain.IsNull(a) && domain.IsNull(b)
+	}
+	return a.Equal(b)
+}
+
+func requestEq(a, b *Request) bool {
+	if a.ID != b.ID || a.Kind != b.Kind || a.Flags != b.Flags || a.Snap != b.Snap ||
+		a.Sur != b.Sur || a.Sur2 != b.Sur2 || a.Name != b.Name || a.Name2 != b.Name2 {
+		return false
+	}
+	return valueEq(a.Value, b.Value)
+}
+
+func responseEq(a, b *Response) bool {
+	if a.ID != b.ID || a.Kind != b.Kind || a.Code != b.Code || a.Msg != b.Msg ||
+		a.Sur != b.Sur || a.Seq != b.Seq || len(a.Surs) != len(b.Surs) ||
+		!bytes.Equal(a.Blob, b.Blob) {
+		return false
+	}
+	for i := range a.Surs {
+		if a.Surs[i] != b.Surs[i] {
+			return false
+		}
+	}
+	return valueEq(a.Value, b.Value)
+}
+
+// TestRequestRoundTrip: every request kind survives encode→decode.
+func TestRequestRoundTrip(t *testing.T) {
+	for _, q := range sampleRequests() {
+		got, err := DecodeRequest(q.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", kindName(q.Kind), err)
+		}
+		if !requestEq(q, got) {
+			t.Fatalf("%s: round-trip mismatch:\n in %+v\nout %+v", kindName(q.Kind), q, got)
+		}
+	}
+}
+
+// TestResponseRoundTrip: every response shape survives encode→decode.
+func TestResponseRoundTrip(t *testing.T) {
+	for _, p := range sampleResponses() {
+		got, err := DecodeResponse(p.Encode())
+		if err != nil {
+			t.Fatalf("%s code %d: %v", kindName(p.Kind), p.Code, err)
+		}
+		if !responseEq(p, got) {
+			t.Fatalf("%s: round-trip mismatch:\n in %+v\nout %+v", kindName(p.Kind), p, got)
+		}
+	}
+}
+
+// TestFrameFlipEveryByte: for every sample frame of every type, flipping
+// any single byte must make the decoder reject the frame — the CRC (or
+// the length check, for header corruption) catches all of them. This is
+// the transport-integrity contract: a torn or bit-rotted frame is an
+// ErrFrame, never a silently different request.
+func TestFrameFlipEveryByte(t *testing.T) {
+	check := func(t *testing.T, name string, raw []byte, decode func([]byte) error) {
+		for i := range raw {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= 0xFF
+			if decode(mut) == nil {
+				t.Errorf("%s: flipped byte %d/%d accepted", name, i, len(raw))
+			}
+		}
+		for cut := 0; cut < len(raw); cut++ {
+			if decode(raw[:cut]) == nil {
+				t.Errorf("%s: truncation to %d bytes accepted", name, cut)
+			}
+		}
+		if decode(append(append([]byte(nil), raw...), 0xA5)) == nil {
+			t.Errorf("%s: trailing garbage accepted", name)
+		}
+	}
+	for _, q := range sampleRequests() {
+		check(t, "req "+kindName(q.Kind), q.Encode(), func(b []byte) error {
+			_, err := DecodeRequest(b)
+			return err
+		})
+	}
+	for _, p := range sampleResponses() {
+		check(t, "resp "+kindName(p.Kind), p.Encode(), func(b []byte) error {
+			_, err := DecodeResponse(b)
+			return err
+		})
+	}
+}
+
+// reframe wraps a payload in a valid CRC header, for adversarial tests
+// where the payload itself is the attack.
+func reframe(payload []byte) []byte {
+	out := make([]byte, frameHeader, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// TestFrameRejectsBadKindsAndCodes: CRC-valid payloads with out-of-range
+// kind or code bytes are protocol errors, not requests.
+func TestFrameRejectsBadKindsAndCodes(t *testing.T) {
+	bad := &Request{Kind: ReqPing}
+	raw := bad.Encode()
+	payload := append([]byte(nil), raw[frameHeader:]...)
+	payload[0] = reqKindMax + 1
+	if _, err := DecodeRequest(reframe(payload)); err == nil {
+		t.Fatal("request kind past max accepted")
+	}
+	payload[0] = 0
+	if _, err := DecodeRequest(reframe(payload)); err == nil {
+		t.Fatal("request kind 0 accepted")
+	}
+
+	resp := (&Response{Kind: ReqPing}).Encode()
+	rp := append([]byte(nil), resp[frameHeader:]...)
+	rp[1] = codeMax + 1
+	if _, err := DecodeResponse(reframe(rp)); err == nil {
+		t.Fatal("response code past max accepted")
+	}
+}
+
+// TestFrameBoundsBlobLength: a response whose blob length field
+// disagrees with the actual payload is rejected — in both directions.
+func TestFrameBoundsBlobLength(t *testing.T) {
+	p := &Response{ID: 1, Kind: ReqStats, Blob: []byte("0123456789")}
+	raw := p.Encode()
+	payload := append([]byte(nil), raw[frameHeader:]...)
+	// The blob length uvarint sits right before the 10 blob bytes.
+	idx := len(payload) - len(p.Blob) - 1
+	payload[idx] = 11 // claim one more byte than the payload carries
+	if _, err := DecodeResponse(reframe(payload)); err == nil {
+		t.Fatal("overlong blob length accepted")
+	}
+	payload[idx] = 9
+	if _, err := DecodeResponse(reframe(payload)); err == nil {
+		t.Fatal("short blob length (trailing garbage) accepted")
+	}
+}
+
+// FuzzServeFrameDecode: neither decoder may panic on arbitrary bytes,
+// and anything either accepts must re-encode to an identical, decodable
+// frame (mirrors FuzzReplFrameDecode).
+func FuzzServeFrameDecode(f *testing.F) {
+	for _, q := range sampleRequests() {
+		f.Add(q.Encode())
+	}
+	for _, p := range sampleResponses() {
+		f.Add(p.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xF5, 0x00, 0x01})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if q, err := DecodeRequest(data); err == nil {
+			again, err := DecodeRequest(q.Encode())
+			if err != nil {
+				t.Fatalf("accepted request does not round-trip: %v", err)
+			}
+			if !requestEq(q, again) {
+				t.Fatalf("request round-trip mismatch: %+v vs %+v", q, again)
+			}
+		}
+		if p, err := DecodeResponse(data); err == nil {
+			again, err := DecodeResponse(p.Encode())
+			if err != nil {
+				t.Fatalf("accepted response does not round-trip: %v", err)
+			}
+			if !responseEq(p, again) {
+				t.Fatalf("response round-trip mismatch: %+v vs %+v", p, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cadcam"
+	"cadcam/internal/domain"
+	"cadcam/internal/paperschema"
+)
+
+// TestServeLifecycleChurn is the session-lifecycle race battery: many
+// goroutines churn connect → begin a transaction / pin a snapshot /
+// leave work half-done → hard-disconnect, while the server keeps
+// running. After the churn drains, nothing a dead session owned may
+// survive it: zero MVCC pins, an empty lock table, zero sessions.
+//
+// Run under -race this doubles as the data-race battery for the whole
+// reader/worker/teardown machinery.
+func TestServeLifecycleChurn(t *testing.T) {
+	db := testDB(t)
+	iface, err := db.NewObject(paperschema.TypeGateInterface, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{DB: db, PipelineDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const churners = 256
+	var wg sync.WaitGroup
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 8; i++ {
+				c, err := DialConn(s.Pipe(), DialOptions{User: "churn"})
+				if err != nil {
+					continue // drain raced us; nothing leaked either way
+				}
+				// Mix of abandoned state: open txns with a held lock,
+				// pinned snapshots, pipelined writes never waited for.
+				switch rng.Intn(4) {
+				case 0:
+					c.Go(&Request{Kind: ReqBegin})
+					c.Go(&Request{Kind: ReqSet, Sur: iface, Name: "Width", Value: domain.Int(int64(i))})
+				case 1:
+					c.Go(&Request{Kind: ReqSnapOpen})
+					c.Go(&Request{Kind: ReqSnapOpen})
+				case 2:
+					c.Go(&Request{Kind: ReqBegin})
+					c.Go(&Request{Kind: ReqSnapOpen})
+					c.Go(&Request{Kind: ReqGet, Sur: iface, Name: "Width"})
+				case 3:
+					_, _ = c.Begin()
+					_, _, _ = c.SnapOpen()
+				}
+				// Hard disconnect: no Abort, no SnapClose, no goodbye.
+				c.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if err := s.Shutdown(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if st := s.Stats(); st.Sessions != 0 {
+		t.Fatalf("sessions after drain = %d, want 0", st.Sessions)
+	}
+	if p := db.Stats().MVCC.Pins; p != 0 {
+		t.Fatalf("MVCC pins after churn+drain = %d, want 0", p)
+	}
+	lt := db.Txns().LockTableStats()
+	if lt.Objects != 0 || lt.Granted != 0 || lt.Queued != 0 || lt.Waiters != 0 {
+		t.Fatalf("lock table after churn+drain: %+v", lt)
+	}
+	// The database must still be fully operational.
+	if err := db.SetAttr(iface, "Width", cadcam.Int(1)); err != nil {
+		t.Fatalf("db wedged after churn: %v", err)
+	}
+}
+
+// TestServeSoak is a scaled-down in-process cousin of the cadbench
+// -serve soak: N concurrent sessions over the pipe transport running
+// mixed traffic to completion, then a drain with the same leak oracle.
+// CADCAM_SOAK_CONNS scales it up (CI runs the 10k-connection version
+// through cadbench; this keeps a small always-on copy in `go test`).
+func TestServeSoak(t *testing.T) {
+	conns := 64
+	if v := os.Getenv("CADCAM_SOAK_CONNS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("CADCAM_SOAK_CONNS: %v", err)
+		}
+		conns = n
+	} else if testing.Short() {
+		conns = 16
+	}
+	db := testDB(t)
+	if err := db.DefineClass("gates", paperschema.TypeGateInterface); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{DB: db, MaxSessions: conns})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := DialConn(s.Pipe(), DialOptions{User: "soak"})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			sur, err := c.NewObject(paperschema.TypeGateInterface, "gates")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				if err := c.SetAttr(sur, "Width", domain.Int(int64(i))); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.GetAttr(sur, "Width"); err != nil {
+					errs <- err
+					return
+				}
+				if i%5 == 0 {
+					if _, err := c.Begin(); err != nil {
+						errs <- err
+						return
+					}
+					if err := c.SetAttr(sur, "Length", domain.Int(int64(i))); err != nil {
+						errs <- err
+						return
+					}
+					if err := c.Commit(); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if i%7 == 0 {
+					h, _, err := c.SnapOpen()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, err := c.SnapGet(h, sur, "Width"); err != nil {
+						errs <- err
+						return
+					}
+					if err := c.SnapClose(h); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if err := s.Shutdown(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p := db.Stats().MVCC.Pins; p != 0 {
+		t.Fatalf("pins after soak = %d, want 0", p)
+	}
+	lt := db.Txns().LockTableStats()
+	if lt.Objects != 0 || lt.Granted != 0 {
+		t.Fatalf("lock table after soak: %+v", lt)
+	}
+}

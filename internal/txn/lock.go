@@ -380,3 +380,34 @@ func (lm *lockManager) promoteLocked(sur domain.Surrogate, ol *objLock) {
 	}
 	ol.queue = remaining
 }
+
+// LockTableStats counts the lock table's live state. Entries are removed
+// when their last request releases, so a system in which every
+// transaction has committed or aborted must report all zeros — anything
+// else is a leaked lock.
+type LockTableStats struct {
+	Objects int // surrogates with a live lock-table entry
+	Granted int // granted requests across all entries
+	Queued  int // waiting requests across all entries
+	Waiters int // transactions present in the waits-for graph
+}
+
+// LockTableStats snapshots the lock table, stripe by stripe.
+func (m *Manager) LockTableStats() LockTableStats {
+	var s LockTableStats
+	lm := m.locks
+	for i := range lm.stripes {
+		st := &lm.stripes[i]
+		st.mu.Lock()
+		s.Objects += len(st.objs)
+		for _, ol := range st.objs {
+			s.Granted += len(ol.granted)
+			s.Queued += len(ol.queue)
+		}
+		st.mu.Unlock()
+	}
+	lm.wfMu.Lock()
+	s.Waiters = len(lm.waitsFor)
+	lm.wfMu.Unlock()
+	return s
+}
